@@ -1,0 +1,301 @@
+// Command iosnapctl operates an ioSnap device persisted to an image file.
+// Every invocation reloads the NAND image and runs the paper's crash
+// recovery (two-pass log scan) to rebuild the FTL state — the snapshot
+// tree and forward map live only in the log, exactly as in the paper.
+//
+// Usage:
+//
+//	iosnapctl -image dev.img init [-megabytes 64] [-sector 4096]
+//	iosnapctl -image dev.img write -lba N [-text "..."] [-count k]
+//	iosnapctl -image dev.img read -lba N [-count k]
+//	iosnapctl -image dev.img trim -lba N [-count k]
+//	iosnapctl -image dev.img snap-create
+//	iosnapctl -image dev.img snap-delete -id N
+//	iosnapctl -image dev.img snap-list
+//	iosnapctl -image dev.img snap-read -id N -lba L [-count k]
+//	iosnapctl -image dev.img stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iosnapctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("iosnapctl", flag.ContinueOnError)
+	image := global.String("image", "", "device image path (required)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if *image == "" || len(rest) == 0 {
+		return fmt.Errorf("usage: iosnapctl -image FILE COMMAND [flags] (run with -h for commands)")
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+
+	if cmd == "init" {
+		return cmdInit(*image, cmdArgs)
+	}
+
+	dev, f, err := load(*image)
+	if err != nil {
+		return err
+	}
+	now := sim.Time(0)
+	dirty := false
+	switch cmd {
+	case "write":
+		dirty = true
+		err = cmdWrite(f, now, cmdArgs)
+	case "read":
+		err = cmdRead(f, now, cmdArgs)
+	case "trim":
+		dirty = true
+		err = cmdTrim(f, now, cmdArgs)
+	case "snap-create":
+		dirty = true
+		err = cmdSnapCreate(f, now)
+	case "snap-delete":
+		dirty = true
+		err = cmdSnapDelete(f, now, cmdArgs)
+	case "snap-list":
+		err = cmdSnapList(f)
+	case "snap-read":
+		err = cmdSnapRead(f, now, cmdArgs)
+	case "stats":
+		err = cmdStats(f)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		return err
+	}
+	if dirty {
+		return save(*image, dev, f, now)
+	}
+	return nil
+}
+
+func cmdInit(image string, args []string) error {
+	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	megabytes := fs.Int("megabytes", 64, "raw device size in MiB")
+	sector := fs.Int("sector", 4096, "sector size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nc := nand.DefaultConfig()
+	nc.SectorSize = *sector
+	nc.PagesPerSegment = (1 << 20) / *sector // 1 MiB segments
+	nc.Segments = *megabytes
+	nc.StoreData = true // the CLI reads data back across invocations
+	f, err := iosnap.New(iosnap.DefaultConfig(nc), nil)
+	if err != nil {
+		return err
+	}
+	if err := writeImage(image, f.Device()); err != nil {
+		return err
+	}
+	fmt.Printf("initialized %s: %d MiB raw, %d sectors x %d B usable\n",
+		image, *megabytes, f.Sectors(), f.SectorSize())
+	return nil
+}
+
+func load(image string) (*nand.Device, *iosnap.FTL, error) {
+	rd, err := os.Open(image)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rd.Close()
+	dev, err := nand.LoadImage(rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading %s: %w", image, err)
+	}
+	cfg := iosnap.DefaultConfig(dev.Config())
+	f, _, err := iosnap.Recover(cfg, dev, nil, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovering device state: %w", err)
+	}
+	return dev, f, nil
+}
+
+func save(image string, dev *nand.Device, f *iosnap.FTL, now sim.Time) error {
+	f.Scheduler().Drain(now)
+	return writeImage(image, dev)
+}
+
+func writeImage(image string, dev *nand.Device) error {
+	tmp := image + ".tmp"
+	w, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := dev.SaveImage(w); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, image)
+}
+
+func lbaCountFlags(fs *flag.FlagSet) (lba *int64, count *int64) {
+	lba = fs.Int64("lba", 0, "logical block address")
+	count = fs.Int64("count", 1, "number of sectors")
+	return
+}
+
+func cmdWrite(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("write", flag.ContinueOnError)
+	lba, count := lbaCountFlags(fs)
+	text := fs.String("text", "", "payload text (zero-padded per sector)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss := f.SectorSize()
+	buf := make([]byte, int(*count)*ss)
+	copy(buf, *text)
+	done, err := f.Write(now, *lba, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sector(s) at LBA %d in %v (virtual)\n", *count, *lba, done.Sub(now))
+	return nil
+}
+
+func printSectors(buf []byte, ss int, lba int64) {
+	for i := 0; i*ss < len(buf); i++ {
+		sector := buf[i*ss : (i+1)*ss]
+		end := len(sector)
+		for end > 0 && sector[end-1] == 0 {
+			end--
+		}
+		fmt.Printf("LBA %d: %q\n", lba+int64(i), string(sector[:end]))
+	}
+}
+
+func cmdRead(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("read", flag.ContinueOnError)
+	lba, count := lbaCountFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	buf := make([]byte, int(*count)*f.SectorSize())
+	if _, err := f.Read(now, *lba, buf); err != nil {
+		return err
+	}
+	printSectors(buf, f.SectorSize(), *lba)
+	return nil
+}
+
+func cmdTrim(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("trim", flag.ContinueOnError)
+	lba, count := lbaCountFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := f.Trim(now, *lba, *count); err != nil {
+		return err
+	}
+	fmt.Printf("trimmed %d sector(s) at LBA %d\n", *count, *lba)
+	return nil
+}
+
+func cmdSnapCreate(f *iosnap.FTL, now sim.Time) error {
+	snap, done, err := f.CreateSnapshot(now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created snapshot %d (epoch %d) in %v (virtual)\n", snap.ID, snap.Epoch, done.Sub(now))
+	return nil
+}
+
+func cmdSnapDelete(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("snap-delete", flag.ContinueOnError)
+	id := fs.Uint64("id", 0, "snapshot id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := f.DeleteSnapshot(now, iosnap.SnapshotID(*id)); err != nil {
+		return err
+	}
+	fmt.Printf("deleted snapshot %d (blocks reclaim in background)\n", *id)
+	return nil
+}
+
+func cmdSnapList(f *iosnap.FTL) error {
+	tree := f.Tree()
+	if tree.Len() == 0 {
+		fmt.Println("no snapshots")
+		return nil
+	}
+	fmt.Printf("%-6s %-7s %-8s %s\n", "ID", "EPOCH", "STATE", "PARENT")
+	for _, id := range tree.IDs() {
+		s, _ := tree.Lookup(id)
+		state := "live"
+		if s.Deleted {
+			state = "deleted"
+		}
+		parent := "-"
+		if s.Parent != nil {
+			parent = fmt.Sprintf("%d", s.Parent.ID)
+		}
+		fmt.Printf("%-6d %-7d %-8s %s\n", s.ID, s.Epoch, state, parent)
+	}
+	return nil
+}
+
+func cmdSnapRead(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("snap-read", flag.ContinueOnError)
+	id := fs.Uint64("id", 0, "snapshot id")
+	lba, count := lbaCountFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	view, done, err := f.ActivateSync(now, iosnap.SnapshotID(*id), ratelimit.WorkSleep{}, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("activated snapshot %d in %v (virtual): %d translations, %d B map\n",
+		*id, done.Sub(now), view.MappedSectors(), view.MapMemory())
+	buf := make([]byte, int(*count)*f.SectorSize())
+	if _, err := view.Read(done, *lba, buf); err != nil {
+		return err
+	}
+	printSectors(buf, f.SectorSize(), *lba)
+	_, err = view.Deactivate(done)
+	return err
+}
+
+func cmdStats(f *iosnap.FTL) error {
+	st := f.Stats()
+	fmt.Printf("sectors:            %d x %d B\n", f.Sectors(), f.SectorSize())
+	fmt.Printf("mapped sectors:     %d\n", f.MappedSectors())
+	fmt.Printf("free segments:      %d\n", f.FreeSegments())
+	fmt.Printf("snapshots (live):   %d\n", f.Tree().Live())
+	fmt.Printf("snapshots (total):  %d\n", f.Tree().Len())
+	fmt.Printf("active epoch:       %d\n", f.ActiveEpoch())
+	fmt.Printf("map memory:         %d B\n", st.MapMemory)
+	fmt.Printf("validity memory:    %d B\n", st.ValidityMemory)
+	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
+	return nil
+}
+
+func formatWear(f *iosnap.FTL) string {
+	minE, maxE, total := f.Device().WearStats()
+	return fmt.Sprintf("%d / %d / %d", minE, maxE, total)
+}

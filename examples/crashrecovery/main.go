@@ -1,0 +1,110 @@
+// Crash recovery: write data across several snapshots, "crash" without a
+// clean shutdown, then run the paper's two-pass recovery — rebuilding the
+// snapshot tree from log notes and the active forward map bottom-up — and
+// verify both the active state and an activated snapshot.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+func pattern(lba int64, version byte) []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = byte(lba) ^ version ^ byte(i)
+	}
+	return b
+}
+
+func main() {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 4096
+	nc.PagesPerSegment = 128
+	nc.Segments = 64
+	nc.StoreData = true
+
+	cfg := iosnap.DefaultConfig(nc)
+	dev, err := iosnap.New(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three generations of data with a snapshot after each.
+	now := sim.Time(0)
+	var snaps []*iosnap.Snapshot
+	for gen := byte(1); gen <= 3; gen++ {
+		for lba := int64(0); lba < 200; lba++ {
+			dev.Scheduler().RunUntil(now)
+			if now, err = dev.Write(now, lba, pattern(lba, gen)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		snap, t, err := dev.CreateSnapshot(now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now = t
+		snaps = append(snaps, snap)
+		fmt.Printf("generation %d written, snapshot %d (epoch %d)\n", gen, snap.ID, snap.Epoch)
+	}
+	// More uncommitted writes after the last snapshot.
+	for lba := int64(0); lba < 50; lba++ {
+		dev.Scheduler().RunUntil(now)
+		if now, err = dev.Write(now, lba, pattern(lba, 9)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// CRASH: no Close, no checkpoint. All host memory is gone; only the
+	// NAND device survives.
+	raw := dev.Device()
+	fmt.Println("\n-- crash! recovering from the raw log --")
+
+	rec, t, err := iosnap.Recover(cfg, raw, nil, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery scanned the log in %v (virtual)\n", t.Sub(now))
+	now = t
+	fmt.Printf("snapshot tree recovered: %d snapshots, active epoch %d\n",
+		rec.Tree().Len(), rec.ActiveEpoch())
+
+	// Verify the active state: LBAs 0..49 are generation 9, the rest 3.
+	buf := make([]byte, 4096)
+	for lba := int64(0); lba < 200; lba++ {
+		want := byte(3)
+		if lba < 50 {
+			want = 9
+		}
+		if now, err = rec.Read(now, lba, buf); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(buf, pattern(lba, want)) {
+			log.Fatalf("active LBA %d corrupted after recovery", lba)
+		}
+	}
+	fmt.Println("active state verified: uncommitted writes survived the crash")
+
+	// Activate the middle snapshot and verify it shows generation 2.
+	view, t2, err := rec.ActivateSync(now, snaps[1].ID, ratelimit.WorkSleep{}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	now = t2
+	for lba := int64(0); lba < 200; lba++ {
+		if now, err = view.Read(now, lba, buf); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(buf, pattern(lba, 2)) {
+			log.Fatalf("snapshot 2 LBA %d wrong after recovery", lba)
+		}
+	}
+	fmt.Printf("snapshot %d verified post-crash: all 200 blocks show generation 2\n", snaps[1].ID)
+}

@@ -1,0 +1,77 @@
+// Quickstart: create an ioSnap device, write data, take a snapshot,
+// overwrite the data, and read the original back through an activated
+// snapshot view — the paper's core promise in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+func main() {
+	// A small device with payload storage so we can verify contents.
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 4096
+	nc.PagesPerSegment = 256
+	nc.Segments = 64
+	nc.StoreData = true
+
+	dev, err := iosnap.New(iosnap.DefaultConfig(nc), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %d sectors x %d B (%.0f MB usable)\n",
+		dev.Sectors(), dev.SectorSize(), float64(dev.Sectors()*4096)/(1<<20))
+
+	// Write version 1 of a "document" at LBA 0.
+	now := sim.Time(0)
+	v1 := make([]byte, 4096)
+	copy(v1, "important document, version 1")
+	now, err = dev.Write(now, 0, v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot: one log note, tens of microseconds.
+	before := now
+	snap, now, err := dev.CreateSnapshot(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %d created in %v\n", snap.ID, now.Sub(before))
+
+	// Oops: overwrite the document.
+	v2 := make([]byte, 4096)
+	copy(v2, "corrupted!!")
+	if now, err = dev.Write(now, 0, v2); err != nil {
+		log.Fatal(err)
+	}
+
+	buf := make([]byte, 4096)
+	if now, err = dev.Read(now, 0, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("active device reads: %q\n", string(buf[:30]))
+
+	// Activate the snapshot (deferred work happens here: log scan + map
+	// reconstruction) and read the original.
+	view, now, err := dev.ActivateSync(now, snap.ID, ratelimit.WorkSleep{}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if now, err = view.Read(now, 0, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %d reads:    %q\n", snap.ID, string(buf[:30]))
+	fmt.Printf("snapshot map: %d entries in %d B\n", view.MappedSectors(), view.MapMemory())
+
+	if _, err := view.Deactivate(now); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ok: the overwrite never touched the snapshot")
+}

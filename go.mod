@@ -1,0 +1,3 @@
+module iosnap
+
+go 1.22

@@ -1,0 +1,130 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iosnap/internal/sim"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int64{0, 64, 129} {
+		if !b.Test(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if b.Test(1) || b.Test(128) {
+		t.Fatal("unexpected bits set")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("Clear failed")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("Count after clear = %d", b.Count())
+	}
+}
+
+func TestBitmapCountRange(t *testing.T) {
+	b := New(100)
+	for i := int64(10); i < 20; i++ {
+		b.Set(i)
+	}
+	if got := b.CountRange(0, 100); got != 10 {
+		t.Fatalf("CountRange full = %d", got)
+	}
+	if got := b.CountRange(15, 18); got != 3 {
+		t.Fatalf("CountRange [15,18) = %d", got)
+	}
+	if got := b.CountRange(-5, 1000); got != 10 {
+		t.Fatalf("CountRange clamped = %d", got)
+	}
+}
+
+func TestBitmapOr(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	b.Set(65)
+	a.Or(b)
+	if !a.Test(1) || !a.Test(65) {
+		t.Fatal("Or lost bits")
+	}
+}
+
+func TestBitmapOrMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	New(10).Or(New(20))
+}
+
+func TestBitmapClone(t *testing.T) {
+	a := New(10)
+	a.Set(3)
+	c := a.Clone()
+	c.Clear(3)
+	if !a.Test(3) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set did not panic")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestBitmapMatchesModel(t *testing.T) {
+	// Property: a random op sequence on Bitmap matches a map[int64]bool model.
+	rng := sim.NewRNG(42)
+	const n = 512
+	b := New(n)
+	model := make(map[int64]bool)
+	for step := 0; step < 20000; step++ {
+		i := int64(rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			model[i] = true
+		case 1:
+			b.Clear(i)
+			delete(model, i)
+		case 2:
+			if b.Test(i) != model[i] {
+				t.Fatalf("step %d: Test(%d) = %v, model %v", step, i, b.Test(i), model[i])
+			}
+		}
+	}
+	if b.Count() != len(model) {
+		t.Fatalf("Count = %d, model %d", b.Count(), len(model))
+	}
+}
+
+func TestPopcountQuick(t *testing.T) {
+	if err := quick.Check(func(x uint64) bool {
+		n := 0
+		for i := 0; i < 64; i++ {
+			if x&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		return popcount(x) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

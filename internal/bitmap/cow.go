@@ -1,0 +1,310 @@
+package bitmap
+
+import "fmt"
+
+// Epoch identifies one epoch's validity map within a Store. Epoch numbers
+// come from the FTL's monotonically increasing epoch counter.
+type Epoch uint64
+
+// DefaultBitsPerPage mirrors a 4 KB bitmap block: 4096 bytes × 8 bits.
+const DefaultBitsPerPage = 4096 * 8
+
+// vpage is one CoW unit of a validity map.
+type vpage struct {
+	words []uint64
+}
+
+func (p *vpage) clone() *vpage {
+	c := &vpage{words: make([]uint64, len(p.words))}
+	copy(c.words, p.words)
+	return c
+}
+
+// epochMap is one epoch's view of the device validity bitmap: privately
+// owned pages plus everything inherited through the parent chain.
+type epochMap struct {
+	epoch   Epoch
+	parent  *epochMap
+	deleted bool
+	pages   map[int64]*vpage
+}
+
+// Store manages the per-epoch CoW validity maps of one device.
+type Store struct {
+	nBits       int64
+	bitsPerPage int64
+	epochs      map[Epoch]*epochMap
+
+	cowCopies  int64 // total bitmap pages copied (Figure 7b's counter)
+	livePages  int64 // privately owned pages across live epochs
+	totalPages int64 // ceil(nBits / bitsPerPage)
+}
+
+// NewStore creates a store covering nBits physical pages with the given CoW
+// page granularity (0 selects DefaultBitsPerPage). The root epoch is created
+// implicitly by the first CreateEpoch with parent NoParent.
+func NewStore(nBits int64, bitsPerPage int64) *Store {
+	if nBits < 0 {
+		panic("bitmap: negative store size")
+	}
+	if bitsPerPage == 0 {
+		bitsPerPage = DefaultBitsPerPage
+	}
+	if bitsPerPage < wordBits || bitsPerPage%wordBits != 0 {
+		panic("bitmap: bitsPerPage must be a positive multiple of 64")
+	}
+	return &Store{
+		nBits:       nBits,
+		bitsPerPage: bitsPerPage,
+		epochs:      make(map[Epoch]*epochMap),
+		totalPages:  (nBits + bitsPerPage - 1) / bitsPerPage,
+	}
+}
+
+// NoParent marks an epoch created without inheritance (the initial epoch of
+// a fresh device).
+const NoParent = Epoch(1<<64 - 1)
+
+// Len returns the number of bits each epoch's map covers.
+func (s *Store) Len() int64 { return s.nBits }
+
+// BitsPerPage returns the CoW granularity.
+func (s *Store) BitsPerPage() int64 { return s.bitsPerPage }
+
+// CreateEpoch registers epoch e inheriting the validity state of parent.
+// Pass NoParent for the device's first epoch. It is the caller's (FTL's)
+// responsibility that the parent stops being modified in the normal write
+// path once it has children — only the segment cleaner may touch it, which
+// matches the paper's rule that a snapshot's validity bitmap is never
+// modified except by block movement.
+func (s *Store) CreateEpoch(e, parent Epoch) error {
+	if _, dup := s.epochs[e]; dup {
+		return fmt.Errorf("bitmap: epoch %d already exists", e)
+	}
+	var p *epochMap
+	if parent != NoParent {
+		var ok bool
+		p, ok = s.epochs[parent]
+		if !ok {
+			return fmt.Errorf("bitmap: parent epoch %d does not exist", parent)
+		}
+	}
+	s.epochs[e] = &epochMap{epoch: e, parent: p, pages: make(map[int64]*vpage)}
+	return nil
+}
+
+// DeleteEpoch marks epoch e deleted. Its pages stay reachable for
+// descendants that still inherit them (the paper's rule: a deleted epoch's
+// bitmap need not be merged unless a descendant inherits it), but e itself
+// no longer contributes to merges.
+func (s *Store) DeleteEpoch(e Epoch) error {
+	em, ok := s.epochs[e]
+	if !ok {
+		return fmt.Errorf("bitmap: epoch %d does not exist", e)
+	}
+	em.deleted = true
+	return nil
+}
+
+// Deleted reports whether epoch e is marked deleted.
+func (s *Store) Deleted(e Epoch) bool {
+	em, ok := s.epochs[e]
+	return ok && em.deleted
+}
+
+// Exists reports whether epoch e is registered.
+func (s *Store) Exists(e Epoch) bool {
+	_, ok := s.epochs[e]
+	return ok
+}
+
+// Epochs returns the registered epoch numbers (unspecified order).
+func (s *Store) Epochs() []Epoch {
+	out := make([]Epoch, 0, len(s.epochs))
+	for e := range s.epochs {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (s *Store) get(e Epoch) *epochMap {
+	em, ok := s.epochs[e]
+	if !ok {
+		panic(fmt.Sprintf("bitmap: unknown epoch %d", e))
+	}
+	return em
+}
+
+func (s *Store) checkBit(i int64) {
+	if i < 0 || i >= s.nBits {
+		panic(fmt.Sprintf("bitmap: bit %d out of range [0,%d)", i, s.nBits))
+	}
+}
+
+// findPage walks e's inheritance chain for the page holding bit pageIdx and
+// returns the page (nil when no epoch on the chain owns it, meaning all
+// zero) and whether e itself owns it.
+func (em *epochMap) findPage(pageIdx int64) (p *vpage, owned bool) {
+	for m := em; m != nil; m = m.parent {
+		if pg, ok := m.pages[pageIdx]; ok {
+			return pg, m == em
+		}
+	}
+	return nil, false
+}
+
+// Test reports bit i as seen by epoch e.
+func (s *Store) Test(e Epoch, i int64) bool {
+	s.checkBit(i)
+	em := s.get(e)
+	pg, _ := em.findPage(i / s.bitsPerPage)
+	if pg == nil {
+		return false
+	}
+	off := i % s.bitsPerPage
+	return pg.words[off/wordBits]&(1<<uint(off%wordBits)) != 0
+}
+
+// ownPage returns e's privately owned page for pageIdx, copying an inherited
+// page (a CoW event) or allocating a zero page as needed. copied reports
+// whether this call performed a copy of inherited state.
+func (s *Store) ownPage(em *epochMap, pageIdx int64) (pg *vpage, copied bool) {
+	pg, owned := em.findPage(pageIdx)
+	if owned {
+		return pg, false
+	}
+	if pg == nil {
+		pg = &vpage{words: make([]uint64, s.bitsPerPage/wordBits)}
+		em.pages[pageIdx] = pg
+		s.livePages++
+		return pg, false
+	}
+	cp := pg.clone()
+	em.pages[pageIdx] = cp
+	s.cowCopies++
+	s.livePages++
+	return cp, true
+}
+
+// Set sets bit i in epoch e, copying the containing page on first
+// modification of inherited state. It reports whether a CoW copy occurred.
+func (s *Store) Set(e Epoch, i int64) (cow bool) {
+	s.checkBit(i)
+	pg, copied := s.ownPage(s.get(e), i/s.bitsPerPage)
+	off := i % s.bitsPerPage
+	pg.words[off/wordBits] |= 1 << uint(off%wordBits)
+	return copied
+}
+
+// Clear clears bit i in epoch e, with the same CoW behaviour as Set.
+func (s *Store) Clear(e Epoch, i int64) (cow bool) {
+	s.checkBit(i)
+	em := s.get(e)
+	// Clearing a bit that is already 0 everywhere on the chain needs no page.
+	if pg, owned := em.findPage(i / s.bitsPerPage); pg == nil {
+		return false
+	} else if owned {
+		off := i % s.bitsPerPage
+		pg.words[off/wordBits] &^= 1 << uint(off%wordBits)
+		return false
+	}
+	pg, copied := s.ownPage(em, i/s.bitsPerPage)
+	off := i % s.bitsPerPage
+	pg.words[off/wordBits] &^= 1 << uint(off%wordBits)
+	return copied
+}
+
+// MergeRange ORs the validity of bits [lo, hi) across the given epochs
+// (skipping deleted ones) into a fresh Bitmap of length hi-lo. This is the
+// segment cleaner's merged map (paper Figure 6). The cost of this call —
+// proportional to len(epochs) × (hi-lo) — is exactly the "validity merge"
+// overhead measured in the paper's Table 4.
+func (s *Store) MergeRange(epochs []Epoch, lo, hi int64) *Bitmap {
+	if lo < 0 || hi > s.nBits || lo > hi {
+		panic(fmt.Sprintf("bitmap: merge range [%d,%d) out of [0,%d)", lo, hi, s.nBits))
+	}
+	out := New(hi - lo)
+	wordAligned := lo%wordBits == 0
+	for _, e := range epochs {
+		em := s.get(e)
+		if em.deleted {
+			continue
+		}
+		if wordAligned {
+			s.mergeWords(em, out, lo, hi)
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			pg, _ := em.findPage(i / s.bitsPerPage)
+			if pg == nil {
+				// Skip the rest of this page's span within the range.
+				i = (i/s.bitsPerPage+1)*s.bitsPerPage - 1
+				continue
+			}
+			off := i % s.bitsPerPage
+			if pg.words[off/wordBits]&(1<<uint(off%wordBits)) != 0 {
+				out.Set(i - lo)
+			}
+		}
+	}
+	return out
+}
+
+// mergeWords ORs epoch em's bits in the word-aligned range [lo, hi) into
+// out, a whole CoW page's words at a time. bitsPerPage is a multiple of 64
+// by construction, so page boundaries are word boundaries.
+func (s *Store) mergeWords(em *epochMap, out *Bitmap, lo, hi int64) {
+	for pageIdx := lo / s.bitsPerPage; pageIdx*s.bitsPerPage < hi; pageIdx++ {
+		pg, _ := em.findPage(pageIdx)
+		if pg == nil {
+			continue
+		}
+		pageStart := pageIdx * s.bitsPerPage
+		from := lo
+		if pageStart > from {
+			from = pageStart
+		}
+		to := pageStart + s.bitsPerPage
+		if to > hi {
+			to = hi
+		}
+		for bit := from; bit < to; bit += wordBits {
+			w := pg.words[(bit-pageStart)/wordBits]
+			if rem := to - bit; rem < wordBits {
+				w &= (1 << uint(rem)) - 1 // clip a partial trailing word
+			}
+			out.words[(bit-lo)/wordBits] |= w
+		}
+	}
+}
+
+// CountValid returns the number of set bits in [lo, hi) for epoch e.
+func (s *Store) CountValid(e Epoch, lo, hi int64) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if s.Test(e, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// CoWCopies returns the cumulative count of bitmap-page copies (the solid
+// grey line of the paper's Figure 7).
+func (s *Store) CoWCopies() int64 { return s.cowCopies }
+
+// ResetCoWCounter zeroes the CoW copy counter (experiments reset it between
+// phases).
+func (s *Store) ResetCoWCounter() { s.cowCopies = 0 }
+
+// OwnedPages returns how many bitmap pages epoch e privately owns.
+func (s *Store) OwnedPages(e Epoch) int { return len(s.get(e).pages) }
+
+// MemoryBytes estimates the memory consumed by all privately owned pages.
+func (s *Store) MemoryBytes() int64 {
+	return s.livePages * (s.bitsPerPage / 8)
+}
+
+// TotalPages returns how many CoW pages a full map comprises (the memory a
+// naive full-copy-per-snapshot design would pay per snapshot).
+func (s *Store) TotalPages() int64 { return s.totalPages }

@@ -1,0 +1,33 @@
+// Package blockdev defines the block-device interface that every storage
+// backend in this repository implements: the vanilla FTL, the
+// snapshot-capable ioSnap FTL, activated snapshots, and the disk-optimized
+// CoW baseline. Workload generators and experiments are written against
+// this interface only.
+//
+// All operations take and return virtual time (see internal/sim): an
+// operation submitted at `now` completes at the returned time, which
+// includes any device queueing behind other foreground or background work.
+package blockdev
+
+import "iosnap/internal/sim"
+
+// Device is a logical block device over virtual time.
+type Device interface {
+	// SectorSize returns the size of one logical sector in bytes.
+	SectorSize() int
+	// Sectors returns the number of addressable logical sectors.
+	Sectors() int64
+	// Read reads len(buf)/SectorSize() sectors starting at lba into buf,
+	// returning the completion time. Reads of never-written sectors zero the
+	// buffer (conventional block-device semantics).
+	Read(now sim.Time, lba int64, buf []byte) (sim.Time, error)
+	// Write writes len(data)/SectorSize() sectors starting at lba,
+	// returning the completion time.
+	Write(now sim.Time, lba int64, data []byte) (sim.Time, error)
+}
+
+// Trimmer is implemented by devices supporting discard of sector ranges.
+type Trimmer interface {
+	// Trim discards n sectors starting at lba.
+	Trim(now sim.Time, lba int64, n int64) (sim.Time, error)
+}

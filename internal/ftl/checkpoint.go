@@ -1,0 +1,87 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iosnap/internal/header"
+	"iosnap/internal/sim"
+)
+
+// Checkpoint payload layout: 8-byte entry count, then count × (lba, addr)
+// little-endian pairs. The header's LBA field carries the chunk index and
+// the Epoch field the total chunk count, so recovery can tell whether a
+// checkpoint is complete.
+
+// entriesPerChunk returns how many map entries fit one sector payload.
+func entriesPerChunk(sectorSize int) int {
+	n := (sectorSize - 8) / 16
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// writeCheckpoint appends the serialized forward map to the log. The device
+// state is then fully captured: a recovering FTL with payload storage can
+// rebuild the map without replaying the whole log.
+func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
+	type entry struct{ lba, addr uint64 }
+	var entries []entry
+	f.fmap.All(func(k, v uint64) bool {
+		entries = append(entries, entry{k, v})
+		return true
+	})
+	per := entriesPerChunk(f.cfg.Nand.SectorSize)
+	chunks := (len(entries) + per - 1) / per
+	if chunks == 0 {
+		chunks = 1 // an empty map still writes one (empty) chunk as the clean-shutdown marker
+	}
+	done := now
+	for c := 0; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		payload := make([]byte, f.cfg.Nand.SectorSize)
+		binary.LittleEndian.PutUint64(payload, uint64(hi-lo))
+		for i, e := range entries[lo:hi] {
+			binary.LittleEndian.PutUint64(payload[8+i*16:], e.lba)
+			binary.LittleEndian.PutUint64(payload[8+i*16+8:], e.addr)
+		}
+		addr, t, err := f.allocPage(now)
+		if err != nil {
+			return now, fmt.Errorf("ftl: allocating checkpoint page: %w", err)
+		}
+		f.seq++
+		h := header.Header{Type: header.TypeCheckpoint, LBA: uint64(c), Epoch: uint64(chunks), Seq: f.seq}
+		d, err := f.dev.ProgramPage(t, addr, payload, h.Marshal())
+		if err != nil {
+			return now, fmt.Errorf("ftl: writing checkpoint chunk %d: %w", c, err)
+		}
+		// Checkpoint pages are consumed at recovery and never re-read after;
+		// they stay invalid in the bitmap so the cleaner reclaims them.
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// decodeCheckpointChunk parses one checkpoint payload into map entries.
+func decodeCheckpointChunk(payload []byte) ([][2]uint64, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("ftl: checkpoint chunk too short: %d bytes", len(payload))
+	}
+	count := binary.LittleEndian.Uint64(payload)
+	if int(count) > (len(payload)-8)/16 {
+		return nil, fmt.Errorf("ftl: checkpoint chunk count %d exceeds payload", count)
+	}
+	out := make([][2]uint64, count)
+	for i := range out {
+		out[i][0] = binary.LittleEndian.Uint64(payload[8+i*16:])
+		out[i][1] = binary.LittleEndian.Uint64(payload[8+i*16+8:])
+	}
+	return out, nil
+}

@@ -1,0 +1,375 @@
+// Package ftl implements the vanilla log-structured FTL the paper builds
+// on: the Fusion-io Virtual Storage Layer as described in §5.2 — a host-
+// memory B+tree forward map, a validity bitmap, Remap-on-Write log
+// appends, a greedy paced segment cleaner, checkpoint on clean shutdown,
+// and crash recovery by log scan.
+//
+// This package has no snapshot support at all; it is the baseline
+// ("Vanilla") column of the paper's Table 2 and Table 4. Package iosnap
+// extends the same design with epochs, snapshot trees, and CoW validity
+// maps.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// Errors returned by FTL operations.
+var (
+	ErrOutOfRange  = errors.New("ftl: LBA out of range")
+	ErrBadLength   = errors.New("ftl: buffer not a multiple of sector size")
+	ErrClosed      = errors.New("ftl: device closed")
+	ErrDeviceFull  = errors.New("ftl: no reclaimable space")
+	ErrUnformatted = errors.New("ftl: device holds no valid log")
+)
+
+// Config parameterizes the FTL above the raw NAND geometry.
+type Config struct {
+	Nand nand.Config
+
+	// UserSectors is the advertised logical capacity. It must leave
+	// over-provisioning headroom below the physical capacity or the cleaner
+	// cannot make progress; Default leaves 1/8 plus the reserve.
+	UserSectors int64
+
+	// ReserveSegments triggers background cleaning when the free-segment
+	// pool drops to this level. Writes that find the pool down to one
+	// segment force synchronous cleaning.
+	ReserveSegments int
+
+	// GCWindow is the interval over which the cleaner paces the copy-forward
+	// of one victim segment.
+	GCWindow sim.Duration
+
+	// GCChunk is the number of pages the cleaner copies per quantum.
+	GCChunk int
+
+	// VictimPolicy selects how the cleaner picks segments (§5.2.3: "the
+	// segment to erase is chosen on the basis of ... invalid data ... and
+	// the relative age of the blocks").
+	VictimPolicy VictimPolicy
+
+	// MapCPUCost models the host CPU cost of one forward-map update or
+	// lookup on the I/O path.
+	MapCPUCost sim.Duration
+
+	// MergeCPUPerBlock models the cleaner's host CPU cost to determine one
+	// block's validity. The vanilla FTL consults a single bitmap; the
+	// snapshot FTL pays this per epoch merged (Table 4's "validity merge").
+	MergeCPUPerBlock sim.Duration
+}
+
+// DefaultConfig returns a config over the given NAND geometry with the
+// calibrated defaults used throughout the experiments.
+func DefaultConfig(nc nand.Config) Config {
+	phys := nc.TotalPages()
+	reserve := nc.Segments / 16
+	if reserve < 2 {
+		reserve = 2
+	}
+	user := phys * 7 / 8
+	// Never advertise into the reserve segments.
+	maxUser := int64(nc.Segments-reserve-1) * int64(nc.PagesPerSegment)
+	if user > maxUser {
+		user = maxUser
+	}
+	return Config{
+		Nand:             nc,
+		UserSectors:      user,
+		ReserveSegments:  reserve,
+		GCWindow:         10 * sim.Second,
+		GCChunk:          32,
+		MapCPUCost:       300 * sim.Nanosecond,
+		MergeCPUPerBlock: 15 * sim.Nanosecond,
+	}
+}
+
+// Validate checks config consistency.
+func (c Config) Validate() error {
+	if err := c.Nand.Validate(); err != nil {
+		return err
+	}
+	if c.UserSectors <= 0 {
+		return fmt.Errorf("ftl: UserSectors %d must be positive", c.UserSectors)
+	}
+	if c.UserSectors >= c.Nand.TotalPages() {
+		return fmt.Errorf("ftl: UserSectors %d leaves no over-provisioning (physical %d)",
+			c.UserSectors, c.Nand.TotalPages())
+	}
+	if c.ReserveSegments < 1 || c.ReserveSegments >= c.Nand.Segments {
+		return fmt.Errorf("ftl: ReserveSegments %d out of range", c.ReserveSegments)
+	}
+	if c.GCChunk <= 0 {
+		return fmt.Errorf("ftl: GCChunk %d must be positive", c.GCChunk)
+	}
+	return nil
+}
+
+// Stats counts FTL-level activity.
+type Stats struct {
+	UserReads    int64
+	UserWrites   int64
+	BytesRead    int64
+	BytesWritten int64
+	Trims        int64
+
+	GCRuns       int64        // victim segments cleaned
+	GCForced     int64        // cleans forced synchronously by writers
+	GCCopied     int64        // pages copy-forwarded
+	GCErases     int64        // segments erased by the cleaner
+	GCMergeTime  sim.Duration // host time spent computing block validity
+	GCTotalTime  sim.Duration // virtual time from victim selection to erase
+	GCLastAt     sim.Time     // completion time of the most recent clean
+	MapMemory    int64        // bytes, refreshed on Stats()
+	WriteAmplify float64      // (user+gc programs)/user programs, refreshed on Stats()
+}
+
+// FTL is the vanilla log-structured translation layer. It is not safe for
+// concurrent use (the whole simulation is single-threaded virtual time).
+type FTL struct {
+	cfg   Config
+	dev   *nand.Device
+	sched *sim.Scheduler
+
+	fmap     *ftlmap.Tree
+	validity *bitmap.Bitmap
+
+	headSeg    int      // segment currently absorbing appends
+	headIdx    int      // next page index within headSeg
+	seq        uint64   // global write sequence number
+	freeSegs   []int    // erased segments available for the log head
+	usedSegs   []int    // segments with data, oldest first (headSeg is last)
+	segLastSeq []uint64 // newest write sequence in each segment (victim aging)
+
+	gcActive bool
+	gcVictim int // segment a background gcTask currently owns (-1 = none)
+	closed   bool
+	stats    Stats
+}
+
+// New formats a fresh device and returns an FTL over it. The scheduler is
+// where the FTL queues its background cleaning; callers drive it via
+// Scheduler().RunUntil(now) (the workload package does this automatically).
+func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		sched = sim.NewScheduler()
+	}
+	f := &FTL{
+		cfg:        cfg,
+		dev:        nand.New(cfg.Nand),
+		sched:      sched,
+		fmap:       ftlmap.New(),
+		validity:   bitmap.New(cfg.Nand.TotalPages()),
+		gcVictim:   -1,
+		segLastSeq: make([]uint64, cfg.Nand.Segments),
+	}
+	for s := cfg.Nand.Segments - 1; s >= 1; s-- {
+		f.freeSegs = append(f.freeSegs, s)
+	}
+	f.headSeg = 0
+	f.usedSegs = []int{0}
+	return f, nil
+}
+
+// Device exposes the underlying NAND (tests and experiments inspect it).
+func (f *FTL) Device() *nand.Device { return f.dev }
+
+// Scheduler returns the background-task scheduler this FTL enqueues on.
+func (f *FTL) Scheduler() *sim.Scheduler { return f.sched }
+
+// Config returns the FTL configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// SectorSize implements blockdev.Device.
+func (f *FTL) SectorSize() int { return f.cfg.Nand.SectorSize }
+
+// Sectors implements blockdev.Device.
+func (f *FTL) Sectors() int64 { return f.cfg.UserSectors }
+
+// Stats returns a snapshot of the counters with derived fields refreshed.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.MapMemory = f.fmap.MemoryBytes()
+	if s.UserWrites > 0 {
+		s.WriteAmplify = float64(s.UserWrites+s.GCCopied) / float64(s.UserWrites)
+	}
+	return s
+}
+
+// FreeSegments returns the size of the erased-segment pool.
+func (f *FTL) FreeSegments() int { return len(f.freeSegs) }
+
+// MappedSectors returns how many LBAs currently have a translation.
+func (f *FTL) MappedSectors() int { return f.fmap.Len() }
+
+func (f *FTL) checkIO(lba int64, n int) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero-length I/O", ErrBadLength)
+	}
+	if lba < 0 || lba+int64(n) > f.cfg.UserSectors {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, lba, lba+int64(n), f.cfg.UserSectors)
+	}
+	return nil
+}
+
+// Read implements blockdev.Device. Unmapped sectors read as zeros.
+func (f *FTL) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	ss := f.cfg.Nand.SectorSize
+	if len(buf)%ss != 0 {
+		return now, fmt.Errorf("%w: %d", ErrBadLength, len(buf))
+	}
+	n := len(buf) / ss
+	if err := f.checkIO(lba, n); err != nil {
+		return now, err
+	}
+	done := now
+	for i := 0; i < n; i++ {
+		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
+		sector := buf[i*ss : (i+1)*ss]
+		addr, ok := f.fmap.Lookup(uint64(lba) + uint64(i))
+		if !ok {
+			for j := range sector {
+				sector[j] = 0
+			}
+			if cur > done {
+				done = cur
+			}
+			continue
+		}
+		data, _, d, err := f.dev.ReadPage(cur, nand.PageAddr(addr))
+		if err != nil {
+			return now, fmt.Errorf("ftl: reading LBA %d: %w", lba+int64(i), err)
+		}
+		copy(sector, data) // nil data (fingerprint mode) leaves buf as-is
+		if d > done {
+			done = d
+		}
+	}
+	f.stats.UserReads++
+	f.stats.BytesRead += int64(len(buf))
+	return done, nil
+}
+
+// Write implements blockdev.Device: every sector is appended at the log
+// head, the old translation (if any) is invalidated, and the forward map is
+// updated — Remap-on-Write.
+func (f *FTL) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	ss := f.cfg.Nand.SectorSize
+	if len(data)%ss != 0 {
+		return now, fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	n := len(data) / ss
+	if err := f.checkIO(lba, n); err != nil {
+		return now, err
+	}
+	done := now
+	for i := 0; i < n; i++ {
+		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
+		d, err := f.writeSector(cur, uint64(lba)+uint64(i), data[i*ss:(i+1)*ss])
+		if err != nil {
+			return now, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	f.stats.UserWrites += int64(n)
+	f.stats.BytesWritten += int64(len(data))
+	return done, nil
+}
+
+func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return now, err
+	}
+	f.seq++
+	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: 0, Seq: f.seq}
+	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
+	if err != nil {
+		return now, fmt.Errorf("ftl: programming LBA %d: %w", lba, err)
+	}
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
+	if prev, existed := f.fmap.Insert(lba, uint64(addr)); existed {
+		f.validity.Clear(int64(prev))
+	}
+	f.validity.Set(int64(addr))
+	return done, nil
+}
+
+// allocPage returns the next log-head page, advancing segments and invoking
+// the cleaner as needed. The returned time reflects any synchronous
+// cleaning the caller had to wait for.
+func (f *FTL) allocPage(now sim.Time) (nand.PageAddr, sim.Time, error) {
+	if f.headIdx == f.cfg.Nand.PagesPerSegment {
+		var err error
+		now, err = f.advanceHead(now)
+		if err != nil {
+			return 0, now, err
+		}
+	}
+	addr := f.dev.Addr(f.headSeg, f.headIdx)
+	f.headIdx++
+	return addr, now, nil
+}
+
+func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
+	// Forced cleaning: the pool is nearly empty and the writer must wait.
+	for len(f.freeSegs) <= 1 {
+		var err error
+		now, err = f.cleanOnce(now, true)
+		if err != nil {
+			return now, err
+		}
+	}
+	f.headSeg = f.freeSegs[0]
+	f.freeSegs = f.freeSegs[1:]
+	f.headIdx = 0
+	f.usedSegs = append(f.usedSegs, f.headSeg)
+	f.maybeScheduleGC(now)
+	return now, nil
+}
+
+// Trim implements blockdev.Trimmer: it drops translations and invalidates
+// the backing pages, making them reclaimable.
+func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
+	if err := f.checkIO(lba, int(n)); err != nil {
+		return now, err
+	}
+	for i := int64(0); i < n; i++ {
+		if prev, existed := f.fmap.Delete(uint64(lba + i)); existed {
+			f.validity.Clear(int64(prev))
+		}
+	}
+	f.stats.Trims += n
+	return now.Add(sim.Duration(n) * f.cfg.MapCPUCost), nil
+}
+
+// Close checkpoints the forward map to the log and marks the FTL closed.
+// Recovery from a checkpoint requires the NAND to store payloads
+// (nand.Config.StoreData); without it, recovery falls back to the full
+// header scan.
+func (f *FTL) Close(now sim.Time) (sim.Time, error) {
+	if f.closed {
+		return now, ErrClosed
+	}
+	done, err := f.writeCheckpoint(now)
+	if err != nil {
+		return now, err
+	}
+	f.closed = true
+	return done, nil
+}

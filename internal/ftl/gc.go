@@ -1,0 +1,263 @@
+package ftl
+
+import (
+	"fmt"
+
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+// VictimPolicy selects the cleaner's segment-choice heuristic.
+type VictimPolicy int
+
+const (
+	// VictimGreedy picks the segment with the most invalid blocks.
+	VictimGreedy VictimPolicy = iota
+	// VictimCostBenefit weighs reclaimable space by block age (the classic
+	// LFS benefit/cost heuristic): older, colder segments win ties, which
+	// segregates cold data and reduces long-run write amplification.
+	VictimCostBenefit
+)
+
+func (p VictimPolicy) String() string {
+	if p == VictimCostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// victimScore rates a candidate segment; higher is better.
+func victimScore(policy VictimPolicy, invalid, valid int, curSeq, segSeq uint64) float64 {
+	switch policy {
+	case VictimCostBenefit:
+		u := float64(valid) / float64(valid+invalid)
+		age := float64(curSeq - segSeq)
+		return (1 - u) * age / (1 + u)
+	default:
+		return float64(invalid)
+	}
+}
+
+// maybeScheduleGC starts a background cleaning task when the free pool is at
+// or below the reserve and no cleaner is already running.
+func (f *FTL) maybeScheduleGC(now sim.Time) {
+	if f.gcActive || f.closed || len(f.freeSegs) > f.cfg.ReserveSegments {
+		return
+	}
+	victim, est := f.selectVictim()
+	if victim < 0 {
+		return
+	}
+	f.gcActive = true
+	f.gcVictim = victim
+	quanta := (est + f.cfg.GCChunk - 1) / f.cfg.GCChunk
+	task := &gcTask{
+		f:       f,
+		victim:  victim,
+		pacer:   ratelimit.NewPacer(now, quanta, f.cfg.GCWindow),
+		started: now,
+	}
+	f.sched.Schedule(now, task)
+}
+
+// selectVictim picks the cleaning victim per the configured policy,
+// returning its index and the number of valid pages it still holds (the
+// vanilla cleaner's work estimate). It returns -1 when no candidate exists.
+func (f *FTL) selectVictim() (victim, validPages int) {
+	pps := f.cfg.Nand.PagesPerSegment
+	best, bestValid := -1, 0
+	bestScore := -1.0
+	anyInvalid := false
+	for _, seg := range f.usedSegs {
+		if seg == f.headSeg || seg == f.gcVictim {
+			// Never pick the log head, nor a segment the background task is
+			// mid-way through cleaning (a forced clean stealing it would
+			// erase it twice and corrupt the free pool).
+			continue
+		}
+		valid := f.validity.CountRange(int64(seg)*int64(pps), int64(seg+1)*int64(pps))
+		invalid := pps - valid
+		if invalid > 0 {
+			anyInvalid = true
+		}
+		score := victimScore(f.cfg.VictimPolicy, invalid, valid, f.seq, f.segLastSeq[seg])
+		if score > bestScore {
+			best, bestScore, bestValid = seg, score, valid
+		}
+	}
+	if !anyInvalid {
+		// Nothing reclaimable anywhere: cleaning would only burn erases.
+		return -1, 0
+	}
+	return best, bestValid
+}
+
+// gcTask incrementally cleans one victim segment under pacing.
+type gcTask struct {
+	f       *FTL
+	victim  int
+	pacer   *ratelimit.Pacer
+	started sim.Time
+	cursor  int // next page index to examine within the victim
+	merged  bool
+}
+
+// Name implements sim.Task.
+func (t *gcTask) Name() string { return fmt.Sprintf("ftl-gc(seg %d)", t.victim) }
+
+// Run implements sim.Task: one paced quantum of copy-forward.
+func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
+	f := t.f
+	if !t.merged {
+		// Validity examination: a single pass over the segment's bitmap.
+		mergeCost := sim.Duration(f.cfg.Nand.PagesPerSegment) * f.cfg.MergeCPUPerBlock
+		f.stats.GCMergeTime += mergeCost
+		now = now.Add(mergeCost)
+		t.merged = true
+	}
+	var err error
+	t.cursor, now, _, err = f.copyForward(now, t.victim, t.cursor, f.cfg.GCChunk)
+	if err != nil {
+		// Out of space mid-clean: abandon; forced cleaning will retry.
+		f.gcActive = false
+		f.gcVictim = -1
+		return 0, true
+	}
+	if t.cursor < f.cfg.Nand.PagesPerSegment {
+		return t.pacer.Ready(now), false
+	}
+	now, err = f.finishClean(now, t.victim)
+	f.gcActive = false
+	f.gcVictim = -1
+	if err != nil {
+		return 0, true
+	}
+	f.stats.GCRuns++
+	f.stats.GCTotalTime += now.Sub(t.started)
+	f.stats.GCLastAt = now
+	f.maybeScheduleGC(now) // chain onto the next victim if still low
+	return 0, true
+}
+
+// cleanOnce synchronously cleans the best victim (the forced path taken by
+// writers when the pool is nearly empty).
+func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
+	victim, _ := f.selectVictim()
+	if victim < 0 {
+		return now, ErrDeviceFull
+	}
+	mergeCost := sim.Duration(f.cfg.Nand.PagesPerSegment) * f.cfg.MergeCPUPerBlock
+	f.stats.GCMergeTime += mergeCost
+	now = now.Add(mergeCost)
+	start := now
+	cursor := 0
+	for cursor < f.cfg.Nand.PagesPerSegment {
+		var err error
+		cursor, now, _, err = f.copyForward(now, victim, cursor, f.cfg.Nand.PagesPerSegment)
+		if err != nil {
+			return now, err
+		}
+	}
+	now, err := f.finishClean(now, victim)
+	if err != nil {
+		return now, err
+	}
+	f.stats.GCRuns++
+	if forced {
+		f.stats.GCForced++
+	}
+	f.stats.GCTotalTime += now.Sub(start)
+	f.stats.GCLastAt = now
+	return now, nil
+}
+
+// copyForward moves up to max valid pages of the victim starting at page
+// index cursor, returning the new cursor, the completion time, and how many
+// pages were copied.
+func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time, int, error) {
+	pps := f.cfg.Nand.PagesPerSegment
+	copied := 0
+	// Copies within one quantum are pipelined (submitted together, the
+	// device's per-channel queues serialize them), like a cleaner thread
+	// issuing a batch of copyback commands.
+	submit := now
+	maxDone := now
+	for cursor < pps && copied < max {
+		idx := cursor
+		cursor++
+		old := f.dev.Addr(victim, idx)
+		if !f.validity.Test(int64(old)) {
+			continue
+		}
+		dst, _, err := f.allocPageGC(submit)
+		if err != nil {
+			return cursor, maxDone, copied, err
+		}
+		oob, err := f.dev.PageOOB(old)
+		if err != nil {
+			return cursor, maxDone, copied, fmt.Errorf("ftl: cleaner reading header: %w", err)
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			return cursor, maxDone, copied, fmt.Errorf("ftl: cleaner decoding header: %w", err)
+		}
+		done, err := f.dev.CopyPage(submit, old, dst)
+		if err != nil {
+			return cursor, maxDone, copied, fmt.Errorf("ftl: copy-forward: %w", err)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+		// The destination inherits the block's age (its original seq), so
+		// segments holding cold data still look old to cost-benefit.
+		if dseg := f.dev.SegmentOf(dst); h.Seq > f.segLastSeq[dseg] {
+			f.segLastSeq[dseg] = h.Seq
+		}
+		// Re-point the translation and move the validity bit.
+		if h.Type == header.TypeData {
+			f.fmap.Insert(h.LBA, uint64(dst))
+		}
+		f.validity.Clear(int64(old))
+		f.validity.Set(int64(dst))
+		f.stats.GCCopied++
+		copied++
+	}
+	return cursor, maxDone, copied, nil
+}
+
+// allocPageGC allocates a log-head page for the cleaner. Unlike writer
+// allocation it never forces a nested clean; if the pool is exhausted the
+// device is genuinely out of reclaimable space.
+func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
+	if f.headIdx == f.cfg.Nand.PagesPerSegment {
+		if len(f.freeSegs) == 0 {
+			return 0, now, ErrDeviceFull
+		}
+		f.headSeg = f.freeSegs[0]
+		f.freeSegs = f.freeSegs[1:]
+		f.headIdx = 0
+		f.usedSegs = append(f.usedSegs, f.headSeg)
+	}
+	addr := f.dev.Addr(f.headSeg, f.headIdx)
+	f.headIdx++
+	return addr, now, nil
+}
+
+// finishClean erases the victim and returns it to the free pool.
+func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
+	done, err := f.dev.EraseSegment(now, victim)
+	if err != nil {
+		return now, fmt.Errorf("ftl: erasing segment %d: %w", victim, err)
+	}
+	for i, s := range f.usedSegs {
+		if s == victim {
+			f.usedSegs = append(f.usedSegs[:i], f.usedSegs[i+1:]...)
+			break
+		}
+	}
+	f.freeSegs = append(f.freeSegs, victim)
+	f.stats.GCErases++
+	return done, nil
+}

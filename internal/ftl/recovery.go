@@ -1,0 +1,265 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// scanEntry is one data translation found during the log scan.
+type scanEntry struct {
+	lba  uint64
+	addr nand.PageAddr
+	seq  uint64
+}
+
+// ckptChunk locates one checkpoint chunk on the log.
+type ckptChunk struct {
+	idx   uint64
+	total uint64
+	seq   uint64
+	addr  nand.PageAddr
+}
+
+// Recover reconstructs an FTL from an existing device by scanning every
+// segment's page headers. If the tail of the log holds a complete
+// checkpoint and the device stores payloads, the forward map is decoded
+// from it; otherwise the map is rebuilt by replaying translations with
+// last-write-wins ordering and bulk-loading the sorted result — the
+// paper's bottom-up reconstruction (§5.5.1).
+func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, now, err
+	}
+	if dev.Config() != cfg.Nand {
+		return nil, now, fmt.Errorf("ftl: device geometry differs from config")
+	}
+	if sched == nil {
+		sched = sim.NewScheduler()
+	}
+	f := &FTL{
+		cfg:        cfg,
+		dev:        dev,
+		sched:      sched,
+		fmap:       ftlmap.New(),
+		validity:   bitmap.New(cfg.Nand.TotalPages()),
+		gcVictim:   -1,
+		segLastSeq: make([]uint64, cfg.Nand.Segments),
+	}
+
+	var (
+		entries   []scanEntry
+		chunks    []ckptChunk
+		segMaxSeq = make([]uint64, cfg.Nand.Segments)
+		segUsed   = make([]bool, cfg.Nand.Segments)
+		maxSeq    uint64
+		anyData   bool
+	)
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		oobs, done, err := dev.ScanSegmentOOB(now, seg)
+		if err != nil {
+			return nil, now, fmt.Errorf("ftl: scanning segment %d: %w", seg, err)
+		}
+		now = done
+		for idx, oob := range oobs {
+			if oob == nil {
+				continue
+			}
+			segUsed[seg] = true
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				return nil, now, fmt.Errorf("ftl: segment %d page %d: %w", seg, idx, err)
+			}
+			if h.Seq > segMaxSeq[seg] {
+				segMaxSeq[seg] = h.Seq
+			}
+			if h.Seq > maxSeq {
+				maxSeq = h.Seq
+			}
+			addr := dev.Addr(seg, idx)
+			switch h.Type {
+			case header.TypeData:
+				anyData = true
+				entries = append(entries, scanEntry{lba: h.LBA, addr: addr, seq: h.Seq})
+			case header.TypeCheckpoint:
+				chunks = append(chunks, ckptChunk{idx: h.LBA, total: h.Epoch, seq: h.Seq, addr: addr})
+			}
+		}
+	}
+	if !anyData && len(chunks) == 0 && maxSeq == 0 {
+		// Fresh device: recovery degenerates to formatting.
+		usedAny := false
+		for _, u := range segUsed {
+			usedAny = usedAny || u
+		}
+		if !usedAny {
+			nf, err := New(cfg, sched)
+			if err != nil {
+				return nil, now, err
+			}
+			nf.dev = dev
+			return nf, now, nil
+		}
+	}
+	f.seq = maxSeq
+
+	// Prefer the newest complete checkpoint, then replay any data written
+	// after it (the device may have been reopened and written post-close).
+	loaded, ckptSeq, t, err := f.loadCheckpoint(now, chunks)
+	if err != nil {
+		return nil, now, err
+	}
+	now = t
+	if loaded {
+		newer := entries[:0]
+		for _, e := range entries {
+			if e.seq > ckptSeq {
+				newer = append(newer, e)
+			}
+		}
+		f.applyNewerEntries(newer)
+	} else {
+		f.replayEntries(entries)
+	}
+
+	// Rebuild the log-order segment list (ascending max seq) and free pool.
+	type segOrder struct {
+		seg int
+		seq uint64
+	}
+	var used []segOrder
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		if segUsed[seg] {
+			used = append(used, segOrder{seg, segMaxSeq[seg]})
+		} else {
+			f.freeSegs = append(f.freeSegs, seg)
+		}
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
+	for _, u := range used {
+		f.usedSegs = append(f.usedSegs, u.seg)
+	}
+	copy(f.segLastSeq, segMaxSeq)
+
+	// The head resumes at the newest segment if it still has room.
+	if len(f.usedSegs) > 0 {
+		last := f.usedSegs[len(f.usedSegs)-1]
+		next := dev.NextFreeInSegment(last)
+		if next < cfg.Nand.PagesPerSegment {
+			f.headSeg, f.headIdx = last, next
+		} else {
+			if len(f.freeSegs) == 0 {
+				return nil, now, ErrDeviceFull
+			}
+			f.headSeg = f.freeSegs[0]
+			f.freeSegs = f.freeSegs[1:]
+			f.headIdx = 0
+			f.usedSegs = append(f.usedSegs, f.headSeg)
+		}
+	} else {
+		if len(f.freeSegs) == 0 {
+			return nil, now, ErrUnformatted
+		}
+		f.headSeg = f.freeSegs[0]
+		f.freeSegs = f.freeSegs[1:]
+		f.headIdx = 0
+		f.usedSegs = append(f.usedSegs, f.headSeg)
+	}
+	f.maybeScheduleGC(now)
+	return f, now, nil
+}
+
+// loadCheckpoint tries to decode the newest complete checkpoint. It returns
+// loaded=false (and no error) when none is usable — including on devices
+// that do not store payloads. maxSeq is the newest sequence number covered
+// by the checkpoint; data entries beyond it must be replayed on top.
+func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, sim.Time, error) {
+	if len(chunks) == 0 || !f.cfg.Nand.StoreData {
+		return false, 0, now, nil
+	}
+	// Group by total+contiguous seq run: the newest checkpoint is the set of
+	// chunks with the highest seq numbers. Sort descending by seq and take
+	// the first `total` chunks; verify indices cover 0..total-1.
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].seq > chunks[j].seq })
+	total := chunks[0].total
+	maxSeq := chunks[0].seq
+	if total == 0 || uint64(len(chunks)) < total {
+		return false, 0, now, nil
+	}
+	sel := chunks[:total]
+	seen := make(map[uint64]ckptChunk, total)
+	for _, c := range sel {
+		if c.total != total {
+			return false, 0, now, nil // mixed generations: incomplete tail
+		}
+		seen[c.idx] = c
+	}
+	if uint64(len(seen)) != total {
+		return false, 0, now, nil
+	}
+	var entries []ftlmap.Entry
+	for i := uint64(0); i < total; i++ {
+		c := seen[i]
+		payload, _, done, err := f.dev.ReadPage(now, c.addr)
+		if err != nil {
+			return false, 0, now, fmt.Errorf("ftl: reading checkpoint chunk %d: %w", i, err)
+		}
+		now = done
+		pairs, err := decodeCheckpointChunk(payload)
+		if err != nil {
+			return false, 0, now, err
+		}
+		for _, p := range pairs {
+			entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	f.fmap = ftlmap.BulkLoad(entries, 1.0)
+	for _, e := range entries {
+		f.validity.Set(int64(e.Val))
+	}
+	return true, maxSeq, now, nil
+}
+
+// applyNewerEntries overlays post-checkpoint translations (last write wins)
+// onto the checkpoint-loaded map.
+func (f *FTL) applyNewerEntries(entries []scanEntry) {
+	winners := make(map[uint64]scanEntry, len(entries))
+	for _, e := range entries {
+		if w, ok := winners[e.lba]; !ok || e.seq > w.seq {
+			winners[e.lba] = e
+		}
+	}
+	for lba, e := range winners {
+		if prev, existed := f.fmap.Insert(lba, uint64(e.addr)); existed {
+			f.validity.Clear(int64(prev))
+		}
+		f.validity.Set(int64(e.addr))
+	}
+}
+
+// replayEntries rebuilds the forward map from scanned data translations:
+// last write (highest seq) wins per LBA, then the survivors are sorted by
+// LBA and bulk-loaded bottom-up.
+func (f *FTL) replayEntries(entries []scanEntry) {
+	winners := make(map[uint64]scanEntry, len(entries))
+	for _, e := range entries {
+		if w, ok := winners[e.lba]; !ok || e.seq > w.seq {
+			winners[e.lba] = e
+		}
+	}
+	sorted := make([]ftlmap.Entry, 0, len(winners))
+	for lba, e := range winners {
+		sorted = append(sorted, ftlmap.Entry{Key: lba, Val: uint64(e.addr)})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	f.fmap = ftlmap.BulkLoad(sorted, 1.0)
+	for _, e := range sorted {
+		f.validity.Set(int64(e.Val))
+	}
+}

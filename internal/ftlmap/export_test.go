@@ -1,0 +1,4 @@
+package ftlmap
+
+// Check exposes the internal invariant checker to tests.
+func (t *Tree) Check() error { return t.check() }

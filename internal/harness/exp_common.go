@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"iosnap/internal/ftl"
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// expNand returns the experiment device geometry: 4 KB sectors, 4 MB
+// segments, 16 channels, fingerprint-mode payloads, timing calibrated to
+// the paper's card (Table 2 anchors).
+func expNand(segments int) nand.Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 4096
+	nc.PagesPerSegment = 1024
+	nc.Segments = segments
+	nc.StoreData = false
+	return nc
+}
+
+// expNand512 is the 512 B-sector variant used by the worst-case CoW
+// experiment (the paper formatted the device with 512 B sectors for Fig 7).
+func expNand512(segments int) nand.Config {
+	nc := expNand(segments)
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 8192 // keep 4 MB segments
+	return nc
+}
+
+// newVanilla builds a fresh vanilla FTL.
+func newVanilla(nc nand.Config) (*ftl.FTL, error) {
+	return ftl.New(ftl.DefaultConfig(nc), nil)
+}
+
+// newIoSnap builds a fresh ioSnap FTL.
+func newIoSnap(nc nand.Config) (*iosnap.FTL, error) {
+	return iosnap.New(iosnap.DefaultConfig(nc), nil)
+}
+
+// gb and mb convert sizes scaled by the run config.
+func scaledBytes(rc RunConfig, base int64) int64 {
+	v := int64(float64(base) * rc.scale())
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+// segmentsFor sizes a device to hold want bytes of user data with ~35%
+// headroom for over-provisioning and snapshot deltas.
+func segmentsFor(nc nand.Config, want int64) int {
+	segBytes := int64(nc.PagesPerSegment) * int64(nc.SectorSize)
+	segs := int(want*27/20/segBytes) + 4
+	if segs < 8 {
+		segs = 8
+	}
+	return segs
+}
+
+// meanStd formats mean±std from samples.
+func meanStd(samples []float64) string {
+	m, sd := sim.MeanStddev(samples)
+	return fmt.Sprintf("%.2f ± %.2f", m, sd)
+}

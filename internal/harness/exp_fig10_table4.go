@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"fmt"
+
+	"iosnap/internal/blockdev"
+	"iosnap/internal/ftl"
+	"iosnap/internal/iosnap"
+	"iosnap/internal/sim"
+	"iosnap/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Segment-cleaning overheads vs snapshot count",
+		Paper: "Table 4 — overall cleaning time roughly flat (pacing-dominated, paper ~10.4 s); validity-merge time grows with snapshots (113 -> 205 ms); snapshots add copy-forward volume",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Foreground write latency under cleaning: pacing policies",
+		Paper: "Figure 10 — with snapshots, the vanilla pacing estimate roughly doubles foreground write latency; snapshot-aware pacing restores the vanilla profile",
+		Run:   runFig10,
+	})
+}
+
+// worstWindowMean slides a window of the given width over the latency
+// series and returns the highest window-mean — the sustained-interference
+// metric the pacing policies differ on.
+func worstWindowMean(pts []sim.SeriesPoint, width sim.Duration) sim.Duration {
+	if len(pts) == 0 {
+		return 0
+	}
+	// Clip the tail: the victim's final erase (a fixed multi-ms channel
+	// stall, identical across configs) would otherwise dominate the metric.
+	cut := pts[len(pts)-1].At.Add(-sim.Duration(5 * sim.Millisecond))
+	for len(pts) > 0 && pts[len(pts)-1].At > cut {
+		pts = pts[:len(pts)-1]
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	var worst sim.Duration
+	j := 0
+	var sum sim.Duration
+	for i := range pts {
+		sum += pts[i].Latency
+		for pts[i].At.Sub(pts[j].At) > width {
+			sum -= pts[j].Latency
+			j++
+		}
+		if n := i - j + 1; n >= 8 {
+			if m := sum / sim.Duration(n); m > worst {
+				worst = m
+			}
+		}
+	}
+	return worst
+}
+
+// cleanTarget abstracts the two FTLs for the forced-clean experiments.
+type cleanTarget interface {
+	blockdev.Device
+	ForceClean(now sim.Time, seg int) error
+	CleaningActive() bool
+	UsedSegments() []int
+}
+
+// prepSnappedLog fills a quarter of the device, interleaving churn and the
+// requested number of snapshots, so the oldest segments hold a mix of dead
+// blocks, snapshot-pinned blocks, and live blocks — the paper's "segment
+// which was just written" with snapshots inside it. It returns the end time.
+func prepSnappedLog(dev blockdev.Device, sched *sim.Scheduler, snapFn func(now sim.Time) (sim.Time, error), snapshots int, seed uint64) (sim.Time, error) {
+	region := dev.Sectors() / 4
+	now, err := workload.Fill(dev, 0, 128<<10, 0, region, sched)
+	if err != nil {
+		return now, err
+	}
+	churn := func(now sim.Time, bytes int64, seed uint64) (sim.Time, error) {
+		spec := workload.Spec{
+			Kind: workload.Write, Pattern: workload.Random,
+			BlockSize: 4096, Threads: 1, QueueDepth: 1,
+			TotalBytes: bytes, RangeHi: region, Seed: seed,
+		}
+		_, end, err := workload.Run(dev, now, spec, workload.Options{Scheduler: sched})
+		return end, err
+	}
+	half := region * int64(dev.SectorSize()) / 2
+	for i := 0; i < snapshots; i++ {
+		if now, err = churn(now, half, seed+uint64(i)); err != nil {
+			return now, err
+		}
+		if now, err = snapFn(now); err != nil {
+			return now, err
+		}
+	}
+	// A final churn pass after the last snapshot pins old versions.
+	return churn(now, half, seed+99)
+}
+
+// forcedCleanRun prepares the log, then forces paced cleans of the oldest
+// written segments one after another (the paper cleans the freshly written
+// multi-segment region) while foreground sync writes continue.
+func forcedCleanRun(dev cleanTarget, sched *sim.Scheduler,
+	snapFn func(now sim.Time) (sim.Time, error), snapshots int) (*sim.LatencyRecorder, sim.Duration, error) {
+	now, err := prepSnappedLog(dev, sched, snapFn, snapshots, 11)
+	if err != nil {
+		return nil, 0, err
+	}
+	const batch = 8
+	targets := dev.UsedSegments()
+	if len(targets) > batch {
+		targets = targets[:batch]
+	}
+	start := now
+	lat := sim.NewLatencyRecorder(1)
+	region := dev.Sectors() / 4
+	for _, target := range targets {
+		if err := dev.ForceClean(now, target); err != nil {
+			return nil, 0, err
+		}
+		for dev.CleaningActive() {
+			spec := workload.Spec{
+				Kind: workload.Write, Pattern: workload.Random,
+				BlockSize: 4096, Threads: 1, QueueDepth: 1,
+				MaxOps: 64, RangeHi: region, Seed: uint64(now),
+			}
+			_, end, err := workload.Run(dev, now, spec, workload.Options{Scheduler: sched, Latency: lat})
+			if err != nil {
+				return nil, 0, err
+			}
+			now = end
+		}
+	}
+	return lat, now.Sub(start), nil
+}
+
+func table4Nand(rc RunConfig) (cfgSegs int) {
+	total := scaledBytes(rc, 1<<30)
+	return segmentsFor(expNand(0), total)
+}
+
+func runTable4(rc RunConfig) (*Report, error) {
+	nc := expNand(table4Nand(rc))
+	tbl := Table{
+		Title:  "Cleaning one snapshot-bearing segment while writes continue",
+		Header: []string{"Config", "Overall time", "Validity merge", "Pages copied"},
+	}
+	// Vanilla FTL.
+	{
+		fcfg := ftl.DefaultConfig(nc)
+		fcfg.GCWindow = 30 * sim.Millisecond
+		f, err := ftl.New(fcfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		_, overall, err := forcedCleanRun(f, f.Scheduler(),
+			func(t sim.Time) (sim.Time, error) { return t, nil }, 0)
+		if err != nil {
+			return nil, fmt.Errorf("table4 vanilla: %w", err)
+		}
+		st := f.Stats()
+		tbl.Rows = append(tbl.Rows, []string{"Vanilla (0)", fmtDur(overall),
+			fmtDur(st.GCMergeTime), fmt.Sprintf("%d", st.GCCopied)})
+		rc.logf("table4: vanilla overall=%v merge=%v copied=%d", overall, st.GCMergeTime, st.GCCopied)
+	}
+	// ioSnap with 0, 1, 2 snapshots (snapshot-aware pacing, like the
+	// paper's final configuration).
+	for snaps := 0; snaps <= 2; snaps++ {
+		icfg := iosnap.DefaultConfig(nc)
+		icfg.GCWindow = 30 * sim.Millisecond
+		f, err := iosnap.New(icfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		_, overall, err := forcedCleanRun(f, f.Scheduler(),
+			func(t sim.Time) (sim.Time, error) {
+				_, t2, err := f.CreateSnapshot(t)
+				return t2, err
+			}, snaps)
+		if err != nil {
+			return nil, fmt.Errorf("table4 iosnap(%d): %w", snaps, err)
+		}
+		st := f.Stats()
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprintf("ioSnap (%d snapshots)", snaps),
+			fmtDur(overall), fmtDur(st.GCMergeTime), fmt.Sprintf("%d", st.GCCopied)})
+		rc.logf("table4: iosnap(%d) overall=%v merge=%v copied=%d", snaps, overall, st.GCMergeTime, st.GCCopied)
+	}
+	return &Report{
+		ID:     "table4",
+		Title:  "Overheads of segment cleaning",
+		Paper:  "overall time roughly flat across snapshot counts (pacing-dominated); merge time grows with the number of epochs; snapshotted data adds copy-forward volume",
+		Tables: []Table{tbl},
+		Notes: []string{
+			"the forced victim is the oldest segment; foreground 4K sync random writes run throughout (paper §6.3)",
+		},
+	}, nil
+}
+
+func runFig10(rc RunConfig) (*Report, error) {
+	nc := expNand(table4Nand(rc))
+	type config struct {
+		name   string
+		system string
+		policy iosnap.GCPolicy
+		snaps  int
+	}
+	configs := []config{
+		{"Vanilla FTL", "vanilla", 0, 0},
+		{"ioSnap, 2 snapshots, vanilla rate policy", "iosnap", iosnap.GCVanillaEstimate, 2},
+		{"ioSnap, 2 snapshots, snapshot-aware policy", "iosnap", iosnap.GCSnapshotAware, 2},
+	}
+	tbl := Table{
+		Title:  "Foreground 4K sync write latency while the forced clean runs",
+		Header: []string{"Config", "Mean", "p99", "Worst 2ms window", "Unpaced quanta", "Clean duration"},
+	}
+	var allSeries []Series
+	for _, c := range configs {
+		var lat *sim.LatencyRecorder
+		var overall sim.Duration
+		var unpaced int64
+		var err error
+		if c.system == "vanilla" {
+			fcfg := ftl.DefaultConfig(nc)
+			fcfg.GCWindow = 30 * sim.Millisecond
+			f, e := ftl.New(fcfg, nil)
+			if e != nil {
+				return nil, e
+			}
+			lat, overall, err = forcedCleanRun(f, f.Scheduler(),
+				func(t sim.Time) (sim.Time, error) { return t, nil }, 0)
+		} else {
+			icfg := iosnap.DefaultConfig(nc)
+			icfg.GCWindow = 30 * sim.Millisecond
+			icfg.GCPolicy = c.policy
+			f, e := iosnap.New(icfg, nil)
+			if e != nil {
+				return nil, e
+			}
+			lat, overall, err = forcedCleanRun(f, f.Scheduler(),
+				func(t sim.Time) (sim.Time, error) {
+					_, t2, err := f.CreateSnapshot(t)
+					return t2, err
+				}, c.snaps)
+			unpaced = f.Stats().GCUnpacedQuanta
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", c.name, err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			c.name, fmtDur(lat.Mean()), fmtDur(lat.Percentile(99)),
+			fmtDur(worstWindowMean(lat.Series(), 2*sim.Millisecond)),
+			fmt.Sprintf("%d", unpaced), fmtDur(overall),
+		})
+		allSeries = append(allSeries, seriesFromLatency("write latency ("+c.name+")", lat.Series()))
+		rc.logf("fig10: %-44s mean=%v p99=%v max=%v dur=%v", c.name, lat.Mean(), lat.Percentile(99), lat.Max(), overall)
+	}
+	return &Report{
+		ID:     "fig10",
+		Title:  "Impact of segment cleaner on user performance",
+		Paper:  "snapshot-unaware pacing bunches copy-forward (latency roughly doubles in the paper); snapshot-aware pacing restores the vanilla profile",
+		Tables: []Table{tbl},
+		Series: allSeries,
+		Notes: []string{
+			"'Unpaced quanta' counts cleaner work bursts that ran unthrottled because the vanilla estimate under-counted valid blocks — the paper's failure mode",
+			"on this simulator's 16-channel device the burst dilutes across channels, so the mean-latency gap is smaller than the paper's 2x; the mechanism (unpaced bursts vs none) reproduces exactly",
+		},
+	}, nil
+}

@@ -1,0 +1,109 @@
+package iosnap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"iosnap/internal/blockdev"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// Snapshot destaging (the paper's §7 future-work item: "schemes to destage
+// snapshots to archival disks are required"). An activated view streams its
+// contents as a portable sequence of (LBA, payload) records; ImportInto
+// replays such a stream onto any block device. Destage + delete moves a
+// snapshot off the flash tier entirely.
+
+// exportMagic guards the stream format.
+var exportMagic = [8]byte{'i', 'o', 's', 'n', 'a', 'p', 'X', '1'}
+
+// ErrBadExport reports a malformed destage stream.
+var ErrBadExport = errors.New("iosnap: malformed export stream")
+
+// Export streams the view's full contents to w (ascending LBA order),
+// reading each block through the device with normal timing; the returned
+// time reflects the device reads. On fingerprint-mode devices payloads are
+// exported as zeros (content is not retained; see nand.Config.StoreData).
+func (vw *View) Export(now sim.Time, w io.Writer) (sim.Time, error) {
+	if vw.v.closed {
+		return now, ErrViewClosed
+	}
+	ss := vw.f.cfg.Nand.SectorSize
+	if _, err := w.Write(exportMagic[:]); err != nil {
+		return now, err
+	}
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(ss))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(vw.v.fmap.Len()))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(vw.snap.ID))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return now, err
+	}
+
+	var exportErr error
+	zero := make([]byte, ss)
+	vw.v.fmap.All(func(lba, addr uint64) bool {
+		data, _, done, err := vw.f.dev.ReadPage(now, nand.PageAddr(addr))
+		if err != nil {
+			exportErr = fmt.Errorf("iosnap: exporting LBA %d: %w", lba, err)
+			return false
+		}
+		now = done
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], lba)
+		if _, err := w.Write(rec[:]); err != nil {
+			exportErr = err
+			return false
+		}
+		if data == nil {
+			data = zero
+		}
+		if _, err := w.Write(data); err != nil {
+			exportErr = err
+			return false
+		}
+		return true
+	})
+	return now, exportErr
+}
+
+// ImportInto replays an export stream onto dst, which must have the same
+// sector size. It returns the completion time of the last write.
+func ImportInto(dst blockdev.Device, now sim.Time, r io.Reader) (sim.Time, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return now, fmt.Errorf("%w: %v", ErrBadExport, err)
+	}
+	if magic != exportMagic {
+		return now, fmt.Errorf("%w: bad magic", ErrBadExport)
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return now, fmt.Errorf("%w: truncated header", ErrBadExport)
+	}
+	ss := int(binary.LittleEndian.Uint32(hdr[:4]))
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	if ss != dst.SectorSize() {
+		return now, fmt.Errorf("iosnap: export sector size %d != destination %d", ss, dst.SectorSize())
+	}
+	buf := make([]byte, ss)
+	var rec [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return now, fmt.Errorf("%w: truncated record %d", ErrBadExport, i)
+		}
+		lba := binary.LittleEndian.Uint64(rec[:])
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return now, fmt.Errorf("%w: truncated payload %d", ErrBadExport, i)
+		}
+		done, err := dst.Write(now, int64(lba), buf)
+		if err != nil {
+			return now, fmt.Errorf("iosnap: importing LBA %d: %w", lba, err)
+		}
+		now = done
+	}
+	return now, nil
+}

@@ -1,0 +1,167 @@
+package iosnap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	model := make(map[int64]byte)
+	rng := sim.NewRNG(55)
+	for i := 0; i < 60; i++ {
+		lba := rng.Int63n(100)
+		v := byte(i + 1)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, v))
+		model[lba] = v
+	}
+	snap, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diverge the active state so the export provably captures the frozen
+	// contents, not the current ones.
+	for lba := int64(0); lba < 100; lba++ {
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, 200))
+	}
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	now, err = view.Export(now, &stream)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+
+	// Destage to a fresh device (the "archival" tier).
+	dst := newTestFTL(t)
+	now2, err := ImportInto(dst, 0, bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatalf("ImportInto: %v", err)
+	}
+	buf := make([]byte, ss)
+	for lba, v := range model {
+		if _, err := dst.Read(now2, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorPattern(ss, lba, v)) {
+			t.Fatalf("destaged LBA %d wrong", lba)
+		}
+	}
+	// Sectors never in the snapshot must stay unwritten on the destination.
+	if dst.MappedSectors() != len(model) {
+		t.Fatalf("destination mapped %d, want %d", dst.MappedSectors(), len(model))
+	}
+	_ = now
+}
+
+func TestExportClosedViewFails(t *testing.T) {
+	f := newTestFTL(t)
+	now, _ := f.Write(0, 0, sectorPattern(f.SectorSize(), 0, 1))
+	snap, now, _ := f.CreateSnapshot(now)
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, _ = view.Deactivate(now)
+	var sink bytes.Buffer
+	if _, err := view.Export(now, &sink); !errors.Is(err, ErrViewClosed) {
+		t.Fatalf("export of deactivated view: %v", err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	dst := newTestFTL(t)
+	if _, err := ImportInto(dst, 0, bytes.NewReader([]byte("junk"))); !errors.Is(err, ErrBadExport) {
+		t.Fatalf("garbage import: %v", err)
+	}
+	if _, err := ImportInto(dst, 0, bytes.NewReader(append(exportMagic[:], 1, 2))); !errors.Is(err, ErrBadExport) {
+		t.Fatalf("truncated import: %v", err)
+	}
+}
+
+func TestImportSectorSizeMismatch(t *testing.T) {
+	f := newTestFTL(t)
+	now, _ := f.Write(0, 0, sectorPattern(f.SectorSize(), 0, 1))
+	snap, now, _ := f.CreateSnapshot(now)
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if _, err := view.Export(now, &stream); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Nand.SectorSize = 256
+	cfg.Nand.PagesPerSegment = 32
+	dst, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportInto(dst, 0, bytes.NewReader(stream.Bytes())); err == nil {
+		t.Fatal("sector-size mismatch accepted")
+	}
+}
+
+func TestDestageThenDeleteFreesFlash(t *testing.T) {
+	// The destage workflow: export a snapshot, delete it, verify the
+	// cleaner can then reclaim its blocks (the device keeps working under
+	// churn that would otherwise exhaust it).
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	for lba := int64(0); lba < 100; lba++ {
+		f.sched.RunUntil(now)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, 1))
+	}
+	snap, now, _ := f.CreateSnapshot(now)
+	for lba := int64(0); lba < 100; lba++ {
+		f.sched.RunUntil(now)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, 2))
+	}
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var archive bytes.Buffer
+	if now, err = view.Export(now, &archive); err != nil {
+		t.Fatal(err)
+	}
+	if now, err = view.Deactivate(now); err != nil {
+		t.Fatal(err)
+	}
+	if now, err = f.DeleteSnapshot(now, snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Churn that needs the reclaimed space.
+	rng := sim.NewRNG(9)
+	for i := 0; i < 300; i++ {
+		f.sched.RunUntil(now)
+		lba := rng.Int63n(100)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, byte(i)))
+		if err != nil {
+			t.Fatalf("churn after destage: %v", err)
+		}
+		now = d
+	}
+	// And the archive still restores generation 1.
+	dst := newTestFTL(t)
+	now2, err := ImportInto(dst, 0, bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ss)
+	if _, err := dst.Read(now2, 42, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, sectorPattern(ss, 42, 1)) {
+		t.Fatal("archive lost the snapshot contents")
+	}
+}

@@ -1,0 +1,90 @@
+package iosnap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+func TestFreezeBlocksWrites(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now, _ := f.Write(0, 0, sectorPattern(ss, 0, 1))
+	now, err := f.Freeze(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	if _, err := f.Write(now, 1, sectorPattern(ss, 1, 1)); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("write while frozen: %v", err)
+	}
+	if _, err := f.Trim(now, 0, 1); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("trim while frozen: %v", err)
+	}
+	// Reads and snapshot creation still work.
+	buf := make([]byte, ss)
+	if _, err := f.Read(now, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, sectorPattern(ss, 0, 1)) {
+		t.Fatal("read wrong while frozen")
+	}
+	if _, _, err := f.CreateSnapshot(now); err != nil {
+		t.Fatalf("snapshot while frozen: %v", err)
+	}
+	now, err = f.Unfreeze(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(now, 1, sectorPattern(ss, 1, 1)); err != nil {
+		t.Fatalf("write after unfreeze: %v", err)
+	}
+}
+
+func TestFreezeBlocksWritableViews(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now, _ := f.Write(0, 0, sectorPattern(ss, 0, 1))
+	snap, now, _ := f.CreateSnapshot(now)
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, _ = f.Freeze(now)
+	if _, err := view.Write(now, 0, sectorPattern(ss, 0, 2)); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("view write while frozen: %v", err)
+	}
+}
+
+func TestFrozenSnapshotConvenience(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now, _ := f.Write(0, 0, sectorPattern(ss, 0, 1))
+	snap, now, err := f.FrozenSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || f.Frozen() {
+		t.Fatal("FrozenSnapshot left device frozen or returned nil")
+	}
+	if _, err := f.Write(now, 1, sectorPattern(ss, 1, 1)); err != nil {
+		t.Fatalf("write after FrozenSnapshot: %v", err)
+	}
+	var zero sim.Time
+	_ = zero
+}
+
+func TestFreezeAfterCloseFails(t *testing.T) {
+	f := newTestFTL(t)
+	f.Close(0)
+	if _, err := f.Freeze(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("freeze after close: %v", err)
+	}
+	if _, err := f.Unfreeze(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("unfreeze after close: %v", err)
+	}
+}

@@ -1,0 +1,378 @@
+package iosnap
+
+import (
+	"fmt"
+	"sort"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/header"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+// The snapshot-aware segment cleaner (paper §5.4.3). Cleaning a segment:
+//
+//  1. merge the per-epoch validity bitmaps (logical OR, skipping deleted
+//     epochs) into a cumulative map for the segment;
+//  2. copy-forward the blocks valid in the merged map, preserving their
+//     epoch tags (the OOB header moves verbatim);
+//  3. for every live epoch that referenced a moved block, clear the old bit
+//     and set the new one — in the worst case as many flips as epochs;
+//  4. re-point the forward map of every view (active and activated) whose
+//     translation referenced the moved block;
+//  5. erase the victim.
+
+// segMergeView computes the merged validity for one segment and remembers
+// the per-epoch validity so the copy loop can fix bits cheaply.
+func (f *FTL) mergeSegment(seg int) (*bitmap.Bitmap, sim.Duration) {
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	lo, hi := int64(seg)*pps, int64(seg+1)*pps
+	epochs := f.vstore.Epochs()
+	merged := f.vstore.MergeRange(epochs, lo, hi)
+	// Host cost: one pass per live (non-deleted) epoch over the segment.
+	live := 0
+	for _, e := range epochs {
+		if !f.vstore.Deleted(e) {
+			live++
+		}
+	}
+	cost := sim.Duration(int64(live)) * sim.Duration(pps) * f.cfg.MergeCPUPerBlock
+	return merged, cost
+}
+
+// selectVictim greedily picks the non-head segment with the most invalid
+// blocks under the *merged* view (which is the only correct notion of
+// invalid once snapshots exist), returning the victim, its merged valid
+// count, the active-epoch valid count (the vanilla estimate), and the
+// merge CPU cost incurred while selecting.
+func (f *FTL) selectVictim() (victim, mergedValid, activeValid int, cost sim.Duration) {
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	best := -1
+	bestScore := -1.0
+	anyInvalid := false
+	var bestMerged, bestActive int
+	var total sim.Duration
+	for _, seg := range f.usedSegs {
+		if seg == f.headSeg || seg == f.gcVictim {
+			// Never pick the log head, nor a segment the background task is
+			// mid-way through cleaning (a forced clean stealing it would
+			// erase it twice and corrupt the free pool).
+			continue
+		}
+		merged, c := f.mergeSegment(seg)
+		total += c
+		mv := merged.Count()
+		invalid := int(pps) - mv
+		if invalid > 0 {
+			anyInvalid = true
+		}
+		score := victimScore(f.cfg.VictimPolicy, invalid, mv, f.seq, f.segLastSeq[seg])
+		if score > bestScore {
+			lo, hi := int64(seg)*pps, int64(seg+1)*pps
+			best, bestScore, bestMerged = seg, score, mv
+			bestActive = f.vstore.CountValid(f.active.epoch, lo, hi)
+		}
+	}
+	if !anyInvalid {
+		return -1, 0, 0, total
+	}
+	return best, bestMerged, bestActive, total
+}
+
+// VictimPolicy selects the cleaner's segment-choice heuristic.
+type VictimPolicy int
+
+const (
+	// VictimGreedy picks the segment with the most merged-invalid blocks.
+	VictimGreedy VictimPolicy = iota
+	// VictimCostBenefit weighs reclaimable space by block age (the classic
+	// LFS benefit/cost heuristic). With snapshots present this tends to
+	// segregate cold, pinned data — the co-location goal of §5.4.2.
+	VictimCostBenefit
+)
+
+func (p VictimPolicy) String() string {
+	if p == VictimCostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// victimScore rates a candidate segment; higher is better.
+func victimScore(policy VictimPolicy, invalid, valid int, curSeq, segSeq uint64) float64 {
+	switch policy {
+	case VictimCostBenefit:
+		u := float64(valid) / float64(valid+invalid)
+		age := float64(curSeq - segSeq)
+		return (1 - u) * age / (1 + u)
+	default:
+		return float64(invalid)
+	}
+}
+
+// maybeScheduleGC starts background cleaning when the pool is low.
+func (f *FTL) maybeScheduleGC(now sim.Time) {
+	if f.gcActive || f.closed || len(f.freeSegs) > f.cfg.ReserveSegments {
+		return
+	}
+	victim, mergedValid, activeValid, cost := f.selectVictim()
+	f.stats.GCMergeTime += cost
+	if victim < 0 {
+		return
+	}
+	est := mergedValid
+	if f.cfg.GCPolicy == GCVanillaEstimate {
+		// The unmodified driver plans from the active epoch only; with
+		// snapshots present this underestimates the copy-forward work and
+		// the tail of the clean runs unpaced (Figure 10b).
+		est = activeValid
+	}
+	quanta := (est + f.cfg.GCChunk - 1) / f.cfg.GCChunk
+	f.gcActive = true
+	f.gcVictim = victim
+	task := &gcTask{
+		f:       f,
+		victim:  victim,
+		pacer:   ratelimit.NewPacer(now, quanta, f.cfg.GCWindow),
+		started: now,
+	}
+	f.sched.Schedule(now, task)
+}
+
+// gcTask incrementally cleans one victim under pacing.
+type gcTask struct {
+	f       *FTL
+	victim  int
+	pacer   *ratelimit.Pacer
+	started sim.Time
+	order   []int // victim page indices to examine, in copy order
+	cursor  int
+	merged  *bitmap.Bitmap
+}
+
+// Name implements sim.Task.
+func (t *gcTask) Name() string { return fmt.Sprintf("iosnap-gc(seg %d)", t.victim) }
+
+// Run implements sim.Task.
+func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
+	f := t.f
+
+	if t.merged == nil {
+		var cost sim.Duration
+		t.merged, cost = f.mergeSegment(t.victim)
+		f.stats.GCMergeTime += cost
+		now = now.Add(cost)
+		t.order = f.copyOrder(t.victim, t.merged)
+	}
+	var err error
+	t.cursor, now, err = f.copyForward(now, t.victim, t.merged, t.order, t.cursor, f.cfg.GCChunk)
+	if err != nil {
+		f.gcActive = false
+		f.gcVictim = -1
+		return 0, true
+	}
+	if t.cursor < len(t.order) {
+		next := t.pacer.Ready(now)
+		if _, overrun := t.pacer.Consumed(); overrun {
+			// The estimate was exhausted: this quantum (and the rest of the
+			// segment) runs unthrottled — the failure mode of a snapshot-
+			// unaware work estimate (Figure 10b).
+			f.stats.GCUnpacedQuanta++
+		}
+		return next, false
+	}
+	now, err = f.finishClean(now, t.victim)
+	f.gcActive = false
+	f.gcVictim = -1
+	if err != nil {
+		return 0, true
+	}
+	f.stats.GCRuns++
+	f.stats.GCTotalTime += now.Sub(t.started)
+	f.stats.GCLastAt = now
+	f.maybeScheduleGC(now)
+	return 0, true
+}
+
+// copyOrder lists the victim's valid page indices. With EpochSegregation
+// the cleaner groups blocks by epoch so data of one snapshot stays
+// co-located after cleaning (§5.4.2's policy, built as an ablation).
+func (f *FTL) copyOrder(victim int, merged *bitmap.Bitmap) []int {
+	pps := f.cfg.Nand.PagesPerSegment
+	idxs := make([]int, 0, pps)
+	for i := 0; i < pps; i++ {
+		if merged.Test(int64(i)) {
+			idxs = append(idxs, i)
+		}
+	}
+	if !f.cfg.EpochSegregation {
+		return idxs
+	}
+	type tagged struct{ idx, epoch int }
+	tags := make([]tagged, 0, len(idxs))
+	for _, i := range idxs {
+		e := 0
+		if oob, err := f.dev.PageOOB(f.dev.Addr(victim, i)); err == nil {
+			if h, err := header.Unmarshal(oob); err == nil {
+				e = int(h.Epoch)
+			}
+		}
+		tags = append(tags, tagged{i, e})
+	}
+	sort.SliceStable(tags, func(a, b int) bool { return tags[a].epoch < tags[b].epoch })
+	out := make([]int, len(tags))
+	for i, tg := range tags {
+		out[i] = tg.idx
+	}
+	return out
+}
+
+// cleanOnce synchronously cleans the best victim (forced path).
+func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
+	victim, _, _, cost := f.selectVictim()
+	f.stats.GCMergeTime += cost
+	now = now.Add(cost)
+	if victim < 0 {
+		return now, ErrDeviceFull
+	}
+	merged, mcost := f.mergeSegment(victim)
+	f.stats.GCMergeTime += mcost
+	now = now.Add(mcost)
+	order := f.copyOrder(victim, merged)
+	start := now
+	cursor := 0
+	for cursor < len(order) {
+		var err error
+		cursor, now, err = f.copyForward(now, victim, merged, order, cursor, len(order))
+		if err != nil {
+			return now, err
+		}
+	}
+	now, err := f.finishClean(now, victim)
+	if err != nil {
+		return now, err
+	}
+	f.stats.GCRuns++
+	if forced {
+		f.stats.GCForced++
+	}
+	f.stats.GCTotalTime += now.Sub(start)
+	f.stats.GCLastAt = now
+	return now, nil
+}
+
+// copyForward moves up to max blocks from order[cursor:], fixing every
+// epoch's validity bits and every view's translation.
+func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order []int, cursor, max int) (int, sim.Time, error) {
+	copied := 0
+	// Copies within one quantum are pipelined: all are submitted at the
+	// quantum's start and the device's per-channel queues serialize them,
+	// exactly like a cleaner thread issuing a batch of copyback commands.
+	submit := now
+	maxDone := now
+	for cursor < len(order) && copied < max {
+		idx := order[cursor]
+		cursor++
+		old := f.dev.Addr(victim, idx)
+		dst, t, err := f.allocPageGC(submit)
+		if err != nil {
+			return cursor, maxDone, err
+		}
+		_ = t
+		oob, err := f.dev.PageOOB(old)
+		if err != nil {
+			return cursor, maxDone, fmt.Errorf("iosnap: cleaner reading header: %w", err)
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			return cursor, maxDone, fmt.Errorf("iosnap: cleaner decoding header: %w", err)
+		}
+		done, err := f.dev.CopyPage(submit, old, dst)
+		if err != nil {
+			return cursor, maxDone, fmt.Errorf("iosnap: copy-forward: %w", err)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+		// The destination inherits the block's age (its original seq), so
+		// segments holding cold data still look old to cost-benefit.
+		dseg := f.dev.SegmentOf(dst)
+		if h.Seq > f.segLastSeq[dseg] {
+			f.segLastSeq[dseg] = h.Seq
+		}
+		f.presence.add(dseg, bitmap.Epoch(h.Epoch))
+
+		// Step 3: re-point every live epoch that saw the old block. In the
+		// worst case this flips bits in as many maps as there are epochs.
+		// Holders MUST be computed before any mutation: clearing an
+		// ancestor's bit first would make an inheriting descendant test
+		// false and silently lose the block.
+		var holders []bitmap.Epoch
+		for _, e := range f.vstore.Epochs() {
+			if !f.vstore.Deleted(e) && f.vstore.Test(e, int64(old)) {
+				holders = append(holders, e)
+			}
+		}
+		for _, e := range holders {
+			f.vstore.Clear(e, int64(old))
+			f.vstore.Set(e, int64(dst))
+		}
+		// Step 4: re-point forward maps.
+		if h.Type == header.TypeData {
+			for _, v := range f.views {
+				if cur, ok := v.fmap.Lookup(h.LBA); ok && cur == uint64(old) {
+					v.fmap.Insert(h.LBA, uint64(dst))
+				}
+			}
+		}
+		// Keep in-flight activations coherent.
+		for _, a := range f.activations {
+			a.onBlockMoved(old, dst, h)
+		}
+		f.stats.GCCopied++
+		copied++
+	}
+	return cursor, maxDone, nil
+}
+
+// finishClean erases the victim and returns it to the pool.
+func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
+	done, err := f.dev.EraseSegment(now, victim)
+	if err != nil {
+		return now, fmt.Errorf("iosnap: erasing segment %d: %w", victim, err)
+	}
+	for i, s := range f.usedSegs {
+		if s == victim {
+			f.usedSegs = append(f.usedSegs[:i], f.usedSegs[i+1:]...)
+			break
+		}
+	}
+	f.freeSegs = append(f.freeSegs, victim)
+	f.presence.clear(victim)
+	f.stats.GCErases++
+	return done, nil
+}
+
+// SegmentEpochRuns measures epoch intermixing: the number of maximal runs
+// of equal-epoch programmed pages in a segment (1 = perfectly co-located).
+// Used by the epoch-segregation ablation bench.
+func (f *FTL) SegmentEpochRuns(seg int) int {
+	pps := f.cfg.Nand.PagesPerSegment
+	runs := 0
+	prev := int64(-1)
+	for i := 0; i < pps; i++ {
+		oob, err := f.dev.PageOOB(f.dev.Addr(seg, i))
+		if err != nil {
+			continue
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			continue
+		}
+		if int64(h.Epoch) != prev {
+			runs++
+			prev = int64(h.Epoch)
+		}
+	}
+	return runs
+}

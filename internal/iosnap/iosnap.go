@@ -1,0 +1,540 @@
+// Package iosnap implements the paper's contribution: a snapshot-capable
+// log-structured FTL ("ioSnap", EuroSys 2014). It extends the vanilla
+// Remap-on-Write design of internal/ftl with:
+//
+//   - epochs — a monotonically increasing counter stamped into every block
+//     header, preserving log-time across segment-cleaner intermixing (§5.3.2);
+//   - a snapshot tree recording how snapshots inherit from one another
+//     through creates and activations (§5.3.2, Figure 4);
+//   - per-epoch copy-on-write validity bitmaps, so unactivated snapshots
+//     consume almost no memory and no reference counters bound the snapshot
+//     count (§5.4.1);
+//   - a snapshot-aware segment cleaner that merges per-epoch validity maps
+//     and re-points every referencing epoch when it moves a block (§5.4.3);
+//   - deferred, rate-limited snapshot activation that rebuilds a snapshot's
+//     forward map from a log scan (§5.6);
+//   - two-pass crash recovery reconstructing the snapshot tree, the active
+//     forward map, and per-epoch validity maps (§5.5).
+//
+// Snapshot create and delete are a single log note (~tens of µs); all
+// expensive work is deferred to the rare activation path — the paper's
+// central design trade-off.
+package iosnap
+
+import (
+	"errors"
+	"fmt"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+// Errors returned by ioSnap operations.
+var (
+	ErrOutOfRange      = errors.New("iosnap: LBA out of range")
+	ErrBadLength       = errors.New("iosnap: buffer not a multiple of sector size")
+	ErrClosed          = errors.New("iosnap: device closed")
+	ErrDeviceFull      = errors.New("iosnap: no reclaimable space")
+	ErrNoSuchSnapshot  = errors.New("iosnap: no such snapshot")
+	ErrSnapshotDeleted = errors.New("iosnap: snapshot deleted")
+	ErrNotReady        = errors.New("iosnap: activation not finished")
+	ErrViewClosed      = errors.New("iosnap: activated view deactivated")
+	ErrReadOnlyView    = errors.New("iosnap: view is read-only")
+)
+
+// GCPolicy selects how the cleaner estimates its work for pacing.
+type GCPolicy int
+
+const (
+	// GCVanillaEstimate paces from the *active* epoch's validity only — the
+	// unmodified driver policy, which underestimates work when snapshotted
+	// data must move and so bunches copy-forward (Figure 10b).
+	GCVanillaEstimate GCPolicy = iota
+	// GCSnapshotAware paces from the merged validity across all live epochs
+	// (Figure 10c).
+	GCSnapshotAware
+)
+
+func (p GCPolicy) String() string {
+	if p == GCSnapshotAware {
+		return "snapshot-aware"
+	}
+	return "vanilla-estimate"
+}
+
+// Config parameterizes the snapshot-capable FTL.
+type Config struct {
+	Nand nand.Config
+
+	// UserSectors is the advertised logical capacity (see ftl.Config).
+	UserSectors int64
+	// ReserveSegments triggers background cleaning at or below this pool size.
+	ReserveSegments int
+	// GCWindow paces the copy-forward of one victim segment.
+	GCWindow sim.Duration
+	// GCChunk is pages copied per cleaning quantum.
+	GCChunk int
+	// GCPolicy selects the pacing estimate (Figure 10's ablation).
+	GCPolicy GCPolicy
+	// VictimPolicy selects the cleaner's segment-choice heuristic.
+	VictimPolicy VictimPolicy
+	// EpochSegregation makes the cleaner copy a victim's blocks grouped by
+	// epoch, minimizing intermix in the destination segment (§5.4.2's
+	// policy sketch; an ablation in this repo).
+	EpochSegregation bool
+
+	// MapCPUCost is the host cost of one forward-map operation.
+	MapCPUCost sim.Duration
+	// MergeCPUPerBlock is the host cost, per block per epoch, of validity
+	// merging in the cleaner (Table 4's "validity merge" column).
+	MergeCPUPerBlock sim.Duration
+	// CoWPageCost is the host cost of copying one validity-bitmap page when
+	// a write mutates a page frozen by a snapshot (Figure 7's spikes).
+	CoWPageCost sim.Duration
+	// ReconstructCPUPerEntry is the host cost per translation when building
+	// a forward map during activation or recovery.
+	ReconstructCPUPerEntry sim.Duration
+	// BitmapPageBits is the CoW granularity of validity maps in bits
+	// (default: one 4 KB page = 32768 blocks).
+	BitmapPageBits int64
+
+	// ActivationBatch is how many segment scans an *unthrottled* activation
+	// keeps in flight per quantum; larger batches saturate the device and
+	// hurt foreground latency more (Figure 9a).
+	ActivationBatch int
+
+	// SelectiveScan enables the paper's §7 activation optimization: scan
+	// only the segments whose epoch-presence summary intersects the
+	// snapshot's lineage, instead of the whole log.
+	SelectiveScan bool
+}
+
+// DefaultConfig mirrors ftl.DefaultConfig with the snapshot knobs added.
+func DefaultConfig(nc nand.Config) Config {
+	phys := nc.TotalPages()
+	reserve := nc.Segments / 16
+	if reserve < 2 {
+		reserve = 2
+	}
+	user := phys * 7 / 8
+	maxUser := int64(nc.Segments-reserve-1) * int64(nc.PagesPerSegment)
+	if user > maxUser {
+		user = maxUser
+	}
+	return Config{
+		Nand:                   nc,
+		UserSectors:            user,
+		ReserveSegments:        reserve,
+		GCWindow:               10 * sim.Second,
+		GCChunk:                32,
+		GCPolicy:               GCSnapshotAware,
+		MapCPUCost:             300 * sim.Nanosecond,
+		MergeCPUPerBlock:       15 * sim.Nanosecond,
+		CoWPageCost:            100 * sim.Microsecond,
+		ReconstructCPUPerEntry: 150 * sim.Nanosecond,
+		BitmapPageBits:         bitmap.DefaultBitsPerPage,
+		ActivationBatch:        8,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if err := c.Nand.Validate(); err != nil {
+		return err
+	}
+	if c.UserSectors <= 0 || c.UserSectors >= c.Nand.TotalPages() {
+		return fmt.Errorf("iosnap: UserSectors %d must be positive and leave over-provisioning (physical %d)",
+			c.UserSectors, c.Nand.TotalPages())
+	}
+	if c.ReserveSegments < 1 || c.ReserveSegments >= c.Nand.Segments {
+		return fmt.Errorf("iosnap: ReserveSegments %d out of range", c.ReserveSegments)
+	}
+	if c.GCChunk <= 0 {
+		return fmt.Errorf("iosnap: GCChunk %d must be positive", c.GCChunk)
+	}
+	if c.BitmapPageBits != 0 && (c.BitmapPageBits < 64 || c.BitmapPageBits%64 != 0) {
+		return fmt.Errorf("iosnap: BitmapPageBits %d must be a positive multiple of 64", c.BitmapPageBits)
+	}
+	if c.ActivationBatch < 1 {
+		return fmt.Errorf("iosnap: ActivationBatch %d must be at least 1", c.ActivationBatch)
+	}
+	return nil
+}
+
+// Stats counts ioSnap activity.
+type Stats struct {
+	UserReads    int64
+	UserWrites   int64
+	BytesRead    int64
+	BytesWritten int64
+	Trims        int64
+
+	SnapshotCreates     int64
+	SnapshotDeletes     int64
+	SnapshotActivations int64
+	CoWPageCopies       int64 // validity bitmap pages copied (Figure 7b)
+
+	GCRuns          int64
+	GCForced        int64
+	GCCopied        int64
+	GCErases        int64
+	GCUnpacedQuanta int64 // cleaner quanta run unthrottled because the work estimate was exhausted
+	GCMergeTime     sim.Duration
+	GCTotalTime     sim.Duration
+	GCLastAt        sim.Time
+
+	MapMemory      int64 // active forward map bytes (refreshed by Stats())
+	ValidityMemory int64 // CoW validity pages bytes (refreshed by Stats())
+	WriteAmplify   float64
+}
+
+// view is one writable-or-readable mapping of the device: the active tree,
+// or an activated snapshot.
+type view struct {
+	fmap     *ftlmap.Tree
+	epoch    bitmap.Epoch
+	writable bool
+	closed   bool
+	// parent is the snapshot this view descends from (nil for the initial
+	// active view of a fresh device).
+	parent *Snapshot
+}
+
+// FTL is the snapshot-capable translation layer. Not safe for concurrent
+// use; the simulation is single-threaded over virtual time.
+type FTL struct {
+	cfg   Config
+	dev   *nand.Device
+	sched *sim.Scheduler
+
+	vstore   *bitmap.Store
+	tree     *Tree
+	presence *epochPresence
+
+	active *view   // the primary block device
+	views  []*view // active + all live activated views
+
+	epochCounter bitmap.Epoch
+	epochParent  map[bitmap.Epoch]bitmap.Epoch
+
+	headSeg    int
+	headIdx    int
+	seq        uint64
+	freeSegs   []int
+	usedSegs   []int
+	segLastSeq []uint64 // newest write sequence per segment (victim aging)
+
+	gcActive    bool
+	gcVictim    int // segment a background gcTask currently owns (-1 = none)
+	closed      bool
+	frozen      bool
+	activations []*Activation // in-flight activations (cleaner keeps them consistent)
+	stats       Stats
+}
+
+// New formats a fresh device. See ftl.New for the scheduler contract.
+func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		sched = sim.NewScheduler()
+	}
+	f := &FTL{
+		cfg:          cfg,
+		dev:          nand.New(cfg.Nand),
+		sched:        sched,
+		vstore:       bitmap.NewStore(cfg.Nand.TotalPages(), cfg.BitmapPageBits),
+		tree:         NewTree(),
+		epochCounter: 1,
+		epochParent:  make(map[bitmap.Epoch]bitmap.Epoch),
+		gcVictim:     -1,
+		segLastSeq:   make([]uint64, cfg.Nand.Segments),
+		presence:     newEpochPresence(cfg.Nand.Segments),
+	}
+	if err := f.vstore.CreateEpoch(1, bitmap.NoParent); err != nil {
+		return nil, err
+	}
+	f.active = &view{fmap: ftlmap.New(), epoch: 1, writable: true}
+	f.views = []*view{f.active}
+	for s := cfg.Nand.Segments - 1; s >= 1; s-- {
+		f.freeSegs = append(f.freeSegs, s)
+	}
+	f.headSeg = 0
+	f.usedSegs = []int{0}
+	return f, nil
+}
+
+// Device exposes the underlying NAND.
+func (f *FTL) Device() *nand.Device { return f.dev }
+
+// Scheduler returns the background-task scheduler.
+func (f *FTL) Scheduler() *sim.Scheduler { return f.sched }
+
+// Config returns the configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// Tree returns the snapshot tree.
+func (f *FTL) Tree() *Tree { return f.tree }
+
+// ActiveEpoch returns the epoch currently absorbing primary writes.
+func (f *FTL) ActiveEpoch() bitmap.Epoch { return f.active.epoch }
+
+// SectorSize implements blockdev.Device.
+func (f *FTL) SectorSize() int { return f.cfg.Nand.SectorSize }
+
+// Sectors implements blockdev.Device.
+func (f *FTL) Sectors() int64 { return f.cfg.UserSectors }
+
+// FreeSegments returns the size of the erased-segment pool.
+func (f *FTL) FreeSegments() int { return len(f.freeSegs) }
+
+// MappedSectors returns the active view's translation count.
+func (f *FTL) MappedSectors() int { return f.active.fmap.Len() }
+
+// ActiveMapMemory returns the active forward map's footprint in bytes.
+func (f *FTL) ActiveMapMemory() int64 { return f.active.fmap.MemoryBytes() }
+
+// Stats returns a snapshot of the counters with derived fields refreshed.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.CoWPageCopies = f.vstore.CoWCopies()
+	s.MapMemory = f.active.fmap.MemoryBytes()
+	s.ValidityMemory = f.vstore.MemoryBytes()
+	if s.UserWrites > 0 {
+		s.WriteAmplify = float64(s.UserWrites+s.GCCopied) / float64(s.UserWrites)
+	}
+	return s
+}
+
+func (f *FTL) checkIO(lba int64, n int) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero-length I/O", ErrBadLength)
+	}
+	if lba < 0 || lba+int64(n) > f.cfg.UserSectors {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, lba, lba+int64(n), f.cfg.UserSectors)
+	}
+	return nil
+}
+
+// Read implements blockdev.Device on the active view.
+func (f *FTL) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	if f.closed {
+		return now, ErrClosed
+	}
+	done, err := f.readVia(f.active, now, lba, buf)
+	if err != nil {
+		return now, err
+	}
+	f.stats.UserReads++
+	f.stats.BytesRead += int64(len(buf))
+	return done, nil
+}
+
+func (f *FTL) readVia(v *view, now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	ss := f.cfg.Nand.SectorSize
+	if len(buf)%ss != 0 {
+		return now, fmt.Errorf("%w: %d", ErrBadLength, len(buf))
+	}
+	n := len(buf) / ss
+	if err := f.checkIO(lba, n); err != nil {
+		return now, err
+	}
+	done := now
+	for i := 0; i < n; i++ {
+		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
+		sector := buf[i*ss : (i+1)*ss]
+		addr, ok := v.fmap.Lookup(uint64(lba) + uint64(i))
+		if !ok {
+			for j := range sector {
+				sector[j] = 0
+			}
+			if cur > done {
+				done = cur
+			}
+			continue
+		}
+		data, _, d, err := f.dev.ReadPage(cur, nand.PageAddr(addr))
+		if err != nil {
+			return now, fmt.Errorf("iosnap: reading LBA %d: %w", lba+int64(i), err)
+		}
+		copy(sector, data)
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// Write implements blockdev.Device on the active view.
+func (f *FTL) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	if f.closed {
+		return now, ErrClosed
+	}
+	done, err := f.writeVia(f.active, now, lba, data)
+	if err != nil {
+		return now, err
+	}
+	f.stats.UserWrites += int64(len(data) / f.cfg.Nand.SectorSize)
+	f.stats.BytesWritten += int64(len(data))
+	return done, nil
+}
+
+func (f *FTL) writeVia(v *view, now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	if f.frozen {
+		return now, ErrFrozen
+	}
+	ss := f.cfg.Nand.SectorSize
+	if len(data)%ss != 0 {
+		return now, fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	n := len(data) / ss
+	if err := f.checkIO(lba, n); err != nil {
+		return now, err
+	}
+	done := now
+	for i := 0; i < n; i++ {
+		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
+		d, err := f.writeSector(v, cur, uint64(lba)+uint64(i), data[i*ss:(i+1)*ss])
+		if err != nil {
+			return now, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// writeSector is the ioSnap Remap-on-Write data path. Note the absence of
+// per-snapshot work: regardless of how many snapshots exist, the path is one
+// map update plus (at most) two validity-bit flips, which only slow down
+// when a flip lands on a bitmap page frozen by the latest snapshot (the CoW
+// copy whose cost Figure 7 plots).
+func (f *FTL) writeSector(v *view, now sim.Time, lba uint64, sector []byte) (sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return now, err
+	}
+	f.seq++
+	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: uint64(v.epoch), Seq: f.seq}
+	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
+	if err != nil {
+		return now, fmt.Errorf("iosnap: programming LBA %d: %w", lba, err)
+	}
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
+	f.presence.add(f.dev.SegmentOf(addr), v.epoch)
+	cows := 0
+	if prev, existed := v.fmap.Insert(lba, uint64(addr)); existed {
+		if f.vstore.Clear(v.epoch, int64(prev)) {
+			cows++
+		}
+	}
+	if f.vstore.Set(v.epoch, int64(addr)) {
+		cows++
+	}
+	if cows > 0 {
+		done = done.Add(sim.Duration(cows) * f.cfg.CoWPageCost)
+	}
+	return done, nil
+}
+
+// Trim drops active-view translations. The pages remain live in any
+// snapshot that captured them; only the active epoch's bits clear.
+func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
+	if f.frozen {
+		return now, ErrFrozen
+	}
+	if err := f.checkIO(lba, int(n)); err != nil {
+		return now, err
+	}
+	for i := int64(0); i < n; i++ {
+		if prev, existed := f.active.fmap.Delete(uint64(lba + i)); existed {
+			f.vstore.Clear(f.active.epoch, int64(prev))
+		}
+	}
+	f.stats.Trims += n
+	return now.Add(sim.Duration(n) * f.cfg.MapCPUCost), nil
+}
+
+// allocPage returns the next log-head page, forcing synchronous cleaning
+// when the pool is nearly empty.
+func (f *FTL) allocPage(now sim.Time) (nand.PageAddr, sim.Time, error) {
+	if f.headIdx == f.cfg.Nand.PagesPerSegment {
+		for len(f.freeSegs) <= 1 {
+			var err error
+			now, err = f.cleanOnce(now, true)
+			if err != nil {
+				return 0, now, err
+			}
+		}
+		f.headSeg = f.freeSegs[0]
+		f.freeSegs = f.freeSegs[1:]
+		f.headIdx = 0
+		f.usedSegs = append(f.usedSegs, f.headSeg)
+		f.maybeScheduleGC(now)
+	}
+	addr := f.dev.Addr(f.headSeg, f.headIdx)
+	f.headIdx++
+	return addr, now, nil
+}
+
+// allocPageGC is the cleaner's allocation: it never forces a nested clean.
+func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
+	if f.headIdx == f.cfg.Nand.PagesPerSegment {
+		if len(f.freeSegs) == 0 {
+			return 0, now, ErrDeviceFull
+		}
+		f.headSeg = f.freeSegs[0]
+		f.freeSegs = f.freeSegs[1:]
+		f.headIdx = 0
+		f.usedSegs = append(f.usedSegs, f.headSeg)
+	}
+	addr := f.dev.Addr(f.headSeg, f.headIdx)
+	f.headIdx++
+	return addr, now, nil
+}
+
+// writeNote appends a snapshot note (one metadata block, the paper's 4 KB
+// per snapshot operation) and returns its address. Notes are marked valid
+// in the active epoch so the cleaner preserves them for crash recovery.
+func (f *FTL) writeNote(now sim.Time, typ header.Type, id SnapshotID, epoch bitmap.Epoch) (nand.PageAddr, sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return 0, now, err
+	}
+	f.seq++
+	h := header.Header{Type: typ, LBA: uint64(id), Epoch: uint64(epoch), Seq: f.seq}
+	payload := make([]byte, f.cfg.Nand.SectorSize)
+	done, err := f.dev.ProgramPage(now, addr, payload, h.Marshal())
+	if err != nil {
+		return 0, now, fmt.Errorf("iosnap: writing %v note: %w", typ, err)
+	}
+	f.vstore.Set(f.active.epoch, int64(addr))
+	f.presence.add(f.dev.SegmentOf(addr), f.active.epoch)
+	return addr, done, nil
+}
+
+// Close marks the FTL closed. ioSnap defers all snapshot metadata to the
+// log itself, so closing writes no checkpoint; recovery always scans.
+func (f *FTL) Close(now sim.Time) (sim.Time, error) {
+	if f.closed {
+		return now, ErrClosed
+	}
+	f.closed = true
+	return now, nil
+}
+
+// liveEpochs returns every registered epoch (deleted ones are skipped by
+// merge operations internally but still enumerated for per-epoch fixups).
+func (f *FTL) liveEpochs() []bitmap.Epoch { return f.vstore.Epochs() }
+
+// ratelimitBudget is a tiny helper so activation code reads clearly.
+func ratelimitBudget(ws ratelimit.WorkSleep) *ratelimit.Budget { return ratelimit.NewBudget(ws) }

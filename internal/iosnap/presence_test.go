@@ -1,0 +1,221 @@
+package iosnap
+
+import (
+	"bytes"
+	"testing"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+func TestEpochPresenceBasics(t *testing.T) {
+	p := newEpochPresence(4)
+	p.add(0, 1)
+	p.add(0, 2)
+	p.add(3, 2)
+	if p.count(0) != 2 || p.count(1) != 0 || p.count(3) != 1 {
+		t.Fatalf("counts wrong: %d %d %d", p.count(0), p.count(1), p.count(3))
+	}
+	lin := map[bitmap.Epoch]bool{2: true}
+	if !p.intersects(0, lin) || !p.intersects(3, lin) || p.intersects(1, lin) {
+		t.Fatal("intersects wrong")
+	}
+	segs := p.segmentsFor(lin)
+	if len(segs) != 2 || segs[0] != 0 || segs[1] != 3 {
+		t.Fatalf("segmentsFor = %v", segs)
+	}
+	p.clear(0)
+	if p.count(0) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// TestSelectiveScanMatchesFullScan is the correctness property: with
+// SelectiveScan enabled, every activation must produce exactly the same
+// view as a full-log scan, under churn, cleaning, and crashes.
+func TestSelectiveScanMatchesFullScan(t *testing.T) {
+	for _, seed := range []uint64{5, 17} {
+		nc := testConfig().Nand
+		nc.Segments = 40 // room for three pinned snapshots plus churn
+		cfg := DefaultConfig(nc)
+		cfg.GCWindow = 10 * sim.Millisecond
+		cfg.BitmapPageBits = 64
+		cfg.SelectiveScan = true
+		f, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := f.SectorSize()
+		rng := sim.NewRNG(seed)
+		now := sim.Time(0)
+		model := make(map[int64]byte)
+		snapModels := make(map[SnapshotID]map[int64]byte)
+		var snaps []SnapshotID
+		for step := 0; step < 700; step++ {
+			f.sched.RunUntil(now)
+			if step%180 == 120 && len(snaps) < 3 {
+				snap, d, err := f.CreateSnapshot(now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				now = d
+				frozen := make(map[int64]byte, len(model))
+				for k, v := range model {
+					frozen[k] = v
+				}
+				snapModels[snap.ID] = frozen
+				snaps = append(snaps, snap.ID)
+				continue
+			}
+			lba := rng.Int63n(90)
+			v := byte(step%250 + 1)
+			d, err := f.Write(now, lba, sectorPattern(ss, lba, v))
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			model[lba] = v
+			now = d
+		}
+		now = f.sched.Drain(now)
+		if f.Stats().GCRuns == 0 {
+			t.Fatalf("seed %d: no cleaning; selective-scan test weak", seed)
+		}
+		buf := make([]byte, ss)
+		for _, id := range snaps {
+			view, d, err := f.ActivateSync(now, id, noLimit, false)
+			if err != nil {
+				t.Fatalf("seed %d activating %d: %v", seed, id, err)
+			}
+			now = d
+			frozen := snapModels[id]
+			if view.MappedSectors() != len(frozen) {
+				t.Fatalf("seed %d snap %d: selective scan mapped %d, want %d",
+					seed, id, view.MappedSectors(), len(frozen))
+			}
+			for lba, v := range frozen {
+				if _, err := view.Read(now, lba, buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf, sectorPattern(ss, lba, v)) {
+					t.Fatalf("seed %d snap %d LBA %d wrong under selective scan", seed, id, lba)
+				}
+			}
+			if _, err := view.Deactivate(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSelectiveScanIsFaster checks the optimization actually pays: on a
+// large log where the snapshot's data is confined to a few segments, the
+// selective activation must scan far fewer segments and finish sooner.
+func TestSelectiveScanIsFaster(t *testing.T) {
+	run := func(selective bool) sim.Duration {
+		nc := testConfig().Nand
+		nc.Segments = 64
+		cfg := DefaultConfig(nc)
+		cfg.BitmapPageBits = 64
+		cfg.SelectiveScan = selective
+		f, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := f.SectorSize()
+		now := sim.Time(0)
+		// A tiny early snapshot...
+		for lba := int64(0); lba < 10; lba++ {
+			now, _ = f.Write(now, lba, sectorPattern(ss, lba, 1))
+		}
+		snap, now, err := f.CreateSnapshot(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ...followed by a lot of unrelated data filling many segments.
+		for lba := int64(100); lba < 700; lba++ {
+			f.sched.RunUntil(now)
+			d, err := f.Write(now, lba, sectorPattern(ss, lba, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = d
+		}
+		start := now
+		view, done, err := f.ActivateSync(now, snap.ID, noLimit, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.MappedSectors() != 10 {
+			t.Fatalf("selective=%v mapped %d, want 10", selective, view.MappedSectors())
+		}
+		return done.Sub(start)
+	}
+	full := run(false)
+	sel := run(true)
+	if sel >= full/4 {
+		t.Fatalf("selective scan (%v) not much faster than full scan (%v)", sel, full)
+	}
+}
+
+// TestSelectiveScanWithConcurrentGC stresses the moved-block hook under
+// the reduced scan list.
+func TestSelectiveScanWithConcurrentGC(t *testing.T) {
+	cfg := testConfig()
+	cfg.SelectiveScan = true
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := f.SectorSize()
+	rng := sim.NewRNG(77)
+	now := sim.Time(0)
+	model := make(map[int64]byte)
+	for i := 0; i < 120; i++ {
+		f.sched.RunUntil(now)
+		lba := rng.Int63n(80)
+		v := byte(i + 1)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, v))
+		model[lba] = v
+	}
+	snap, now, _ := f.CreateSnapshot(now)
+	frozen := make(map[int64]byte, len(model))
+	for k, v := range model {
+		frozen[k] = v
+	}
+	act, now, err := f.Activate(now, snap.ID, throttled(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		f.sched.RunUntil(now)
+		lba := rng.Int63n(80)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, byte(200+i%50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	end := f.sched.Drain(now)
+	view, err := act.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("no GC; test vacuous")
+	}
+	buf := make([]byte, ss)
+	for lba, v := range frozen {
+		if _, err := view.Read(end, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorPattern(ss, lba, v)) {
+			t.Fatalf("LBA %d wrong under selective scan + concurrent GC", lba)
+		}
+	}
+}
+
+// throttled returns a small activation budget used by the concurrency test.
+func throttled() ratelimit.WorkSleep {
+	return ratelimit.WorkSleep{Work: 5 * sim.Microsecond, Sleep: 300 * sim.Microsecond}
+}

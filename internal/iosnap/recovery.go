@@ -1,0 +1,404 @@
+package iosnap
+
+import (
+	"fmt"
+	"sort"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// Crash recovery (paper §5.5) runs in two passes over the log headers:
+//
+// Pass 1 identifies the snapshot operations (create/delete/activate/
+// deactivate notes) and rebuilds the snapshot tree and the epoch
+// inheritance graph by replaying them in sequence order.
+//
+// Pass 2 selects the data translations relevant to the *active* lineage,
+// resolves last-write-wins, sorts by LBA, and bulk-loads the forward map
+// bottom-up. Per-epoch validity maps are then reconstructed breadth-first
+// down the epoch tree: each epoch's view is its parent's view overlaid
+// with the epoch's own winning translations, materialized as CoW
+// differences so sharing is preserved.
+//
+// Only the active tree's forward map is built (the paper's explicit design
+// choice); snapshots must be re-activated to be read. Writable views that
+// were live at crash time are not reconstructed: their never-snapshotted
+// epochs are marked deleted and the cleaner reclaims their blocks.
+
+type recNote struct {
+	typ   header.Type
+	id    SnapshotID
+	epoch bitmap.Epoch
+	seq   uint64
+	addr  nand.PageAddr
+}
+
+type recData struct {
+	lba   uint64
+	epoch bitmap.Epoch
+	seq   uint64
+	addr  nand.PageAddr
+}
+
+// Recover reconstructs an ioSnap FTL from an existing device.
+func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, now, err
+	}
+	if dev.Config() != cfg.Nand {
+		return nil, now, fmt.Errorf("iosnap: device geometry differs from config")
+	}
+	if sched == nil {
+		sched = sim.NewScheduler()
+	}
+
+	// ---- Scan: one pass over all OOB headers. ----
+	var (
+		notes     []recNote
+		data      []recData
+		segMaxSeq = make([]uint64, cfg.Nand.Segments)
+		segUsed   = make([]bool, cfg.Nand.Segments)
+		maxSeq    uint64
+	)
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		oobs, done, err := dev.ScanSegmentOOB(now, seg)
+		if err != nil {
+			return nil, now, fmt.Errorf("iosnap: scanning segment %d: %w", seg, err)
+		}
+		now = done
+		for idx, oob := range oobs {
+			if oob == nil {
+				continue
+			}
+			segUsed[seg] = true
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				return nil, now, fmt.Errorf("iosnap: segment %d page %d: %w", seg, idx, err)
+			}
+			if h.Seq > segMaxSeq[seg] {
+				segMaxSeq[seg] = h.Seq
+			}
+			if h.Seq > maxSeq {
+				maxSeq = h.Seq
+			}
+			addr := dev.Addr(seg, idx)
+			switch h.Type {
+			case header.TypeData:
+				data = append(data, recData{lba: h.LBA, epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
+			case header.TypeSnapCreate, header.TypeSnapDelete, header.TypeSnapActivate, header.TypeSnapDeactivate:
+				notes = append(notes, recNote{typ: h.Type, id: SnapshotID(h.LBA), epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
+			}
+		}
+	}
+
+	f := &FTL{
+		cfg:         cfg,
+		dev:         dev,
+		sched:       sched,
+		vstore:      bitmap.NewStore(cfg.Nand.TotalPages(), cfg.BitmapPageBits),
+		tree:        NewTree(),
+		epochParent: make(map[bitmap.Epoch]bitmap.Epoch),
+		gcVictim:    -1,
+		presence:    newEpochPresence(cfg.Nand.Segments),
+	}
+	f.seq = maxSeq
+	for _, d := range data {
+		f.presence.add(f.dev.SegmentOf(d.addr), d.epoch)
+	}
+	for _, n := range notes {
+		f.presence.add(f.dev.SegmentOf(n.addr), n.epoch)
+	}
+
+	// ---- Pass 1: replay notes in seq order; rebuild tree + epoch graph. ----
+	// The cleaner can duplicate a note (copy-forwarded, crash before the
+	// source segment's erase); collapse equal-seq duplicates first, keeping
+	// the higher address to match the data-entry tie-break.
+	sort.Slice(notes, func(i, j int) bool {
+		if notes[i].seq != notes[j].seq {
+			return notes[i].seq < notes[j].seq
+		}
+		return notes[i].addr < notes[j].addr
+	})
+	dedup := notes[:0]
+	for _, n := range notes {
+		if len(dedup) > 0 && dedup[len(dedup)-1].seq == n.seq {
+			dedup[len(dedup)-1] = n
+			continue
+		}
+		dedup = append(dedup, n)
+	}
+	notes = dedup
+	counter := bitmap.Epoch(1)
+	activeEpoch := bitmap.Epoch(1)
+	deadEpochs := make(map[bitmap.Epoch]bool)
+	type liveNote struct {
+		addr nand.PageAddr
+		live bool
+	}
+	noteState := make(map[nand.PageAddr]*liveNote)
+	createNoteOf := make(map[SnapshotID]nand.PageAddr)
+
+	for _, n := range notes {
+		switch n.typ {
+		case header.TypeSnapCreate:
+			frozen := n.epoch
+			counter++
+			newEpoch := counter
+			f.epochParent[newEpoch] = frozen
+			parent := f.nearestSnapshotAncestor(frozen)
+			snap := &Snapshot{ID: n.id, Epoch: frozen, Parent: parent, noteAddr: n.addr}
+			f.tree.add(snap)
+			if frozen == activeEpoch {
+				activeEpoch = newEpoch
+			}
+			createNoteOf[n.id] = n.addr
+			noteState[n.addr] = &liveNote{addr: n.addr, live: true}
+		case header.TypeSnapDelete:
+			if s, ok := f.tree.Lookup(n.id); ok {
+				s.Deleted = true
+			}
+			noteState[n.addr] = &liveNote{addr: n.addr, live: true}
+		case header.TypeSnapActivate:
+			newEpoch := n.epoch
+			if newEpoch > counter {
+				counter = newEpoch
+			}
+			if s, ok := f.tree.Lookup(n.id); ok {
+				f.epochParent[newEpoch] = s.Epoch
+			}
+			// The activation's epoch dies with the crash unless a snapshot
+			// was later created from it (a create note with frozen=newEpoch
+			// resurrects the lineage); assume dead, resurrect below.
+			deadEpochs[newEpoch] = true
+			noteState[n.addr] = &liveNote{addr: n.addr, live: true}
+		case header.TypeSnapDeactivate:
+			deadEpochs[n.epoch] = true
+			noteState[n.addr] = &liveNote{addr: n.addr, live: true}
+		}
+	}
+	// Epochs frozen into snapshots are never dead-by-abandonment, and the
+	// continuation epoch allocated at create time keeps its branch alive if
+	// it is the active epoch.
+	for e := range f.tree.byEpoch {
+		delete(deadEpochs, e)
+	}
+	delete(deadEpochs, activeEpoch)
+
+	f.epochCounter = counter
+
+	// ---- Pass 2: active-lineage forward map. ----
+	lineage := map[bitmap.Epoch]bool{activeEpoch: true}
+	for e := activeEpoch; ; {
+		p, ok := f.epochParent[e]
+		if !ok {
+			break
+		}
+		lineage[p] = true
+		e = p
+	}
+	type winner struct {
+		addr nand.PageAddr
+		seq  uint64
+	}
+	winners := make(map[uint64]winner)
+	for _, d := range data {
+		if !lineage[d.epoch] {
+			continue
+		}
+		w, ok := winners[d.lba]
+		// Equal seq means the cleaner duplicated the block and crashed
+		// before erasing the source; the copies are identical, pick the
+		// higher address deterministically.
+		if !ok || d.seq > w.seq || (d.seq == w.seq && d.addr > w.addr) {
+			winners[d.lba] = winner{addr: d.addr, seq: d.seq}
+		}
+	}
+	entries := make([]ftlmap.Entry, 0, len(winners))
+	for lba, w := range winners {
+		entries = append(entries, ftlmap.Entry{Key: lba, Val: uint64(w.addr)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	f.active = &view{fmap: ftlmap.BulkLoad(entries, 1.0), epoch: activeEpoch, writable: true}
+	if s := f.nearestSnapshotAncestorInclusive(activeEpoch); s != nil {
+		f.active.parent = s
+	}
+	f.views = []*view{f.active}
+
+	// ---- Validity reconstruction, breadth-first down the epoch tree. ----
+	if err := f.rebuildValidity(data); err != nil {
+		return nil, now, err
+	}
+	for e := range deadEpochs {
+		if f.vstore.Exists(e) {
+			if err := f.vstore.DeleteEpoch(e); err != nil {
+				return nil, now, err
+			}
+		}
+	}
+	for _, s := range f.tree.byID {
+		if s.Deleted && f.vstore.Exists(s.Epoch) {
+			if err := f.vstore.DeleteEpoch(s.Epoch); err != nil {
+				return nil, now, err
+			}
+		}
+	}
+	// Preserve snapshot notes that recovery still depends on: set their
+	// bits in the active epoch so the cleaner carries them forward.
+	for _, st := range noteState {
+		if st.live {
+			f.vstore.Set(activeEpoch, int64(st.addr))
+		}
+	}
+	f.vstore.ResetCoWCounter()
+
+	// ---- Log geometry: segment order, free pool, head, like the base FTL. ----
+	type segOrder struct {
+		seg int
+		seq uint64
+	}
+	var used []segOrder
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		if segUsed[seg] {
+			used = append(used, segOrder{seg, segMaxSeq[seg]})
+		} else {
+			f.freeSegs = append(f.freeSegs, seg)
+		}
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
+	for _, u := range used {
+		f.usedSegs = append(f.usedSegs, u.seg)
+	}
+	f.segLastSeq = make([]uint64, cfg.Nand.Segments)
+	copy(f.segLastSeq, segMaxSeq)
+	if len(f.usedSegs) > 0 {
+		last := f.usedSegs[len(f.usedSegs)-1]
+		if next := dev.NextFreeInSegment(last); next < cfg.Nand.PagesPerSegment {
+			f.headSeg, f.headIdx = last, next
+		} else {
+			if len(f.freeSegs) == 0 {
+				return nil, now, ErrDeviceFull
+			}
+			f.headSeg = f.freeSegs[0]
+			f.freeSegs = f.freeSegs[1:]
+			f.headIdx = 0
+			f.usedSegs = append(f.usedSegs, f.headSeg)
+		}
+	} else {
+		f.headSeg = f.freeSegs[0]
+		f.freeSegs = f.freeSegs[1:]
+		f.headIdx = 0
+		f.usedSegs = append(f.usedSegs, f.headSeg)
+	}
+	// Reconstruction CPU cost: proportional to processed translations.
+	now = now.Add(sim.Duration(len(data)) * cfg.ReconstructCPUPerEntry)
+	f.maybeScheduleGC(now)
+	return f, now, nil
+}
+
+// nearestSnapshotAncestor walks the epoch graph upward from e's parent and
+// returns the first epoch frozen into a snapshot.
+func (f *FTL) nearestSnapshotAncestor(e bitmap.Epoch) *Snapshot {
+	p, ok := f.epochParent[e]
+	for ok {
+		if s, isSnap := f.tree.ByEpoch(p); isSnap {
+			return s
+		}
+		p, ok = f.epochParent[p]
+	}
+	return nil
+}
+
+// nearestSnapshotAncestorInclusive also considers e itself.
+func (f *FTL) nearestSnapshotAncestorInclusive(e bitmap.Epoch) *Snapshot {
+	if s, ok := f.tree.ByEpoch(e); ok {
+		return s
+	}
+	return f.nearestSnapshotAncestor(e)
+}
+
+// rebuildValidity reconstructs every epoch's validity map breadth-first:
+// an epoch's view is its parent's view overlaid with its own last-write-
+// wins translations, applied to the CoW store as differences.
+func (f *FTL) rebuildValidity(data []recData) error {
+	// Group data by epoch, resolving within-epoch overwrites.
+	type winner struct {
+		addr nand.PageAddr
+		seq  uint64
+	}
+	perEpoch := make(map[bitmap.Epoch]map[uint64]winner)
+	for _, d := range data {
+		m := perEpoch[d.epoch]
+		if m == nil {
+			m = make(map[uint64]winner)
+			perEpoch[d.epoch] = m
+		}
+		w, ok := m[d.lba]
+		if !ok || d.seq > w.seq || (d.seq == w.seq && d.addr > w.addr) {
+			m[d.lba] = winner{addr: d.addr, seq: d.seq}
+		}
+	}
+
+	// children lists for BFS.
+	children := make(map[bitmap.Epoch][]bitmap.Epoch)
+	for e, p := range f.epochParent {
+		children[p] = append(children[p], e)
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+
+	// BFS from the root epoch 1.
+	type qent struct {
+		epoch  bitmap.Epoch
+		parent bitmap.Epoch
+		view   map[uint64]winner // lba -> live block as of this epoch
+	}
+	if err := f.vstore.CreateEpoch(1, bitmap.NoParent); err != nil {
+		return err
+	}
+	rootView := make(map[uint64]winner)
+	queue := []qent{{epoch: 1, parent: bitmap.NoParent, view: rootView}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		// Overlay this epoch's own winners onto the inherited view,
+		// mirroring the inherit-then-diverge behaviour of the live system.
+		own := perEpoch[cur.epoch]
+		// Deterministic order for reproducibility.
+		lbas := make([]uint64, 0, len(own))
+		for lba := range own {
+			lbas = append(lbas, lba)
+		}
+		sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+		for _, lba := range lbas {
+			w := own[lba]
+			if old, ok := cur.view[lba]; ok {
+				f.vstore.Clear(cur.epoch, int64(old.addr))
+			}
+			f.vstore.Set(cur.epoch, int64(w.addr))
+			cur.view[lba] = w
+		}
+
+		kids := children[cur.epoch]
+		for i, k := range kids {
+			if err := f.vstore.CreateEpoch(k, cur.epoch); err != nil {
+				return err
+			}
+			kv := cur.view
+			if i < len(kids)-1 {
+				// Siblings diverge: all but the last need their own copy.
+				kv = make(map[uint64]winner, len(cur.view))
+				for lba, w := range cur.view {
+					kv[lba] = w
+				}
+			}
+			queue = append(queue, qent{epoch: k, parent: cur.epoch, view: kv})
+		}
+	}
+	return nil
+}

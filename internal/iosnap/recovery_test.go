@@ -1,0 +1,323 @@
+package iosnap
+
+import (
+	"bytes"
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+// crashScenario drives a randomized mix of writes, snapshot creates and
+// deletes, recording the model state of the active device and every live
+// snapshot at its freeze point.
+type crashScenario struct {
+	f         *FTL
+	now       sim.Time
+	model     map[int64]byte
+	snapState map[SnapshotID]map[int64]byte
+	deleted   map[SnapshotID]bool
+}
+
+func runScenario(t *testing.T, seed uint64, steps int) *crashScenario {
+	t.Helper()
+	s := &crashScenario{
+		f:         mustNew(t),
+		model:     make(map[int64]byte),
+		snapState: make(map[SnapshotID]map[int64]byte),
+		deleted:   make(map[SnapshotID]bool),
+	}
+	f := s.f
+	ss := f.SectorSize()
+	rng := sim.NewRNG(seed)
+	var liveSnaps []SnapshotID
+	for i := 0; i < steps; i++ {
+		f.sched.RunUntil(s.now)
+		switch op := rng.Intn(20); {
+		case op == 0 && len(liveSnaps) < 2:
+			// Bound live snapshots: each one pins its divergent blocks, and
+			// the 256-page test device genuinely fills up otherwise (the
+			// paper's "limited only by capacity" in miniature).
+			snap, d, err := f.CreateSnapshot(s.now)
+			if err != nil {
+				t.Fatalf("seed %d step %d create: %v", seed, i, err)
+			}
+			s.now = d
+			frozen := make(map[int64]byte, len(s.model))
+			for k, v := range s.model {
+				frozen[k] = v
+			}
+			s.snapState[snap.ID] = frozen
+			liveSnaps = append(liveSnaps, snap.ID)
+		case op == 1 && len(liveSnaps) > 0:
+			idx := rng.Intn(len(liveSnaps))
+			id := liveSnaps[idx]
+			d, err := f.DeleteSnapshot(s.now, id)
+			if err != nil {
+				t.Fatalf("seed %d step %d delete: %v", seed, i, err)
+			}
+			s.now = d
+			s.deleted[id] = true
+			liveSnaps = append(liveSnaps[:idx], liveSnaps[idx+1:]...)
+		default:
+			lba := rng.Int63n(70)
+			v := byte(i%250 + 1)
+			d, err := f.Write(s.now, lba, sectorPattern(ss, lba, v))
+			if err != nil {
+				t.Fatalf("seed %d step %d write: %v", seed, i, err)
+			}
+			s.model[lba] = v
+			s.now = d
+		}
+	}
+	s.now = f.sched.Drain(s.now)
+	return s
+}
+
+func mustNew(t *testing.T) *FTL {
+	t.Helper()
+	f, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRecoverActiveState(t *testing.T) {
+	s := runScenario(t, 1, 400)
+	r, now, err := Recover(s.f.Config(), s.f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	buf := make([]byte, r.SectorSize())
+	for lba, v := range s.model {
+		if _, err := r.Read(now, lba, buf); err != nil {
+			t.Fatalf("post-recovery read %d: %v", lba, err)
+		}
+		if !bytes.Equal(buf, sectorPattern(r.SectorSize(), lba, v)) {
+			t.Fatalf("LBA %d wrong after recovery", lba)
+		}
+	}
+	if r.MappedSectors() != len(s.model) {
+		t.Fatalf("mapped %d, want %d", r.MappedSectors(), len(s.model))
+	}
+}
+
+func TestRecoverSnapshotTree(t *testing.T) {
+	s := runScenario(t, 2, 500)
+	r, _, err := Recover(s.f.Config(), s.f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tree().Len() != s.f.Tree().Len() {
+		t.Fatalf("tree size %d, want %d", r.Tree().Len(), s.f.Tree().Len())
+	}
+	for _, id := range s.f.Tree().IDs() {
+		orig, _ := s.f.Tree().Lookup(id)
+		rec, ok := r.Tree().Lookup(id)
+		if !ok {
+			t.Fatalf("snapshot %d lost", id)
+		}
+		if rec.Epoch != orig.Epoch || rec.Deleted != orig.Deleted {
+			t.Fatalf("snapshot %d mismatch: %+v vs %+v", id, rec, orig)
+		}
+		op, rp := orig.Parent, rec.Parent
+		if (op == nil) != (rp == nil) || (op != nil && op.ID != rp.ID) {
+			t.Fatalf("snapshot %d parent mismatch", id)
+		}
+	}
+	if r.ActiveEpoch() != s.f.ActiveEpoch() {
+		t.Fatalf("active epoch %d, want %d", r.ActiveEpoch(), s.f.ActiveEpoch())
+	}
+}
+
+func TestRecoverThenActivateSnapshots(t *testing.T) {
+	// The strongest property: every live snapshot must activate to exactly
+	// its freeze-time state after a crash.
+	for _, seed := range []uint64{3, 4, 5} {
+		s := runScenario(t, seed, 450)
+		r, now, err := Recover(s.f.Config(), s.f.Device(), nil, s.now)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		buf := make([]byte, r.SectorSize())
+		checked := 0
+		for id, frozen := range s.snapState {
+			if s.deleted[id] {
+				continue
+			}
+			view, d, err := r.ActivateSync(now, id, noLimit, false)
+			if err != nil {
+				t.Fatalf("seed %d activating %d after recovery: %v", seed, id, err)
+			}
+			now = d
+			for lba, v := range frozen {
+				if _, err := view.Read(now, lba, buf); err != nil {
+					t.Fatalf("seed %d snap %d read %d: %v", seed, id, lba, err)
+				}
+				if !bytes.Equal(buf, sectorPattern(r.SectorSize(), lba, v)) {
+					t.Fatalf("seed %d: snapshot %d LBA %d wrong after crash recovery", seed, id, lba)
+				}
+			}
+			if view.MappedSectors() != len(frozen) {
+				t.Fatalf("seed %d snap %d mapped %d, want %d", seed, id, view.MappedSectors(), len(frozen))
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("seed %d produced no live snapshots; scenario too weak", seed)
+		}
+	}
+}
+
+func TestRecoveredDeviceKeepsWorking(t *testing.T) {
+	s := runScenario(t, 6, 300)
+	r, now, err := Recover(s.f.Config(), s.f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := r.SectorSize()
+	rng := sim.NewRNG(60)
+	model := s.model
+	for i := 0; i < 400; i++ {
+		r.Scheduler().RunUntil(now)
+		lba := rng.Int63n(70)
+		v := byte(i%200 + 1)
+		d, err := r.Write(now, lba, sectorPattern(ss, lba, v))
+		if err != nil {
+			t.Fatalf("post-recovery write %d: %v", i, err)
+		}
+		model[lba] = v
+		now = d
+	}
+	// New snapshots on the recovered device.
+	snap, now, err := r.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = r.Scheduler().Drain(now)
+	view, now, err := r.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ss)
+	for lba, v := range model {
+		if _, err := view.Read(now, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorPattern(ss, lba, v)) {
+			t.Fatalf("LBA %d wrong in post-recovery snapshot", lba)
+		}
+	}
+}
+
+func TestDoubleCrash(t *testing.T) {
+	// Crash, recover, write more, crash again, recover again: snapshot
+	// notes must have survived both crashes.
+	s := runScenario(t, 7, 350)
+	r1, now, err := Recover(s.f.Config(), s.f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := r1.SectorSize()
+	rng := sim.NewRNG(71)
+	for i := 0; i < 200; i++ {
+		r1.Scheduler().RunUntil(now)
+		lba := rng.Int63n(70)
+		d, err := r1.Write(now, lba, sectorPattern(ss, lba, byte(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	now = r1.Scheduler().Drain(now)
+	r2, now, err := Recover(r1.Config(), r1.Device(), nil, now)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if r2.Tree().Len() != s.f.Tree().Len() {
+		t.Fatalf("tree lost across double crash: %d vs %d", r2.Tree().Len(), s.f.Tree().Len())
+	}
+	// Live snapshots must still activate correctly.
+	buf := make([]byte, ss)
+	for id, frozen := range s.snapState {
+		if s.deleted[id] {
+			continue
+		}
+		view, d, err := r2.ActivateSync(now, id, noLimit, false)
+		if err != nil {
+			t.Fatalf("activating %d after double crash: %v", id, err)
+		}
+		now = d
+		for lba, v := range frozen {
+			if _, err := view.Read(now, lba, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, sectorPattern(ss, lba, v)) {
+				t.Fatalf("snapshot %d LBA %d wrong after double crash", id, lba)
+			}
+		}
+	}
+}
+
+func TestRecoverFreshDevice(t *testing.T) {
+	f := mustNew(t)
+	r, _, err := Recover(f.Config(), f.Device(), nil, 0)
+	if err != nil {
+		t.Fatalf("fresh recovery: %v", err)
+	}
+	if r.MappedSectors() != 0 || r.Tree().Len() != 0 {
+		t.Fatal("fresh recovery produced state")
+	}
+	if _, err := r.Write(0, 0, make([]byte, r.SectorSize())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverGeometryMismatch(t *testing.T) {
+	f := mustNew(t)
+	other := testConfig()
+	other.Nand.Segments = 8
+	other.UserSectors = 64
+	if _, _, err := Recover(other, f.Device(), nil, 0); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestRecoverAfterDeleteReclaims(t *testing.T) {
+	// Deleted snapshots must stay deleted after recovery, and their blocks
+	// must be reclaimable.
+	f := mustNew(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	for lba := int64(0); lba < 50; lba++ {
+		f.sched.RunUntil(now)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, 1))
+	}
+	snap, now, _ := f.CreateSnapshot(now)
+	for lba := int64(0); lba < 50; lba++ {
+		f.sched.RunUntil(now)
+		now, _ = f.Write(now, lba, sectorPattern(ss, lba, 2))
+	}
+	now, err := f.DeleteSnapshot(now, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, now, err := Recover(f.Config(), f.Device(), nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ActivateSync(now, snap.ID, noLimit, false); err == nil {
+		t.Fatal("deleted snapshot activated after recovery")
+	}
+	// Churn: the deleted snapshot's blocks must be reclaimed, so this fits.
+	rng := sim.NewRNG(8)
+	for i := 0; i < 400; i++ {
+		r.Scheduler().RunUntil(now)
+		lba := rng.Int63n(50)
+		d, err := r.Write(now, lba, sectorPattern(ss, lba, byte(i)))
+		if err != nil {
+			t.Fatalf("churn after recovery of deleted snapshot: %v", err)
+		}
+		now = d
+	}
+}

@@ -1,0 +1,76 @@
+package nand
+
+import (
+	"fmt"
+
+	"iosnap/internal/sim"
+)
+
+// CopyPage moves a programmed page's contents to an erased page (the
+// cleaner's copy-forward), preserving payload — or its fingerprint in
+// fingerprint mode — and OOB header bytes. Timing models a read on the
+// source page's channel followed by a program on the destination's, with
+// both transfers crossing the shared buses, so copy-forward contends with
+// foreground I/O exactly like host-issued operations.
+func (d *Device) CopyPage(now sim.Time, from, to PageAddr) (sim.Time, error) {
+	_, src, err := d.check(from)
+	if err != nil {
+		return now, err
+	}
+	if src.state != pageProgrammed {
+		return now, fmt.Errorf("%w: copy source %d", ErrReadErased, from)
+	}
+	dstSeg, dst, err := d.check(to)
+	if err != nil {
+		return now, err
+	}
+	if dst.state != pageErased {
+		return now, fmt.Errorf("%w: copy destination %d", ErrNotErased, to)
+	}
+	toIdx := d.PageIndexOf(to)
+	if d.cfg.SequentialProg && toIdx != dstSeg.nextProg {
+		return now, fmt.Errorf("%w: segment %d page %d (next free %d)",
+			ErrOutOfOrder, d.SegmentOf(to), toIdx, dstSeg.nextProg)
+	}
+	if d.FaultFn != nil {
+		if err := d.FaultFn(OpRead, from); err != nil {
+			return now, err
+		}
+		if err := d.FaultFn(OpProgram, to); err != nil {
+			return now, err
+		}
+	}
+
+	dst.state = pageProgrammed
+	dst.oob = src.oob
+	dst.fp = src.fp
+	if d.cfg.StoreData && src.data != nil {
+		dst.data = append([]byte(nil), src.data...)
+	}
+	dstSeg.nextProg = toIdx + 1
+
+	d.stats.PageReads++
+	d.stats.PagePrograms++
+	d.stats.BytesRead += int64(d.cfg.SectorSize)
+	d.stats.BytesWritten += int64(d.cfg.SectorSize)
+
+	_, cellDone := d.channelFor(from).Acquire(now, d.cfg.ReadLatency)
+	busDone := d.readBus.acquire(cellDone, d.cfg.SectorSize)
+	busDone = d.writeBus.acquire(busDone, d.cfg.SectorSize)
+	_, done := d.channelFor(to).Acquire(busDone, d.cfg.ProgramLatency)
+	return done, nil
+}
+
+// PageOOB returns the OOB bytes of a programmed page without modelling
+// device time; the cleaner uses it to interpret a page it is about to move
+// (the timed read happens in CopyPage).
+func (d *Device) PageOOB(addr PageAddr) ([]byte, error) {
+	_, p, err := d.check(addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.state != pageProgrammed {
+		return nil, fmt.Errorf("%w: page %d", ErrReadErased, addr)
+	}
+	return p.oob[:], nil
+}

@@ -1,0 +1,96 @@
+package nand
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// imageVersion guards the on-disk image format.
+const imageVersion = 1
+
+// imagePage is the serialized form of a programmed page.
+type imagePage struct {
+	Index int
+	OOB   [OOBSize]byte
+	FP    uint64
+	Data  []byte
+}
+
+type imageSegment struct {
+	Index    int
+	NextProg int
+	Erases   int
+	Pages    []imagePage
+}
+
+type imageHeader struct {
+	Version int
+	Cfg     Config
+	Stats   Stats
+}
+
+// SaveImage serializes the device (configuration, wear, page contents) to w.
+// Together with LoadImage it gives cmd/iosnapctl persistent device images so
+// separate CLI invocations operate on the same "drive".
+func (d *Device) SaveImage(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(imageHeader{Version: imageVersion, Cfg: d.cfg, Stats: d.stats}); err != nil {
+		return fmt.Errorf("nand: encoding image header: %w", err)
+	}
+	for i := range d.segs {
+		s := &d.segs[i]
+		is := imageSegment{Index: i, NextProg: s.nextProg, Erases: s.erases}
+		for j := range s.pages {
+			p := &s.pages[j]
+			if p.state != pageProgrammed {
+				continue
+			}
+			is.Pages = append(is.Pages, imagePage{Index: j, OOB: p.oob, FP: p.fp, Data: p.data})
+		}
+		if err := enc.Encode(is); err != nil {
+			return fmt.Errorf("nand: encoding segment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadImage reconstructs a device previously serialized with SaveImage.
+func LoadImage(r io.Reader) (*Device, error) {
+	dec := gob.NewDecoder(r)
+	var hdr imageHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("nand: decoding image header: %w", err)
+	}
+	if hdr.Version != imageVersion {
+		return nil, fmt.Errorf("nand: image version %d, want %d", hdr.Version, imageVersion)
+	}
+	if err := hdr.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("nand: image has invalid config: %w", err)
+	}
+	d := New(hdr.Cfg)
+	d.stats = hdr.Stats
+	for i := 0; i < hdr.Cfg.Segments; i++ {
+		var is imageSegment
+		if err := dec.Decode(&is); err != nil {
+			return nil, fmt.Errorf("nand: decoding segment %d: %w", i, err)
+		}
+		if is.Index < 0 || is.Index >= hdr.Cfg.Segments {
+			return nil, fmt.Errorf("nand: image segment index %d out of range", is.Index)
+		}
+		s := &d.segs[is.Index]
+		s.nextProg = is.NextProg
+		s.erases = is.Erases
+		for _, ip := range is.Pages {
+			if ip.Index < 0 || ip.Index >= hdr.Cfg.PagesPerSegment {
+				return nil, fmt.Errorf("nand: image page index %d out of range", ip.Index)
+			}
+			p := &s.pages[ip.Index]
+			p.state = pageProgrammed
+			p.oob = ip.OOB
+			p.fp = ip.FP
+			p.data = ip.Data
+		}
+	}
+	return d, nil
+}

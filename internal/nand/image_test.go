@@ -1,0 +1,107 @@
+package nand
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	d := New(testConfig())
+	data1 := fill(512, 0x11)
+	data2 := fill(512, 0x22)
+	if _, err := d.ProgramPage(0, 0, data1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProgramPage(0, 1, data2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EraseSegment(0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+	d2, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+
+	if d2.Config() != d.Config() {
+		t.Fatal("config not preserved")
+	}
+	got, oob, _, err := d2.ReadPage(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data1) || oob[0] != 'a' {
+		t.Fatal("page 0 not preserved")
+	}
+	got, _, _, err = d2.ReadPage(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Fatal("page 1 not preserved")
+	}
+	if d2.EraseCount(2) != 1 {
+		t.Fatal("erase count not preserved")
+	}
+	if d2.NextFreeInSegment(0) != 2 {
+		t.Fatalf("nextProg not preserved: %d", d2.NextFreeInSegment(0))
+	}
+	// Program must resume exactly where it left off.
+	if _, err := d2.ProgramPage(0, 2, data1, nil); err != nil {
+		t.Fatalf("program after load: %v", err)
+	}
+}
+
+func TestImageFingerprintMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreData = false
+	d := New(cfg)
+	data := fill(512, 0x77)
+	if _, err := d.ProgramPage(0, 0, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := d2.PageFingerprint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != Fingerprint(data) {
+		t.Fatal("fingerprint not preserved")
+	}
+}
+
+func TestLoadImageGarbage(t *testing.T) {
+	if _, err := LoadImage(bytes.NewReader([]byte("not an image"))); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}
+
+func TestImageStatsPreserved(t *testing.T) {
+	d := New(testConfig())
+	if _, err := d.ProgramPage(0, 0, fill(512, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Stats().PagePrograms != 1 {
+		t.Fatal("stats not preserved")
+	}
+}

@@ -1,0 +1,102 @@
+// Package ratelimit implements the two pacing mechanisms of the paper's
+// §5.7 "Predictable Performance":
+//
+//   - WorkSleep budgets for snapshot activation ("for every x µs of
+//     activation work done, the activation thread has to sleep for y ms" —
+//     the knobs of Figure 9), and
+//   - Pacer, the segment cleaner's pacing policy, which spreads an estimated
+//     amount of copy-forward work over a window. Giving the pacer a
+//     *snapshot-aware* work estimate (merged validity maps instead of the
+//     active epoch's) is exactly the fix evaluated in Figure 10.
+package ratelimit
+
+import "iosnap/internal/sim"
+
+// WorkSleep is an "x work / y sleep" rate-limit configuration. The zero
+// value disables limiting.
+type WorkSleep struct {
+	Work  sim.Duration // budget of work per period
+	Sleep sim.Duration // sleep inserted when the budget is exhausted
+}
+
+// Enabled reports whether the configuration actually limits anything.
+func (ws WorkSleep) Enabled() bool { return ws.Work > 0 && ws.Sleep > 0 }
+
+// String renders the paper's "x usec/y msec" notation.
+func (ws WorkSleep) String() string {
+	if !ws.Enabled() {
+		return "unlimited"
+	}
+	return ws.Work.String() + "/" + ws.Sleep.String()
+}
+
+// Budget tracks work performed against a WorkSleep configuration.
+type Budget struct {
+	ws   WorkSleep
+	used sim.Duration
+}
+
+// NewBudget returns a fresh budget for ws.
+func NewBudget(ws WorkSleep) *Budget { return &Budget{ws: ws} }
+
+// Charge records that d of work was just performed. When the accumulated
+// work reaches the budget, Charge resets the accumulator and returns the
+// configured sleep with exhausted=true; the caller yields for that long.
+func (b *Budget) Charge(d sim.Duration) (sleep sim.Duration, exhausted bool) {
+	if !b.ws.Enabled() {
+		return 0, false
+	}
+	b.used += d
+	if b.used < b.ws.Work {
+		return 0, false
+	}
+	b.used = 0
+	return b.ws.Sleep, true
+}
+
+// Config returns the budget's configuration.
+func (b *Budget) Config() WorkSleep { return b.ws }
+
+// Pacer spreads estimatedUnits of work uniformly over window: the i-th unit
+// may not start before start + i*window/estimatedUnits. Once the planned
+// units are consumed (the estimate was too low — e.g., a vanilla-policy
+// cleaner that did not account for snapshotted data), Ready returns the
+// current time: the remaining work runs unthrottled, producing the
+// interference spike the snapshot-aware estimate avoids.
+type Pacer struct {
+	start        sim.Time
+	delayPerUnit sim.Duration
+	planned      int
+	done         int
+}
+
+// NewPacer plans estimatedUnits of work across window starting at start.
+// estimatedUnits <= 0 disables pacing entirely.
+func NewPacer(start sim.Time, estimatedUnits int, window sim.Duration) *Pacer {
+	p := &Pacer{start: start, planned: estimatedUnits}
+	if estimatedUnits > 0 {
+		p.delayPerUnit = window / sim.Duration(estimatedUnits)
+	}
+	return p
+}
+
+// Ready returns the earliest time at or after now at which the next unit of
+// work may run, and consumes that unit.
+func (p *Pacer) Ready(now sim.Time) sim.Time {
+	if p.planned <= 0 || p.done >= p.planned {
+		p.done++
+		return now
+	}
+	at := p.start.Add(sim.Duration(p.done) * p.delayPerUnit)
+	p.done++
+	if at < now {
+		return now
+	}
+	return at
+}
+
+// Consumed reports how many units have been drawn, and whether the pacer has
+// exceeded its plan (i.e., the estimate was too low).
+func (p *Pacer) Consumed() (done int, overrun bool) {
+	return p.done, p.done > p.planned
+}

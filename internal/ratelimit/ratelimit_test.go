@@ -1,0 +1,111 @@
+package ratelimit
+
+import (
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+func TestWorkSleepEnabled(t *testing.T) {
+	if (WorkSleep{}).Enabled() {
+		t.Fatal("zero value should be disabled")
+	}
+	ws := WorkSleep{Work: 50 * sim.Microsecond, Sleep: 250 * sim.Millisecond}
+	if !ws.Enabled() {
+		t.Fatal("configured limiter should be enabled")
+	}
+	if ws.String() != "50.00us/250.00ms" {
+		t.Fatalf("String = %q", ws.String())
+	}
+	if (WorkSleep{}).String() != "unlimited" {
+		t.Fatal("zero String should be unlimited")
+	}
+}
+
+func TestBudgetCharges(t *testing.T) {
+	b := NewBudget(WorkSleep{Work: 100, Sleep: 1000})
+	for i := 0; i < 9; i++ {
+		if sleep, ex := b.Charge(10); ex || sleep != 0 {
+			t.Fatalf("charge %d exhausted early", i)
+		}
+	}
+	sleep, ex := b.Charge(10)
+	if !ex || sleep != 1000 {
+		t.Fatalf("budget not exhausted at 100: sleep=%d ex=%v", sleep, ex)
+	}
+	// Accumulator must reset.
+	if _, ex := b.Charge(10); ex {
+		t.Fatal("budget did not reset after sleep")
+	}
+}
+
+func TestBudgetDisabled(t *testing.T) {
+	b := NewBudget(WorkSleep{})
+	for i := 0; i < 1000; i++ {
+		if _, ex := b.Charge(1 << 40); ex {
+			t.Fatal("disabled budget exhausted")
+		}
+	}
+}
+
+func TestBudgetOvershootSingleCharge(t *testing.T) {
+	b := NewBudget(WorkSleep{Work: 100, Sleep: 7})
+	sleep, ex := b.Charge(1000)
+	if !ex || sleep != 7 {
+		t.Fatal("single oversized charge should exhaust")
+	}
+}
+
+func TestPacerSpreadsWork(t *testing.T) {
+	p := NewPacer(0, 10, 1000)
+	var prev sim.Time = -1
+	for i := 0; i < 10; i++ {
+		at := p.Ready(0)
+		if at != sim.Time(i*100) {
+			t.Fatalf("unit %d ready at %d, want %d", i, at, i*100)
+		}
+		if at <= prev && i > 0 {
+			t.Fatalf("non-monotone ready times")
+		}
+		prev = at
+	}
+}
+
+func TestPacerOverrunRunsImmediately(t *testing.T) {
+	p := NewPacer(0, 2, 1000)
+	p.Ready(0)
+	p.Ready(0)
+	// Third unit exceeds the plan: it must run at `now` with no delay.
+	if at := p.Ready(1234); at != 1234 {
+		t.Fatalf("overrun unit delayed to %d", at)
+	}
+	done, overrun := p.Consumed()
+	if done != 3 || !overrun {
+		t.Fatalf("Consumed = %d,%v", done, overrun)
+	}
+}
+
+func TestPacerNeverBeforeNow(t *testing.T) {
+	p := NewPacer(0, 10, 1000)
+	// Caller shows up late; pacing must not send it into the past.
+	if at := p.Ready(5000); at != 5000 {
+		t.Fatalf("Ready returned %d < now", at)
+	}
+}
+
+func TestPacerDisabled(t *testing.T) {
+	p := NewPacer(0, 0, 1000)
+	if at := p.Ready(42); at != 42 {
+		t.Fatal("disabled pacer delayed work")
+	}
+}
+
+func TestPacerAccurateEstimateNoOverrun(t *testing.T) {
+	p := NewPacer(100, 5, 500)
+	for i := 0; i < 5; i++ {
+		p.Ready(0)
+	}
+	if _, overrun := p.Consumed(); overrun {
+		t.Fatal("exact plan flagged as overrun")
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim provides the discrete virtual-time substrate used by the
+// entire repository: a nanosecond-resolution virtual clock, busy-time
+// accounting for contended resources (NAND channels, the device bus), a
+// deterministic random number generator, a background-task scheduler, and
+// latency statistics.
+//
+// Nothing in this package ever touches wall-clock time. Every experiment in
+// the repo is therefore deterministic and runs as fast as the host CPU can
+// simulate it, while still reproducing queueing and interference effects
+// (foreground I/O stalled behind background activation reads, etc.).
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration's representation so the usual constants read naturally.
+type Duration int64
+
+// Common duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(1<<63 - 1)
+
+// Resource models a serially-reusable resource (a NAND channel, the device
+// bus). Work submitted at time t begins at max(t, busyUntil) and occupies
+// the resource for its cost; the caller learns its completion time, which
+// includes any queueing delay. This is the entire contention model of the
+// simulator and is what produces realistic latency spikes when background
+// work (activation scans, segment cleaning) competes with foreground I/O.
+type Resource struct {
+	busyUntil Time
+}
+
+// Acquire schedules work of duration cost that was submitted at time now.
+// It returns the start and completion times and advances the resource's
+// busy horizon to the completion time.
+func (r *Resource) Acquire(now Time, cost Duration) (start, done Time) {
+	start = now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	done = start.Add(cost)
+	r.busyUntil = done
+	return start, done
+}
+
+// BusyUntil reports the time at which the resource next becomes free.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// Reset makes the resource idle immediately.
+func (r *Resource) Reset() { r.busyUntil = 0 }

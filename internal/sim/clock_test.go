@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{50 * Microsecond, "50.00us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d, want 150", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d, want 50", d)
+	}
+}
+
+func TestResourceIdleStart(t *testing.T) {
+	var r Resource
+	start, done := r.Acquire(1000, 10)
+	if start != 1000 || done != 1010 {
+		t.Fatalf("idle acquire: start=%d done=%d", start, done)
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100) // busy until 100
+	start, done := r.Acquire(10, 50)
+	if start != 100 {
+		t.Fatalf("queued op should start at 100, got %d", start)
+	}
+	if done != 150 {
+		t.Fatalf("queued op should finish at 150, got %d", done)
+	}
+	if r.BusyUntil() != 150 {
+		t.Fatalf("BusyUntil = %d, want 150", r.BusyUntil())
+	}
+}
+
+func TestResourceLateSubmitter(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100)
+	start, done := r.Acquire(500, 30)
+	if start != 500 || done != 530 {
+		t.Fatalf("late submit should not queue: start=%d done=%d", start, done)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 1000)
+	r.Reset()
+	if r.BusyUntil() != 0 {
+		t.Fatal("Reset did not clear busy horizon")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := NewRNG(1234)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		if c < trials/n*8/10 || c > trials/n*12/10 {
+			t.Fatalf("bucket %d count %d deviates more than 20%% from %d", i, c, trials/n)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 64, 100} {
+		b := make([]byte, n)
+		r.Bytes(b)
+		if n >= 16 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Fatalf("Bytes(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(99)
+	z := NewZipf(r, 1.2, 1000)
+	counts := make(map[int64]int)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf value out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be sampled far more often than rank 500.
+	if counts[0] <= counts[500]*5 {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(s<=1) did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 1.0, 10)
+}

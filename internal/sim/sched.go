@@ -1,0 +1,137 @@
+package sim
+
+import "container/heap"
+
+// Task is a unit of background work managed by a Scheduler. Run executes one
+// quantum of work starting at virtual time now and returns the time at which
+// the task wants to run again (typically now + workDone + sleep as dictated
+// by a rate limiter). A task signals completion by returning done=true.
+type Task interface {
+	// Name identifies the task in stats and error messages.
+	Name() string
+	// Run performs one quantum starting at now. next is ignored when done.
+	Run(now Time) (next Time, done bool)
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc struct {
+	Label string
+	Fn    func(now Time) (Time, bool)
+}
+
+// Name returns the task's label.
+func (t *TaskFunc) Name() string { return t.Label }
+
+// Run invokes the wrapped function.
+func (t *TaskFunc) Run(now Time) (Time, bool) { return t.Fn(now) }
+
+type schedEntry struct {
+	at    Time
+	seq   int64 // tie-break: FIFO among equal times
+	task  Task
+	index int
+}
+
+type schedHeap []*schedEntry
+
+func (h schedHeap) Len() int { return len(h) }
+func (h schedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h schedHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *schedHeap) Push(x any) {
+	e := x.(*schedEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *schedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler runs background tasks (segment cleaning, snapshot activation)
+// interleaved with foreground I/O. Foreground drivers call RunUntil(now)
+// before issuing each operation so that any background quanta scheduled
+// earlier than the operation execute first and consume device time, exactly
+// as a background kernel thread would on real hardware.
+type Scheduler struct {
+	heap schedHeap
+	seq  int64
+	// Ran counts executed quanta, for tests and stats.
+	Ran int64
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Schedule enqueues task to run at virtual time at.
+func (s *Scheduler) Schedule(at Time, task Task) {
+	s.seq++
+	heap.Push(&s.heap, &schedEntry{at: at, seq: s.seq, task: task})
+}
+
+// RunUntil executes, in timestamp order, every task quantum scheduled at or
+// before now. Tasks that reschedule themselves past now are left pending.
+func (s *Scheduler) RunUntil(now Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= now {
+		e := heap.Pop(&s.heap).(*schedEntry)
+		next, done := e.task.Run(e.at)
+		s.Ran++
+		if !done {
+			if next < e.at {
+				next = e.at
+			}
+			s.seq++
+			heap.Push(&s.heap, &schedEntry{at: next, seq: s.seq, task: e.task})
+		}
+	}
+}
+
+// Drain runs every pending task quantum to completion and returns the
+// virtual time of the last executed quantum (or now if none ran). It is used
+// when a caller must wait for background work (e.g., blocking on an
+// activation finishing).
+func (s *Scheduler) Drain(now Time) Time {
+	last := now
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*schedEntry)
+		at := e.at
+		if at < last {
+			at = last
+		}
+		next, done := e.task.Run(at)
+		s.Ran++
+		last = at
+		if !done {
+			if next < at {
+				next = at
+			}
+			s.seq++
+			heap.Push(&s.heap, &schedEntry{at: next, seq: s.seq, task: e.task})
+		}
+	}
+	return last
+}
+
+// Pending reports the number of scheduled task quanta.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// NextAt returns the virtual time of the earliest pending quantum, or
+// MaxTime when the scheduler is empty.
+func (s *Scheduler) NextAt() Time {
+	if len(s.heap) == 0 {
+		return MaxTime
+	}
+	return s.heap[0].at
+}

@@ -1,0 +1,119 @@
+package sim
+
+import "testing"
+
+func TestSchedulerRunsInOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	mk := func(name string) Task {
+		return &TaskFunc{Label: name, Fn: func(now Time) (Time, bool) {
+			order = append(order, name)
+			return 0, true
+		}}
+	}
+	s.Schedule(30, mk("c"))
+	s.Schedule(10, mk("a"))
+	s.Schedule(20, mk("b"))
+	s.RunUntil(25)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("RunUntil(25) ran %v, want [a b]", order)
+	}
+	s.RunUntil(100)
+	if len(order) != 3 || order[2] != "c" {
+		t.Fatalf("RunUntil(100) ran %v, want [a b c]", order)
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(10, &TaskFunc{Label: "t", Fn: func(now Time) (Time, bool) {
+			order = append(order, i)
+			return 0, true
+		}})
+	}
+	s.RunUntil(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time tasks ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerReschedule(t *testing.T) {
+	s := NewScheduler()
+	runs := 0
+	s.Schedule(0, &TaskFunc{Label: "loop", Fn: func(now Time) (Time, bool) {
+		runs++
+		if runs == 4 {
+			return 0, true
+		}
+		return now + 10, false
+	}})
+	s.RunUntil(100)
+	if runs != 4 {
+		t.Fatalf("self-rescheduling task ran %d times, want 4", runs)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("scheduler should be empty, has %d", s.Pending())
+	}
+}
+
+func TestSchedulerDoesNotRunFuture(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.Schedule(1000, &TaskFunc{Label: "future", Fn: func(now Time) (Time, bool) {
+		ran = true
+		return 0, true
+	}})
+	s.RunUntil(999)
+	if ran {
+		t.Fatal("task scheduled at 1000 ran during RunUntil(999)")
+	}
+	if got := s.NextAt(); got != 1000 {
+		t.Fatalf("NextAt = %d, want 1000", got)
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	s := NewScheduler()
+	runs := 0
+	s.Schedule(50, &TaskFunc{Label: "loop", Fn: func(now Time) (Time, bool) {
+		runs++
+		if runs == 3 {
+			return 0, true
+		}
+		return now + 100, false
+	}})
+	last := s.Drain(0)
+	if runs != 3 {
+		t.Fatalf("Drain ran %d quanta, want 3", runs)
+	}
+	if last != 250 {
+		t.Fatalf("Drain returned %d, want 250", last)
+	}
+	if s.NextAt() != MaxTime {
+		t.Fatal("NextAt should be MaxTime when empty")
+	}
+}
+
+func TestSchedulerRescheduleNeverGoesBackward(t *testing.T) {
+	s := NewScheduler()
+	var times []Time
+	s.Schedule(100, &TaskFunc{Label: "bad", Fn: func(now Time) (Time, bool) {
+		times = append(times, now)
+		if len(times) == 2 {
+			return 0, true
+		}
+		return 5, false // asks to run in the past
+	}})
+	s.RunUntil(200)
+	if len(times) != 2 {
+		t.Fatalf("ran %d times, want 2", len(times))
+	}
+	if times[1] < times[0] {
+		t.Fatalf("task ran backward in time: %v", times)
+	}
+}

@@ -1,0 +1,257 @@
+// Package trace records and replays block-level I/O traces over virtual
+// time. A Recorder wraps any blockdev.Device and captures every operation;
+// the trace serializes to a compact binary stream and can be replayed
+// against any other device — e.g., capture a workload once and run it
+// against the vanilla FTL, ioSnap, and the Btrfs-like baseline for an
+// apples-to-apples comparison, or archive a regression workload.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"iosnap/internal/blockdev"
+	"iosnap/internal/sim"
+)
+
+// Kind is the operation type.
+type Kind uint8
+
+// Operation kinds.
+const (
+	OpRead Kind = iota
+	OpWrite
+	OpTrim
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one traced operation. Payload contents are not captured — replay
+// synthesizes data — so traces stay small and system-independent.
+type Op struct {
+	Kind    Kind
+	At      sim.Time // submission time in the original run
+	LBA     int64
+	Sectors int32
+}
+
+// Trace is an ordered operation log.
+type Trace struct {
+	SectorSize int
+	Ops        []Op
+}
+
+// Recorder wraps a device and records every operation that succeeds.
+type Recorder struct {
+	inner blockdev.Device
+	trace Trace
+}
+
+// NewRecorder wraps dev.
+func NewRecorder(dev blockdev.Device) *Recorder {
+	return &Recorder{inner: dev, trace: Trace{SectorSize: dev.SectorSize()}}
+}
+
+// Trace returns the recorded trace (shared storage; copy before mutating).
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// SectorSize implements blockdev.Device.
+func (r *Recorder) SectorSize() int { return r.inner.SectorSize() }
+
+// Sectors implements blockdev.Device.
+func (r *Recorder) Sectors() int64 { return r.inner.Sectors() }
+
+// Read implements blockdev.Device.
+func (r *Recorder) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	done, err := r.inner.Read(now, lba, buf)
+	if err == nil {
+		r.trace.Ops = append(r.trace.Ops, Op{Kind: OpRead, At: now, LBA: lba, Sectors: int32(len(buf) / r.inner.SectorSize())})
+	}
+	return done, err
+}
+
+// Write implements blockdev.Device.
+func (r *Recorder) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	done, err := r.inner.Write(now, lba, data)
+	if err == nil {
+		r.trace.Ops = append(r.trace.Ops, Op{Kind: OpWrite, At: now, LBA: lba, Sectors: int32(len(data) / r.inner.SectorSize())})
+	}
+	return done, err
+}
+
+// Trim implements blockdev.Trimmer when the inner device does.
+func (r *Recorder) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
+	t, ok := r.inner.(blockdev.Trimmer)
+	if !ok {
+		return now, errors.New("trace: inner device does not support trim")
+	}
+	done, err := t.Trim(now, lba, n)
+	if err == nil {
+		r.trace.Ops = append(r.trace.Ops, Op{Kind: OpTrim, At: now, LBA: lba, Sectors: int32(n)})
+	}
+	return done, err
+}
+
+var traceMagic = [8]byte{'i', 'o', 't', 'r', 'a', 'c', 'e', '1'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed stream")
+
+// Save serializes the trace to w.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(t.SectorSize))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(t.Ops)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [21]byte
+	for _, op := range t.Ops {
+		rec[0] = byte(op.Kind)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(op.At))
+		binary.LittleEndian.PutUint64(rec[9:17], uint64(op.LBA))
+		binary.LittleEndian.PutUint32(rec[17:21], uint32(op.Sectors))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a trace from r.
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadTrace)
+	}
+	t := &Trace{SectorSize: int(binary.LittleEndian.Uint32(hdr[:4]))}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	if t.SectorSize <= 0 {
+		return nil, fmt.Errorf("%w: sector size %d", ErrBadTrace, t.SectorSize)
+	}
+	var rec [21]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated op %d", ErrBadTrace, i)
+		}
+		op := Op{
+			Kind:    Kind(rec[0]),
+			At:      sim.Time(binary.LittleEndian.Uint64(rec[1:9])),
+			LBA:     int64(binary.LittleEndian.Uint64(rec[9:17])),
+			Sectors: int32(binary.LittleEndian.Uint32(rec[17:21])),
+		}
+		if op.Kind > OpTrim || op.Sectors <= 0 {
+			return nil, fmt.Errorf("%w: bad op %d", ErrBadTrace, i)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	return t, nil
+}
+
+// ReplayOptions controls replay behaviour.
+type ReplayOptions struct {
+	// PreserveTiming issues each op no earlier than start + its original
+	// inter-arrival offset (open-loop replay); otherwise ops run back to
+	// back as the device completes them (closed-loop).
+	PreserveTiming bool
+	// Scheduler, when non-nil, is driven before every op.
+	Scheduler *sim.Scheduler
+	// Latency, when non-nil, records per-op latency.
+	Latency *sim.LatencyRecorder
+}
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Ops   int64
+	Bytes int64
+	Start sim.Time
+	End   sim.Time
+}
+
+// Replay runs the trace against dst starting at virtual time start.
+func Replay(dst blockdev.Device, start sim.Time, t *Trace, opts ReplayOptions) (ReplayResult, sim.Time, error) {
+	if t.SectorSize != dst.SectorSize() {
+		return ReplayResult{}, start, fmt.Errorf("trace: sector size %d != device %d", t.SectorSize, dst.SectorSize())
+	}
+	res := ReplayResult{Start: start}
+	now := start
+	end := start
+	var origin sim.Time
+	if len(t.Ops) > 0 {
+		origin = t.Ops[0].At
+	}
+	buf := make([]byte, 0)
+	for i, op := range t.Ops {
+		if opts.PreserveTiming {
+			if at := start.Add(op.At.Sub(origin)); at > now {
+				now = at
+			}
+		}
+		if opts.Scheduler != nil {
+			opts.Scheduler.RunUntil(now)
+		}
+		size := int(op.Sectors) * t.SectorSize
+		if cap(buf) < size {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		var done sim.Time
+		var err error
+		switch op.Kind {
+		case OpRead:
+			done, err = dst.Read(now, op.LBA, buf)
+		case OpWrite:
+			done, err = dst.Write(now, op.LBA, buf)
+		case OpTrim:
+			tr, ok := dst.(blockdev.Trimmer)
+			if !ok {
+				return res, end, fmt.Errorf("trace: op %d is a trim but device does not support it", i)
+			}
+			done, err = tr.Trim(now, op.LBA, int64(op.Sectors))
+		}
+		if err != nil {
+			return res, end, fmt.Errorf("trace: replaying op %d (%v LBA %d): %w", i, op.Kind, op.LBA, err)
+		}
+		if opts.Latency != nil {
+			opts.Latency.Record(done, done.Sub(now))
+		}
+		if done > end {
+			end = done
+		}
+		if !opts.PreserveTiming {
+			now = done
+		}
+		res.Ops++
+		if op.Kind != OpTrim {
+			res.Bytes += int64(size)
+		}
+	}
+	res.End = end
+	return res, end, nil
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+// memDev is a simple in-memory device for trace tests.
+type memDev struct {
+	ss      int
+	sectors int64
+	latency sim.Duration
+	ops     []Op
+	failAll bool
+}
+
+func (d *memDev) SectorSize() int { return d.ss }
+func (d *memDev) Sectors() int64  { return d.sectors }
+func (d *memDev) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	if d.failAll {
+		return now, errors.New("boom")
+	}
+	d.ops = append(d.ops, Op{Kind: OpRead, At: now, LBA: lba, Sectors: int32(len(buf) / d.ss)})
+	return now.Add(d.latency), nil
+}
+func (d *memDev) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	if d.failAll {
+		return now, errors.New("boom")
+	}
+	d.ops = append(d.ops, Op{Kind: OpWrite, At: now, LBA: lba, Sectors: int32(len(data) / d.ss)})
+	return now.Add(d.latency), nil
+}
+func (d *memDev) Trim(now sim.Time, lba, n int64) (sim.Time, error) {
+	if d.failAll {
+		return now, errors.New("boom")
+	}
+	d.ops = append(d.ops, Op{Kind: OpTrim, At: now, LBA: lba, Sectors: int32(n)})
+	return now, nil
+}
+
+func newMem() *memDev { return &memDev{ss: 512, sectors: 4096, latency: 10 * sim.Microsecond} }
+
+func TestRecorderCaptures(t *testing.T) {
+	d := newMem()
+	r := NewRecorder(d)
+	buf := make([]byte, 512)
+	now, _ := r.Write(0, 5, buf)
+	now, _ = r.Read(now, 5, buf)
+	now, _ = r.Write(now, 9, make([]byte, 1024))
+	if _, err := r.Trim(now, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	if len(tr.Ops) != 4 {
+		t.Fatalf("recorded %d ops", len(tr.Ops))
+	}
+	want := []Op{
+		{Kind: OpWrite, LBA: 5, Sectors: 1},
+		{Kind: OpRead, LBA: 5, Sectors: 1},
+		{Kind: OpWrite, LBA: 9, Sectors: 2},
+		{Kind: OpTrim, LBA: 5, Sectors: 2},
+	}
+	for i, w := range want {
+		g := tr.Ops[i]
+		if g.Kind != w.Kind || g.LBA != w.LBA || g.Sectors != w.Sectors {
+			t.Fatalf("op %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if r.SectorSize() != 512 || r.Sectors() != 4096 {
+		t.Fatal("recorder accessors wrong")
+	}
+}
+
+func TestRecorderSkipsFailedOps(t *testing.T) {
+	d := newMem()
+	d.failAll = true
+	r := NewRecorder(d)
+	r.Write(0, 0, make([]byte, 512))
+	r.Read(0, 0, make([]byte, 512))
+	if len(r.Trace().Ops) != 0 {
+		t.Fatal("failed ops recorded")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{SectorSize: 512, Ops: []Op{
+		{Kind: OpWrite, At: 100, LBA: 7, Sectors: 1},
+		{Kind: OpRead, At: 250, LBA: 7, Sectors: 4},
+		{Kind: OpTrim, At: 300, LBA: 0, Sectors: 8},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SectorSize != 512 || len(got.Ops) != 3 {
+		t.Fatalf("loaded %+v", got)
+	}
+	for i := range tr.Ops {
+		if got.Ops[i] != tr.Ops[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got.Ops[i], tr.Ops[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("garbage: %v", err)
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	(&Trace{SectorSize: 512, Ops: []Op{{Kind: OpWrite, Sectors: 1}}}).Save(&buf)
+	short := buf.Bytes()[:buf.Len()-5]
+	if _, err := Load(bytes.NewReader(short)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestReplayClosedLoop(t *testing.T) {
+	tr := &Trace{SectorSize: 512, Ops: []Op{
+		{Kind: OpWrite, At: 0, LBA: 1, Sectors: 1},
+		{Kind: OpWrite, At: 50, LBA: 2, Sectors: 1},
+		{Kind: OpRead, At: 80, LBA: 1, Sectors: 1},
+	}}
+	d := newMem()
+	res, end, err := Replay(d, 0, tr, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 3 || res.Bytes != 3*512 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Closed loop: each op starts when the previous finished.
+	if d.ops[1].At != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("op 1 issued at %v", d.ops[1].At)
+	}
+	if end != sim.Time(30*sim.Microsecond) {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestReplayPreservesTiming(t *testing.T) {
+	gap := sim.Time(5 * sim.Millisecond)
+	tr := &Trace{SectorSize: 512, Ops: []Op{
+		{Kind: OpWrite, At: 1000, LBA: 1, Sectors: 1},
+		{Kind: OpWrite, At: 1000 + gap, LBA: 2, Sectors: 1},
+	}}
+	d := newMem()
+	start := sim.Time(sim.Second)
+	_, _, err := Replay(d, start, tr, ReplayOptions{PreserveTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ops[0].At != start {
+		t.Fatalf("op 0 at %v, want %v", d.ops[0].At, start)
+	}
+	if d.ops[1].At != start+gap {
+		t.Fatalf("op 1 at %v, want %v", d.ops[1].At, start+gap)
+	}
+}
+
+func TestReplaySectorSizeMismatch(t *testing.T) {
+	tr := &Trace{SectorSize: 4096}
+	if _, _, err := Replay(newMem(), 0, tr, ReplayOptions{}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestReplayLatencyRecording(t *testing.T) {
+	tr := &Trace{SectorSize: 512, Ops: []Op{
+		{Kind: OpWrite, LBA: 1, Sectors: 1},
+		{Kind: OpWrite, LBA: 2, Sectors: 1},
+	}}
+	lat := sim.NewLatencyRecorder(0)
+	if _, _, err := Replay(newMem(), 0, tr, ReplayOptions{Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	if lat.Count() != 2 || lat.Mean() != 10*sim.Microsecond {
+		t.Fatalf("latency stats: n=%d mean=%v", lat.Count(), lat.Mean())
+	}
+}
+
+func TestRecordThenReplayIdentical(t *testing.T) {
+	// Record a run on one device, replay on a fresh one: the op sequence
+	// (kinds, LBAs, sizes) must match exactly.
+	src := newMem()
+	r := NewRecorder(src)
+	rng := sim.NewRNG(42)
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		lba := rng.Int63n(1000)
+		var err error
+		if rng.Intn(2) == 0 {
+			now, err = r.Write(now, lba, make([]byte, 512))
+		} else {
+			now, err = r.Read(now, lba, make([]byte, 512))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stream bytes.Buffer
+	if err := r.Trace().Save(&stream); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newMem()
+	if _, _, err := Replay(dst, 0, loaded, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.ops) != len(src.ops) {
+		t.Fatalf("replayed %d ops, recorded %d", len(dst.ops), len(src.ops))
+	}
+	for i := range src.ops {
+		s, d := src.ops[i], dst.ops[i]
+		if s.Kind != d.Kind || s.LBA != d.LBA || s.Sectors != d.Sectors {
+			t.Fatalf("op %d: %+v vs %+v", i, s, d)
+		}
+	}
+}

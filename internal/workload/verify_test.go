@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+// storeDev retains payloads, like a StoreData device.
+type storeDev struct {
+	ss      int
+	sectors int64
+	data    map[int64][]byte
+	corrupt bool // flip a byte on every read
+}
+
+func newStoreDev() *storeDev {
+	return &storeDev{ss: 512, sectors: 4096, data: make(map[int64][]byte)}
+}
+
+func (d *storeDev) SectorSize() int { return d.ss }
+func (d *storeDev) Sectors() int64  { return d.sectors }
+func (d *storeDev) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
+	for i := 0; i*d.ss < len(data); i++ {
+		d.data[lba+int64(i)] = append([]byte(nil), data[i*d.ss:(i+1)*d.ss]...)
+	}
+	return now + 10, nil
+}
+func (d *storeDev) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
+	for i := 0; i*d.ss < len(buf); i++ {
+		sector := buf[i*d.ss : (i+1)*d.ss]
+		if stored, ok := d.data[lba+int64(i)]; ok {
+			copy(sector, stored)
+			if d.corrupt {
+				sector[100] ^= 0xFF
+			}
+		} else {
+			for j := range sector {
+				sector[j] = 0
+			}
+		}
+	}
+	return now + 10, nil
+}
+
+func TestVerifierPassesOnFaithfulDevice(t *testing.T) {
+	d := newStoreDev()
+	v := NewVerifier()
+	wspec := Spec{Kind: Write, Pattern: Random, BlockSize: 1024, Threads: 1, QueueDepth: 1, MaxOps: 500, Seed: 1, RangeHi: 200}
+	if _, _, err := Run(d, 0, wspec, Options{Verify: v}); err != nil {
+		t.Fatalf("verified writes: %v", err)
+	}
+	rspec := Spec{Kind: Read, Pattern: Random, BlockSize: 1024, Threads: 1, QueueDepth: 1, MaxOps: 500, Seed: 2, RangeHi: 200}
+	if _, _, err := Run(d, 0, rspec, Options{Verify: v}); err != nil {
+		t.Fatalf("verified reads: %v", err)
+	}
+	if v.Checked == 0 {
+		t.Fatal("verifier checked nothing")
+	}
+}
+
+func TestVerifierCatchesCorruption(t *testing.T) {
+	d := newStoreDev()
+	v := NewVerifier()
+	wspec := Spec{Kind: Write, Pattern: Sequential, BlockSize: 512, Threads: 1, QueueDepth: 1, MaxOps: 50}
+	if _, _, err := Run(d, 0, wspec, Options{Verify: v}); err != nil {
+		t.Fatal(err)
+	}
+	d.corrupt = true
+	rspec := Spec{Kind: Read, Pattern: Sequential, BlockSize: 512, Threads: 1, QueueDepth: 1, MaxOps: 50}
+	_, _, err := Run(d, 0, rspec, Options{Verify: v})
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifierLastWriteWins(t *testing.T) {
+	d := newStoreDev()
+	v := NewVerifier()
+	// Two write passes over the same range: reads must verify against the
+	// NEWEST generation.
+	for pass := 0; pass < 2; pass++ {
+		spec := Spec{Kind: Write, Pattern: Sequential, BlockSize: 512, Threads: 1, QueueDepth: 1, MaxOps: 30}
+		if _, _, err := Run(d, 0, spec, Options{Verify: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rspec := Spec{Kind: Read, Pattern: Sequential, BlockSize: 512, Threads: 1, QueueDepth: 1, MaxOps: 30}
+	if _, _, err := Run(d, 0, rspec, Options{Verify: v}); err != nil {
+		t.Fatalf("re-written sectors failed verification: %v", err)
+	}
+}
+
+func TestVerifierUnknownSectors(t *testing.T) {
+	d := newStoreDev()
+	v := NewVerifier()
+	rspec := Spec{Kind: Read, Pattern: Sequential, BlockSize: 512, Threads: 1, QueueDepth: 1, MaxOps: 10}
+	if _, _, err := Run(d, 0, rspec, Options{Verify: v}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Unknown != 10 || v.Checked != 0 {
+		t.Fatalf("unknown=%d checked=%d", v.Unknown, v.Checked)
+	}
+}

@@ -80,6 +80,44 @@ func TestCLIStateSurvivesReload(t *testing.T) {
 	}
 }
 
+// TestCLICheck exercises the invariant checker verb on a populated image.
+func TestCLICheck(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "dev.img")
+	if err := runCtl(t, img, "init", "-megabytes", "8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "check"); err != nil {
+		t.Fatalf("check on fresh image: %v", err)
+	}
+	if err := runCtl(t, img, "write", "-lba", "3", "-text", "hello", "-count", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "snap-create"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "write", "-lba", "3", "-text", "hello2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "check"); err != nil {
+		t.Fatalf("check after writes+snapshot: %v", err)
+	}
+}
+
+// TestCLIFaultDemo runs each canned fault plan end to end; the harness
+// errors on any real bug (invariant violation, wrong content without an
+// error), so success here is a meaningful assertion, not just smoke.
+func TestCLIFaultDemo(t *testing.T) {
+	for _, plan := range []string{"gc-copy", "torn-note", "crash-scan", "random", "none"} {
+		if err := run([]string{"faultdemo", "-plan", plan, "-seed", "3", "-steps", "400"}); err != nil {
+			t.Fatalf("faultdemo -plan %s: %v", plan, err)
+		}
+	}
+	if err := run([]string{"faultdemo", "-plan", "bogus"}); err == nil {
+		t.Fatal("unknown fault plan accepted")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
 	img := filepath.Join(dir, "dev.img")

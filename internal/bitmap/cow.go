@@ -23,10 +23,11 @@ func (p *vpage) clone() *vpage {
 // epochMap is one epoch's view of the device validity bitmap: privately
 // owned pages plus everything inherited through the parent chain.
 type epochMap struct {
-	epoch   Epoch
-	parent  *epochMap
-	deleted bool
-	pages   map[int64]*vpage
+	epoch    Epoch
+	parent   *epochMap
+	children []*epochMap
+	deleted  bool
+	pages    map[int64]*vpage
 }
 
 // Store manages the per-epoch CoW validity maps of one device.
@@ -89,7 +90,11 @@ func (s *Store) CreateEpoch(e, parent Epoch) error {
 			return fmt.Errorf("bitmap: parent epoch %d does not exist", parent)
 		}
 	}
-	s.epochs[e] = &epochMap{epoch: e, parent: p, pages: make(map[int64]*vpage)}
+	em := &epochMap{epoch: e, parent: p, pages: make(map[int64]*vpage)}
+	if p != nil {
+		p.children = append(p.children, em)
+	}
+	s.epochs[e] = em
 	return nil
 }
 
@@ -186,11 +191,38 @@ func (s *Store) ownPage(em *epochMap, pageIdx int64) (pg *vpage, copied bool) {
 	return cp, true
 }
 
+// pushDown pins the current view of pageIdx into every immediate child of em
+// that does not privately own it yet. A child's view was frozen when the
+// child was created; without this, mutating em's copy (the segment cleaner
+// re-pointing a frozen snapshot's bits) would retroactively change what
+// every sharing descendant — including the active epoch — observes.
+// Grandchildren resolve through the child afterwards, so one level suffices.
+func (s *Store) pushDown(em *epochMap, pageIdx int64) {
+	if len(em.children) == 0 {
+		return
+	}
+	cur, _ := em.findPage(pageIdx)
+	for _, c := range em.children {
+		if _, owns := c.pages[pageIdx]; owns {
+			continue
+		}
+		if cur == nil {
+			c.pages[pageIdx] = &vpage{words: make([]uint64, s.bitsPerPage/wordBits)}
+		} else {
+			c.pages[pageIdx] = cur.clone()
+			s.cowCopies++
+		}
+		s.livePages++
+	}
+}
+
 // Set sets bit i in epoch e, copying the containing page on first
 // modification of inherited state. It reports whether a CoW copy occurred.
 func (s *Store) Set(e Epoch, i int64) (cow bool) {
 	s.checkBit(i)
-	pg, copied := s.ownPage(s.get(e), i/s.bitsPerPage)
+	em := s.get(e)
+	s.pushDown(em, i/s.bitsPerPage)
+	pg, copied := s.ownPage(em, i/s.bitsPerPage)
 	off := i % s.bitsPerPage
 	pg.words[off/wordBits] |= 1 << uint(off%wordBits)
 	return copied
@@ -200,15 +232,19 @@ func (s *Store) Set(e Epoch, i int64) (cow bool) {
 func (s *Store) Clear(e Epoch, i int64) (cow bool) {
 	s.checkBit(i)
 	em := s.get(e)
+	pageIdx := i / s.bitsPerPage
 	// Clearing a bit that is already 0 everywhere on the chain needs no page.
-	if pg, owned := em.findPage(i / s.bitsPerPage); pg == nil {
+	pg, owned := em.findPage(pageIdx)
+	if pg == nil {
 		return false
-	} else if owned {
+	}
+	s.pushDown(em, pageIdx)
+	if owned {
 		off := i % s.bitsPerPage
 		pg.words[off/wordBits] &^= 1 << uint(off%wordBits)
 		return false
 	}
-	pg, copied := s.ownPage(em, i/s.bitsPerPage)
+	pg, copied := s.ownPage(em, pageIdx)
 	off := i % s.bitsPerPage
 	pg.words[off/wordBits] &^= 1 << uint(off%wordBits)
 	return copied

@@ -336,3 +336,46 @@ func TestMergeRangeWordAlignedMatchesBitwise(t *testing.T) {
 		}
 	}
 }
+
+func TestParentMutationDoesNotLeakIntoChild(t *testing.T) {
+	// A child epoch's view is frozen at creation. Mutating the parent
+	// afterwards (only the segment cleaner does this, when it re-points a
+	// frozen snapshot's bits at a moved block) must not change what the
+	// child observes through shared pages.
+	s := NewStore(256, 64)
+	s.CreateEpoch(1, NoParent)
+	s.Set(1, 3)
+	s.CreateEpoch(2, 1) // child shares epoch 1's pages
+
+	s.Set(1, 40) // same CoW page as bit 3: owned in-place mutation
+	if s.Test(2, 40) {
+		t.Fatal("parent Set leaked into child via shared page")
+	}
+	if !s.Test(1, 40) || !s.Test(2, 3) {
+		t.Fatal("push-down corrupted the intended views")
+	}
+
+	s.Clear(1, 3)
+	if !s.Test(2, 3) {
+		t.Fatal("parent Clear leaked into child via shared page")
+	}
+
+	// Mutating a mid-chain epoch: grandchild resolves through the child.
+	s.CreateEpoch(3, 2)
+	s.Set(2, 100)
+	if s.Test(3, 100) {
+		t.Fatal("mid-chain Set leaked into grandchild")
+	}
+	// A page the ancestor never owned: the first Set allocates it privately,
+	// and descendants sharing "absent = all zero" must keep seeing zeros.
+	s.Set(1, 200)
+	if s.Test(2, 200) || s.Test(3, 200) {
+		t.Fatal("Set on a previously absent page leaked into descendants")
+	}
+
+	// Children created after the mutation do inherit it.
+	s.CreateEpoch(4, 1)
+	if !s.Test(4, 40) || !s.Test(4, 200) || s.Test(4, 3) {
+		t.Fatal("post-mutation child does not see the parent's current view")
+	}
+}

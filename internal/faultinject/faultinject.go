@@ -1,0 +1,293 @@
+// Package faultinject builds deterministic, seed-driven fault plans for the
+// simulated NAND device. A Plan implements nand.FaultHook and is armed on a
+// device with Arm; from then on it counts matching operations and fires its
+// rules: aborting an operation with an injected error, corrupting the OOB
+// header of a page as it is programmed (a torn log note), or cutting power so
+// that every subsequent operation fails until the harness "restores power"
+// and runs crash recovery.
+//
+// Plans are reproducible by construction: rule triggers are either exact
+// operation counts or probabilities drawn from a sim.RNG seeded explicitly,
+// and the same plan against the same workload fires the same faults at the
+// same operations on every run. This is what lets the torture harness replay
+// a failing seed exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// ErrCrashed is returned for every device operation after a plan cuts power.
+var ErrCrashed = errors.New("faultinject: device lost power")
+
+// AnyOp matches every device operation in a Rule.
+const AnyOp nand.Op = -1
+
+// AnySeg matches every segment in a Rule.
+const AnySeg = -1
+
+// Kind selects what a rule does when it fires.
+type Kind int
+
+const (
+	// KindError aborts the matching operation with the rule's error.
+	KindError Kind = iota
+	// KindCrash cuts power: the matching operation and all later ones fail
+	// with ErrCrashed until the harness recovers the device.
+	KindCrash
+	// KindTornOOB lets the matching program proceed but corrupts its OOB
+	// header bytes and then cuts power — the torn-write-at-the-log-tail
+	// crash artifact. (A torn header is only ever observable after power
+	// loss: while the host stays up its RAM state is authoritative.)
+	KindTornOOB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindCrash:
+		return "crash"
+	case KindTornOOB:
+		return "torn-oob"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rule is one fault trigger. The zero value of the filter fields is
+// permissive where that reads naturally (Seg 0 would silently mean "segment
+// 0", so use AnySeg explicitly; NewPlan validates this footgun away by
+// treating AfterN==0 && Prob==0 as AfterN==1).
+type Rule struct {
+	Name string // label used in the fired-event log; defaults to the kind
+
+	Kind Kind
+
+	// Matching for KindError / KindCrash (consulted in BeforeOp):
+	Op  nand.Op // operation to match; AnyOp matches all
+	Seg int     // segment filter; AnySeg matches all
+
+	// Matching for KindTornOOB (consulted as headers are programmed):
+	HeaderType header.Type // only programs of this header type; 0 = any
+
+	// Trigger: the AfterN-th matching call (1-based), or — when Prob > 0 —
+	// each matching call independently with probability Prob drawn from the
+	// plan's seeded RNG. Count-based rules fire once; probabilistic rules
+	// stay armed.
+	AfterN int64
+	Prob   float64
+
+	// Err is the error injected by KindError (default nand.ErrDeviceFailed).
+	Err error
+
+	// CrashAfter makes a KindError rule also cut power after injecting its
+	// error (the failure took the device down with it).
+	CrashAfter bool
+}
+
+// Fired records one rule firing, for reports and tests.
+type Fired struct {
+	Rule  string
+	Op    nand.Op
+	Addr  nand.PageAddr
+	Count int64 // the matching-operation count at which the rule fired
+}
+
+func (f Fired) String() string {
+	return fmt.Sprintf("%s@%s#%d(page %d)", f.Rule, f.Op, f.Count, f.Addr)
+}
+
+type ruleState struct {
+	Rule
+	matched int64
+	spent   bool
+}
+
+// Plan is a deterministic schedule of faults against one device. It
+// implements nand.FaultHook. A Plan is not safe for concurrent use, matching
+// the single-threaded simulation.
+type Plan struct {
+	rng     *sim.RNG
+	rules   []*ruleState
+	pps     int // pages per segment of the armed device (for Seg filters)
+	crashed bool
+	fired   []Fired
+}
+
+// NewPlan builds a plan over the given rules. seed drives probabilistic
+// rules; plans with only count-based rules ignore it.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	p := &Plan{rng: sim.NewRNG(seed)}
+	for _, r := range rules {
+		if r.Err == nil {
+			r.Err = nand.ErrDeviceFailed
+		}
+		if r.Name == "" {
+			r.Name = r.Kind.String()
+		}
+		if r.AfterN <= 0 && r.Prob == 0 {
+			r.AfterN = 1
+		}
+		p.rules = append(p.rules, &ruleState{Rule: r})
+	}
+	return p
+}
+
+// Arm installs the plan as dev's fault hook and records the geometry its
+// segment filters need.
+func (p *Plan) Arm(dev *nand.Device) {
+	p.pps = dev.Config().PagesPerSegment
+	dev.SetFaultHook(p)
+}
+
+// Disarm removes the plan from dev if it is the installed hook. The torture
+// harness calls this to "restore power" before crash recovery.
+func (p *Plan) Disarm(dev *nand.Device) {
+	if dev.FaultHook() == p {
+		dev.SetFaultHook(nil)
+	}
+}
+
+// Crashed reports whether a crash rule has fired.
+func (p *Plan) Crashed() bool { return p.crashed }
+
+// Fired returns the log of rule firings, oldest first.
+func (p *Plan) Fired() []Fired { return append([]Fired(nil), p.fired...) }
+
+// String summarizes the fired events ("-" when none fired yet).
+func (p *Plan) String() string {
+	if len(p.fired) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(p.fired))
+	for i, f := range p.fired {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// triggers advances the rule's match count and reports whether it fires.
+func (p *Plan) triggers(r *ruleState) bool {
+	r.matched++
+	if r.Prob > 0 {
+		return p.rng.Float64() < r.Prob
+	}
+	if r.matched == r.AfterN {
+		r.spent = true
+		return true
+	}
+	return false
+}
+
+func (p *Plan) segOf(addr nand.PageAddr) int {
+	if p.pps <= 0 {
+		return 0
+	}
+	return int(addr) / p.pps
+}
+
+// BeforeOp implements nand.FaultHook.
+func (p *Plan) BeforeOp(op nand.Op, addr nand.PageAddr) error {
+	if p.crashed {
+		return ErrCrashed
+	}
+	for _, r := range p.rules {
+		if r.spent || r.Kind == KindTornOOB {
+			continue
+		}
+		if r.Op != AnyOp && r.Op != op {
+			continue
+		}
+		if r.Seg != AnySeg && r.Seg != p.segOf(addr) {
+			continue
+		}
+		if !p.triggers(r) {
+			continue
+		}
+		p.fired = append(p.fired, Fired{Rule: r.Name, Op: op, Addr: addr, Count: r.matched})
+		switch r.Kind {
+		case KindCrash:
+			p.crashed = true
+			return ErrCrashed
+		default: // KindError
+			if r.CrashAfter {
+				p.crashed = true
+			}
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// MutateOOB implements nand.FaultHook: KindTornOOB rules corrupt matching
+// headers and cut power.
+func (p *Plan) MutateOOB(addr nand.PageAddr, oob []byte) []byte {
+	for _, r := range p.rules {
+		if r.spent || r.Kind != KindTornOOB {
+			continue
+		}
+		if r.Seg != AnySeg && r.Seg != p.segOf(addr) {
+			continue
+		}
+		if r.HeaderType != 0 {
+			h, err := header.Unmarshal(oob)
+			if err != nil || h.Type != r.HeaderType {
+				continue
+			}
+		}
+		if !p.triggers(r) {
+			continue
+		}
+		p.fired = append(p.fired, Fired{Rule: r.Name, Op: nand.OpProgram, Addr: addr, Count: r.matched})
+		p.crashed = true
+		torn := append([]byte(nil), oob...)
+		if len(torn) == 0 {
+			torn = []byte{0xFF}
+		}
+		torn[0] ^= 0xFF // destroys the header magic: recovery sees garbage
+		if len(torn) > 1 {
+			torn[len(torn)/2] ^= 0xA5
+		}
+		return torn
+	}
+	return oob
+}
+
+// Canonical plans for the torture harness's three acceptance scenarios.
+
+// GCCopyError injects a device failure into the n-th cleaner copy-forward
+// (foreground I/O is untouched).
+func GCCopyError(n int64) *Plan {
+	return NewPlan(0, Rule{Name: "gc-copy-error", Kind: KindError, Op: nand.OpCopy, Seg: AnySeg, AfterN: n})
+}
+
+// TornNote tears the n-th log note of the given header type: the note's
+// header bytes are corrupted as they are programmed and power fails.
+func TornNote(t header.Type, n int64) *Plan {
+	return NewPlan(0, Rule{Name: "torn-note", Kind: KindTornOOB, Seg: AnySeg, HeaderType: t, AfterN: n})
+}
+
+// CrashAtScan cuts power at the n-th bulk OOB scan — mid-activation or
+// mid-recovery, whichever issues it.
+func CrashAtScan(n int64) *Plan {
+	return NewPlan(0, Rule{Name: "crash-at-scan", Kind: KindCrash, Op: nand.OpScanOOB, Seg: AnySeg, AfterN: n})
+}
+
+// RandomFaults is a probabilistic background-noise plan: every operation
+// class fails independently with the given probability, reproducibly from
+// seed.
+func RandomFaults(seed uint64, prob float64) *Plan {
+	return NewPlan(seed,
+		Rule{Name: "rand-read", Kind: KindError, Op: nand.OpRead, Seg: AnySeg, Prob: prob},
+		Rule{Name: "rand-program", Kind: KindError, Op: nand.OpProgram, Seg: AnySeg, Prob: prob},
+		Rule{Name: "rand-erase", Kind: KindError, Op: nand.OpErase, Seg: AnySeg, Prob: prob},
+		Rule{Name: "rand-copy", Kind: KindError, Op: nand.OpCopy, Seg: AnySeg, Prob: prob},
+	)
+}

@@ -58,6 +58,7 @@ func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
 		h := header.Header{Type: header.TypeCheckpoint, LBA: uint64(c), Epoch: uint64(chunks), Seq: f.seq}
 		d, err := f.dev.ProgramPage(t, addr, payload, h.Marshal())
 		if err != nil {
+			f.ungetPage(addr)
 			return now, fmt.Errorf("ftl: writing checkpoint chunk %d: %w", c, err)
 		}
 		// Checkpoint pages are consumed at recovery and never re-read after;

@@ -124,6 +124,8 @@ type Stats struct {
 	GCForced     int64        // cleans forced synchronously by writers
 	GCCopied     int64        // pages copy-forwarded
 	GCErases     int64        // segments erased by the cleaner
+	GCErrors     int64        // background cleans aborted by device errors
+	GCLastErr    string       // most recent aborting error ("" when none)
 	GCMergeTime  sim.Duration // host time spent computing block validity
 	GCTotalTime  sim.Duration // virtual time from victim selection to erase
 	GCLastAt     sim.Time     // completion time of the most recent clean
@@ -300,6 +302,7 @@ func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, er
 	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: 0, Seq: f.seq}
 	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
 	if err != nil {
+		f.ungetPage(addr)
 		return now, fmt.Errorf("ftl: programming LBA %d: %w", lba, err)
 	}
 	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
@@ -308,6 +311,22 @@ func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, er
 	}
 	f.validity.Set(int64(addr))
 	return done, nil
+}
+
+// ungetPage rolls back the most recent allocPage/allocPageGC after a failed
+// program. Without it the unprogrammed page becomes a permanent hole at the
+// log head: SequentialProg devices reject every later program in the segment
+// with ErrOutOfOrder, turning one transient fault into a bricked log. Only
+// the exact page just handed out is reclaimed, and only if the program
+// really did not land.
+func (f *FTL) ungetPage(addr nand.PageAddr) {
+	if f.headIdx == 0 || addr != f.dev.Addr(f.headSeg, f.headIdx-1) {
+		return
+	}
+	if _, err := f.dev.PageOOB(addr); err == nil {
+		return
+	}
+	f.headIdx--
 }
 
 // allocPage returns the next log-head page, advancing segments and invoking

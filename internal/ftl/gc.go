@@ -120,9 +120,13 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	var err error
 	t.cursor, now, _, err = f.copyForward(now, t.victim, t.cursor, f.cfg.GCChunk)
 	if err != nil {
-		// Out of space mid-clean: abandon; forced cleaning will retry.
+		// Abandon the clean but record why: the victim keeps its remaining
+		// valid pages (already-moved ones were re-pointed one by one and the
+		// failed destination was rolled back), so forced cleaning can retry.
 		f.gcActive = false
 		f.gcVictim = -1
+		f.stats.GCErrors++
+		f.stats.GCLastErr = err.Error()
 		return 0, true
 	}
 	if t.cursor < f.cfg.Nand.PagesPerSegment {
@@ -132,6 +136,9 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	f.gcActive = false
 	f.gcVictim = -1
 	if err != nil {
+		// Erase failed; the victim stays in usedSegs, consistent.
+		f.stats.GCErrors++
+		f.stats.GCLastErr = err.Error()
 		return 0, true
 	}
 	f.stats.GCRuns++
@@ -197,14 +204,17 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		}
 		oob, err := f.dev.PageOOB(old)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, copied, fmt.Errorf("ftl: cleaner reading header: %w", err)
 		}
 		h, err := header.Unmarshal(oob)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, copied, fmt.Errorf("ftl: cleaner decoding header: %w", err)
 		}
 		done, err := f.dev.CopyPage(submit, old, dst)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, copied, fmt.Errorf("ftl: copy-forward: %w", err)
 		}
 		if done > maxDone {

@@ -73,7 +73,9 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			segUsed[seg] = true
 			h, err := header.Unmarshal(oob)
 			if err != nil {
-				return nil, now, fmt.Errorf("ftl: segment %d page %d: %w", seg, idx, err)
+				// Torn write at the crashed log tail: never acknowledged, so
+				// skipping it loses nothing; the cleaner reclaims the page.
+				continue
 			}
 			if h.Seq > segMaxSeq[seg] {
 				segMaxSeq[seg] = h.Seq

@@ -152,6 +152,9 @@ func (a *Activation) Name() string {
 // Ready reports whether the activation completed.
 func (a *Activation) Ready() bool { return a.done }
 
+// Snapshot returns the snapshot being activated.
+func (a *Activation) Snapshot() *Snapshot { return a.snap }
+
 // Err returns the terminal error, if any.
 func (a *Activation) Err() error { return a.err }
 
@@ -217,16 +220,21 @@ func (f *FTL) beginActivation(now sim.Time, id SnapshotID, limit ratelimit.WorkS
 	if snap.Deleted {
 		return nil, now, fmt.Errorf("%w: %d", ErrSnapshotDeleted, id)
 	}
+	// The durable note is written before any epoch state is created (same
+	// order as createSnapshotFrom): if the note program fails, nothing has
+	// been allocated yet, so a device fault here cannot leak a live epoch
+	// that would pin snapshot blocks forever.
 	f.epochCounter++
 	newEpoch := f.epochCounter
+	_, done, err := f.writeNote(now, header.TypeSnapActivate, id, newEpoch)
+	if err != nil {
+		f.epochCounter--
+		return nil, now, err
+	}
 	if err := f.vstore.CreateEpoch(newEpoch, snap.Epoch); err != nil {
 		return nil, now, fmt.Errorf("iosnap: creating activation epoch: %w", err)
 	}
 	f.epochParent[newEpoch] = snap.Epoch
-	_, done, err := f.writeNote(now, header.TypeSnapActivate, id, newEpoch)
-	if err != nil {
-		return nil, now, err
-	}
 	act := &Activation{
 		f:        f,
 		snap:     snap,
@@ -287,7 +295,11 @@ func (a *Activation) Run(now sim.Time) (sim.Time, bool) {
 				}
 				h, err := header.Unmarshal(oob)
 				if err != nil {
-					return a.fail(now, fmt.Errorf("iosnap: activation decoding header: %w", err))
+					// A torn write from a previous power loss: the page holds
+					// garbage, so it cannot be part of any snapshot. Tolerate
+					// it — the cleaner will reclaim the page — but keep count.
+					f.stats.TornPagesSkipped++
+					continue
 				}
 				if h.Type != header.TypeData {
 					continue

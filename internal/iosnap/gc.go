@@ -167,8 +167,12 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	var err error
 	t.cursor, now, err = f.copyForward(now, t.victim, t.merged, t.order, t.cursor, f.cfg.GCChunk)
 	if err != nil {
-		f.gcActive = false
-		f.gcVictim = -1
+		// Abort, but leave the victim cleanable: blocks already moved had
+		// their validity bits and translations re-pointed one by one, the
+		// failed destination page was rolled back by copyForward, and the
+		// victim stays in usedSegs for a later clean to re-select. Record
+		// the error instead of dropping it on the floor.
+		t.abort(err)
 		return 0, true
 	}
 	if t.cursor < len(t.order) {
@@ -185,6 +189,10 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	f.gcActive = false
 	f.gcVictim = -1
 	if err != nil {
+		// Erase failed: finishClean left the victim in usedSegs and its
+		// remaining valid blocks untouched, so the device is consistent.
+		f.stats.GCErrors++
+		f.stats.GCLastErr = err.Error()
 		return 0, true
 	}
 	f.stats.GCRuns++
@@ -192,6 +200,15 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	f.stats.GCLastAt = now
 	f.maybeScheduleGC(now)
 	return 0, true
+}
+
+// abort ends a background clean on a device error, recording it in Stats.
+func (t *gcTask) abort(err error) {
+	f := t.f
+	f.gcActive = false
+	f.gcVictim = -1
+	f.stats.GCErrors++
+	f.stats.GCLastErr = err.Error()
 }
 
 // copyOrder lists the victim's valid page indices. With EpochSegregation
@@ -281,14 +298,17 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 		_ = t
 		oob, err := f.dev.PageOOB(old)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: cleaner reading header: %w", err)
 		}
 		h, err := header.Unmarshal(oob)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: cleaner decoding header: %w", err)
 		}
 		done, err := f.dev.CopyPage(submit, old, dst)
 		if err != nil {
+			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: copy-forward: %w", err)
 		}
 		if done > maxDone {

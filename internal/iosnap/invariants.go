@@ -1,0 +1,228 @@
+package iosnap
+
+import (
+	"fmt"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+)
+
+// CheckInvariants validates the FTL's cross-structure invariants and returns
+// the first violation found (nil when all hold). It is the exported form of
+// the checks the randomized stress tests always ran, promoted so the torture
+// harness and `iosnapctl check` can assert consistency after fault injection
+// and crash recovery:
+//
+//  1. every view's forward-map entry points at a programmed page whose OOB
+//     header is a data header carrying that LBA, stamped with an epoch in
+//     the view's lineage, with the view-epoch validity bit set; no two LBAs
+//     of one view share a physical page;
+//  2. merged validity agrees with live OOB state: every page valid in any
+//     live epoch is programmed with a parseable header, its stamping epoch
+//     is summarized in the segment's presence map, and every active-valid
+//     data page is referenced by the active forward map;
+//  3. the snapshot tree and the epoch-parent chains are consistent: every
+//     live snapshot's epoch exists in the validity store, parent/child
+//     links are mutual, and each snapshot's epoch reaches its parent's
+//     epoch by walking the epoch-parent chain;
+//  4. usedSegs and freeSegs partition the device with no duplicates, free
+//     segments hold no programmed pages and no presence summary, and the
+//     log head lives in a used segment.
+//
+// The checker inspects RAM state and raw page contents only (no timed device
+// operations), so it is safe to run at any quiesced point — after
+// Scheduler.Drain, or after Recover.
+func (f *FTL) CheckInvariants() error {
+	if err := f.checkViews(); err != nil {
+		return err
+	}
+	if err := f.checkValidity(); err != nil {
+		return err
+	}
+	if err := f.checkTree(); err != nil {
+		return err
+	}
+	return f.checkPools()
+}
+
+// lineageOf returns the set of epochs on e's parent chain, including e. The
+// walk is bounded so a corrupted chain reports an error instead of looping.
+func (f *FTL) lineageOf(e bitmap.Epoch) (map[bitmap.Epoch]bool, error) {
+	out := map[bitmap.Epoch]bool{e: true}
+	limit := len(f.epochParent) + 2
+	for i := 0; ; i++ {
+		p, ok := f.epochParent[e]
+		if !ok {
+			return out, nil
+		}
+		if i >= limit || out[p] {
+			return nil, fmt.Errorf("invariant: epoch-parent chain of %d cycles at %d", e, p)
+		}
+		out[p] = true
+		e = p
+	}
+}
+
+func (f *FTL) checkViews() error {
+	for vi, v := range f.views {
+		lineage, err := f.lineageOf(v.epoch)
+		if err != nil {
+			return fmt.Errorf("view %d: %w", vi, err)
+		}
+		seen := make(map[uint64]uint64)
+		var ierr error
+		v.fmap.All(func(lba, addr uint64) bool {
+			if prev, dup := seen[addr]; dup {
+				ierr = fmt.Errorf("invariant: view %d: physical page %d mapped by LBAs %d and %d", vi, addr, prev, lba)
+				return false
+			}
+			seen[addr] = lba
+			oob, err := f.dev.PageOOB(nand.PageAddr(addr))
+			if err != nil {
+				ierr = fmt.Errorf("invariant: view %d: LBA %d -> unprogrammed page %d: %v", vi, lba, addr, err)
+				return false
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				ierr = fmt.Errorf("invariant: view %d: LBA %d -> page %d header: %v", vi, lba, addr, err)
+				return false
+			}
+			if h.Type != header.TypeData || h.LBA != lba {
+				ierr = fmt.Errorf("invariant: view %d: LBA %d -> page %d holds %v/%d", vi, lba, addr, h.Type, h.LBA)
+				return false
+			}
+			if !lineage[bitmap.Epoch(h.Epoch)] {
+				ierr = fmt.Errorf("invariant: view %d (epoch %d): LBA %d -> page %d stamped with foreign epoch %d", vi, v.epoch, lba, addr, h.Epoch)
+				return false
+			}
+			if !f.vstore.Test(v.epoch, int64(addr)) {
+				ierr = fmt.Errorf("invariant: view %d: LBA %d -> page %d invalid in epoch %d", vi, lba, addr, v.epoch)
+				return false
+			}
+			return true
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	return nil
+}
+
+func (f *FTL) checkValidity() error {
+	activeRefs := make(map[int64]bool)
+	f.active.fmap.All(func(_, addr uint64) bool {
+		activeRefs[int64(addr)] = true
+		return true
+	})
+	var live []bitmap.Epoch
+	for _, e := range f.vstore.Epochs() {
+		if !f.vstore.Deleted(e) {
+			live = append(live, e)
+		}
+	}
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	for p := int64(0); p < f.cfg.Nand.TotalPages(); p++ {
+		validIn := bitmap.Epoch(0)
+		for _, e := range live {
+			if f.vstore.Test(e, p) {
+				validIn = e
+				break
+			}
+		}
+		if validIn == 0 {
+			continue
+		}
+		oob, err := f.dev.PageOOB(nand.PageAddr(p))
+		if err != nil {
+			return fmt.Errorf("invariant: page %d valid in epoch %d but not programmed: %v", p, validIn, err)
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			return fmt.Errorf("invariant: page %d valid in epoch %d with unparseable header: %v", p, validIn, err)
+		}
+		seg := int(p / pps)
+		if h.Type == header.TypeData {
+			if _, ok := f.presence.segs[seg][bitmap.Epoch(h.Epoch)]; !ok {
+				return fmt.Errorf("invariant: valid page %d (epoch %d) missing from segment %d presence summary", p, h.Epoch, seg)
+			}
+			if f.vstore.Test(f.active.epoch, p) && !activeRefs[p] {
+				return fmt.Errorf("invariant: active-valid data page %d (LBA %d) unreferenced by the active map", p, h.LBA)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *FTL) checkTree() error {
+	for _, id := range f.tree.IDs() {
+		s, _ := f.tree.Lookup(id)
+		if s.Deleted {
+			continue
+		}
+		if !f.vstore.Exists(s.Epoch) || f.vstore.Deleted(s.Epoch) {
+			return fmt.Errorf("invariant: snapshot %d epoch %d missing from validity store", id, s.Epoch)
+		}
+		if got, ok := f.tree.ByEpoch(s.Epoch); !ok || got != s {
+			return fmt.Errorf("invariant: snapshot %d not indexed by its epoch %d", id, s.Epoch)
+		}
+		if s.Parent != nil {
+			linked := false
+			for _, c := range s.Parent.Children {
+				if c == s {
+					linked = true
+					break
+				}
+			}
+			if !linked {
+				return fmt.Errorf("invariant: snapshot %d absent from parent %d's children", id, s.Parent.ID)
+			}
+			lineage, err := f.lineageOf(s.Epoch)
+			if err != nil {
+				return fmt.Errorf("snapshot %d: %w", id, err)
+			}
+			if !lineage[s.Parent.Epoch] {
+				return fmt.Errorf("invariant: snapshot %d (epoch %d) does not reach parent epoch %d via epoch-parent chain", id, s.Epoch, s.Parent.Epoch)
+			}
+		}
+	}
+	for vi, v := range f.views {
+		if !f.vstore.Exists(v.epoch) || f.vstore.Deleted(v.epoch) {
+			return fmt.Errorf("invariant: view %d epoch %d missing from validity store", vi, v.epoch)
+		}
+	}
+	return nil
+}
+
+func (f *FTL) checkPools() error {
+	where := make(map[int]string)
+	for _, s := range f.freeSegs {
+		if prev, dup := where[s]; dup {
+			return fmt.Errorf("invariant: segment %d in %s and free pool", s, prev)
+		}
+		where[s] = "free"
+		if n := f.dev.ProgrammedInSegment(s); n != 0 {
+			return fmt.Errorf("invariant: free segment %d holds %d programmed pages", s, n)
+		}
+		if f.presence.count(s) != 0 {
+			return fmt.Errorf("invariant: free segment %d has a non-empty presence summary", s)
+		}
+	}
+	headUsed := false
+	for _, s := range f.usedSegs {
+		if prev, dup := where[s]; dup {
+			return fmt.Errorf("invariant: segment %d in %s and used list", s, prev)
+		}
+		where[s] = "used"
+		if s == f.headSeg {
+			headUsed = true
+		}
+	}
+	if len(where) != f.cfg.Nand.Segments {
+		return fmt.Errorf("invariant: %d segments tracked, device has %d", len(where), f.cfg.Nand.Segments)
+	}
+	if !headUsed {
+		return fmt.Errorf("invariant: log head segment %d not in used list", f.headSeg)
+	}
+	return nil
+}

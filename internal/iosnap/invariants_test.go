@@ -5,87 +5,16 @@ import (
 	"fmt"
 	"testing"
 
-	"iosnap/internal/header"
-	"iosnap/internal/nand"
 	"iosnap/internal/sim"
 )
 
-// checkInvariants validates the FTL's core cross-structure invariants:
-//
-//  1. every view's forward-map entry points at a programmed page whose
-//     header carries that LBA, and whose validity bit is set in the view's
-//     epoch;
-//  2. no two distinct LBAs map to the same physical page within a view;
-//  3. every active-epoch-valid DATA page is referenced by the active map;
-//  4. free-pool segments hold no programmed pages and never appear in
-//     usedSegs; no segment appears twice anywhere.
+// checkInvariants asserts the exported cross-structure checker passes; the
+// checks themselves live in invariants.go (CheckInvariants), shared with the
+// torture harness and iosnapctl.
 func checkInvariants(t *testing.T, f *FTL) {
 	t.Helper()
-	for vi, v := range f.views {
-		seen := make(map[uint64]uint64)
-		v.fmap.All(func(lba, addr uint64) bool {
-			if prev, dup := seen[addr]; dup {
-				t.Fatalf("view %d: phys %d mapped by LBAs %d and %d", vi, addr, prev, lba)
-			}
-			seen[addr] = lba
-			oob, err := f.dev.PageOOB(nand.PageAddr(addr))
-			if err != nil {
-				t.Fatalf("view %d: LBA %d -> unprogrammed page %d: %v", vi, lba, addr, err)
-			}
-			h, err := header.Unmarshal(oob)
-			if err != nil {
-				t.Fatalf("view %d: LBA %d header: %v", vi, lba, err)
-			}
-			if h.Type != header.TypeData || h.LBA != lba {
-				t.Fatalf("view %d: LBA %d -> page %d holds %v/%d", vi, lba, addr, h.Type, h.LBA)
-			}
-			if !f.vstore.Test(v.epoch, int64(addr)) {
-				t.Fatalf("view %d: LBA %d -> page %d invalid in epoch %d", vi, lba, addr, v.epoch)
-			}
-			return true
-		})
-	}
-	// 3: active-valid data pages are exactly the active map's images.
-	activeRefs := make(map[int64]bool)
-	f.active.fmap.All(func(_, addr uint64) bool {
-		activeRefs[int64(addr)] = true
-		return true
-	})
-	for p := int64(0); p < f.cfg.Nand.TotalPages(); p++ {
-		if !f.vstore.Test(f.active.epoch, p) {
-			continue
-		}
-		oob, err := f.dev.PageOOB(nand.PageAddr(p))
-		if err != nil {
-			t.Fatalf("active-valid page %d not programmed: %v", p, err)
-		}
-		h, err := header.Unmarshal(oob)
-		if err != nil {
-			t.Fatalf("active-valid page %d header: %v", p, err)
-		}
-		if h.Type == header.TypeData && !activeRefs[p] {
-			t.Fatalf("active-valid data page %d (LBA %d) unreferenced by the active map", p, h.LBA)
-		}
-	}
-	// 4: pool consistency.
-	where := make(map[int]string)
-	for _, s := range f.freeSegs {
-		if prev, dup := where[s]; dup {
-			t.Fatalf("segment %d in %s and free pool", s, prev)
-		}
-		where[s] = "free"
-		if n := f.dev.ProgrammedInSegment(s); n != 0 {
-			t.Fatalf("free segment %d holds %d programmed pages", s, n)
-		}
-	}
-	for _, s := range f.usedSegs {
-		if prev, dup := where[s]; dup {
-			t.Fatalf("segment %d in %s and used list", s, prev)
-		}
-		where[s] = "used"
-	}
-	if len(where) != f.cfg.Nand.Segments {
-		t.Fatalf("%d segments tracked, device has %d", len(where), f.cfg.Nand.Segments)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

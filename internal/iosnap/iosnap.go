@@ -182,10 +182,14 @@ type Stats struct {
 	GCForced        int64
 	GCCopied        int64
 	GCErases        int64
-	GCUnpacedQuanta int64 // cleaner quanta run unthrottled because the work estimate was exhausted
+	GCErrors        int64  // background cleans aborted by device errors
+	GCLastErr       string // most recent aborting error ("" when none)
+	GCUnpacedQuanta int64  // cleaner quanta run unthrottled because the work estimate was exhausted
 	GCMergeTime     sim.Duration
 	GCTotalTime     sim.Duration
 	GCLastAt        sim.Time
+
+	TornPagesSkipped int64 // unparseable OOB headers tolerated during recovery/activation scans
 
 	MapMemory      int64 // active forward map bytes (refreshed by Stats())
 	ValidityMemory int64 // CoW validity pages bytes (refreshed by Stats())
@@ -427,6 +431,7 @@ func (f *FTL) writeSector(v *view, now sim.Time, lba uint64, sector []byte) (sim
 	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: uint64(v.epoch), Seq: f.seq}
 	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
 	if err != nil {
+		f.ungetPage(addr)
 		return now, fmt.Errorf("iosnap: programming LBA %d: %w", lba, err)
 	}
 	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
@@ -486,6 +491,22 @@ func (f *FTL) allocPage(now sim.Time) (nand.PageAddr, sim.Time, error) {
 	return addr, now, nil
 }
 
+// ungetPage rolls back the most recent allocPage/allocPageGC after a failed
+// program. Without this the unprogrammed page becomes a permanent hole at
+// the log head: SequentialProg devices reject every later program in the
+// segment with ErrOutOfOrder, turning one transient fault into a bricked
+// log. Only the exact page just handed out is reclaimed, and only if the
+// program really did not land.
+func (f *FTL) ungetPage(addr nand.PageAddr) {
+	if f.headIdx == 0 || addr != f.dev.Addr(f.headSeg, f.headIdx-1) {
+		return
+	}
+	if _, err := f.dev.PageOOB(addr); err == nil {
+		return // the program landed after all (e.g. a post-program fault)
+	}
+	f.headIdx--
+}
+
 // allocPageGC is the cleaner's allocation: it never forces a nested clean.
 func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
 	if f.headIdx == f.cfg.Nand.PagesPerSegment {
@@ -515,6 +536,7 @@ func (f *FTL) writeNote(now sim.Time, typ header.Type, id SnapshotID, epoch bitm
 	payload := make([]byte, f.cfg.Nand.SectorSize)
 	done, err := f.dev.ProgramPage(now, addr, payload, h.Marshal())
 	if err != nil {
+		f.ungetPage(addr)
 		return 0, now, fmt.Errorf("iosnap: writing %v note: %w", typ, err)
 	}
 	f.vstore.Set(f.active.epoch, int64(addr))

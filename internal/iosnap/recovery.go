@@ -63,6 +63,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		segMaxSeq = make([]uint64, cfg.Nand.Segments)
 		segUsed   = make([]bool, cfg.Nand.Segments)
 		maxSeq    uint64
+		torn      int64
 	)
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
 		oobs, done, err := dev.ScanSegmentOOB(now, seg)
@@ -77,7 +78,12 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			segUsed[seg] = true
 			h, err := header.Unmarshal(oob)
 			if err != nil {
-				return nil, now, fmt.Errorf("iosnap: segment %d page %d: %w", seg, idx, err)
+				// A torn write: power failed while this header was being
+				// programmed, so its contents were never acknowledged. Skip
+				// it — the page stays invalid in every epoch and the cleaner
+				// reclaims it — but keep count so operators can see it.
+				torn++
+				continue
 			}
 			if h.Seq > segMaxSeq[seg] {
 				segMaxSeq[seg] = h.Seq
@@ -106,6 +112,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		presence:    newEpochPresence(cfg.Nand.Segments),
 	}
 	f.seq = maxSeq
+	f.stats.TornPagesSkipped = torn
 	for _, d := range data {
 		f.presence.add(f.dev.SegmentOf(d.addr), d.epoch)
 	}

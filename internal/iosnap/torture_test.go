@@ -1,0 +1,461 @@
+package iosnap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/sim"
+)
+
+func tortureConfig() Config {
+	cfg := testConfig()
+	cfg.Nand.Segments = 32
+	return cfg
+}
+
+// actLimit keeps background activations alive across many workload steps so
+// crash rules can land mid-scan.
+var actLimit = ratelimit.WorkSleep{Work: 10 * sim.Microsecond, Sleep: 5 * sim.Millisecond}
+
+func TestTortureCleanRun(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1234} {
+		rep, err := Torture(tortureConfig(), TortureOptions{Seed: seed, Steps: 900})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if rep.Checks == 0 {
+			t.Fatalf("seed %d: no invariant checks ran", seed)
+		}
+		if rep.OpErrors != 0 {
+			t.Fatalf("seed %d: %d op errors without any fault plan", seed, rep.OpErrors)
+		}
+	}
+}
+
+// TestTortureGCCopyError is acceptance plan 1: a program error injected into
+// the cleaner's copy-forward. The clean aborts, the error lands in Stats
+// instead of being swallowed, the victim stays cleanable, and the workload
+// (including the log head the failed copy allocated from) keeps going.
+func TestTortureGCCopyError(t *testing.T) {
+	fired := false
+	for _, seed := range []uint64{3, 11, 21} {
+		plan := faultinject.GCCopyError(5)
+		rep, err := Torture(tortureConfig(), TortureOptions{Seed: seed, Steps: 900, Plan: plan})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if len(rep.Fired) == 0 {
+			continue // this seed never reached 5 copy-forwards
+		}
+		fired = true
+		// The copy error surfaced somewhere: either a background clean
+		// recorded it in Stats, or a forced synchronous clean propagated it
+		// to the writer as an op error. Silent swallowing shows up as
+		// neither.
+		if rep.FinalStats.GCErrors == 0 && rep.OpErrors == 0 {
+			t.Fatalf("seed %d: injected GC copy error vanished (%s)", seed, rep)
+		}
+		if rep.FinalStats.GCErrors > 0 && rep.FinalStats.GCLastErr == "" {
+			t.Fatalf("seed %d: GCErrors=%d but GCLastErr empty", seed, rep.FinalStats.GCErrors)
+		}
+	}
+	if !fired {
+		t.Fatal("no seed ever triggered the GC copy fault; plan untested")
+	}
+}
+
+// TestTortureTornSnapshotNote is acceptance plan 2: power fails while a
+// snapshot-create note is being programmed, leaving a torn header at the log
+// tail. Recovery must tolerate the garbage page, count it, and restore a
+// consistent device on which all previously acknowledged state survives.
+func TestTortureTornSnapshotNote(t *testing.T) {
+	fired := false
+	for _, seed := range []uint64{5, 9, 31} {
+		plan := faultinject.TornNote(header.TypeSnapCreate, 2)
+		rep, err := Torture(tortureConfig(), TortureOptions{Seed: seed, Steps: 900, Plan: plan})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if len(rep.Fired) == 0 {
+			continue // fewer than 2 snapshot creates under this seed
+		}
+		fired = true
+		if rep.Crashes != 1 || rep.Recoveries != 1 {
+			t.Fatalf("seed %d: torn note must crash+recover exactly once: %s", seed, rep)
+		}
+		if rep.FinalStats.TornPagesSkipped == 0 {
+			t.Fatalf("seed %d: recovery did not report the torn page (%s)", seed, rep)
+		}
+	}
+	if !fired {
+		t.Fatal("no seed ever tore a snapshot note; plan untested")
+	}
+}
+
+// TestTortureCrashMidActivation is acceptance plan 3: power cut during an
+// activation's log scan. The scan fault must propagate out of the Activation
+// (not hang or succeed spuriously), and recovery must restore invariants.
+func TestTortureCrashMidActivation(t *testing.T) {
+	fired := false
+	for _, seed := range []uint64{2, 13, 27} {
+		plan := faultinject.CrashAtScan(2)
+		rep, err := Torture(tortureConfig(), TortureOptions{
+			Seed: seed, Steps: 900, Plan: plan, ActivationLimit: actLimit,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if len(rep.Fired) == 0 {
+			continue // no activation scanned 2 segments under this seed
+		}
+		fired = true
+		if rep.Activations == 0 {
+			t.Fatalf("seed %d: crash-at-scan fired without an activation: %s", seed, rep)
+		}
+		if rep.Crashes != 1 || rep.Recoveries != 1 {
+			t.Fatalf("seed %d: want exactly one crash+recovery: %s", seed, rep)
+		}
+	}
+	if !fired {
+		t.Fatal("no seed ever crashed mid-activation; plan untested")
+	}
+}
+
+// TestTortureRandomFaultNoise floods every operation class with seeded
+// random errors: no crash, just a device that fails constantly. Every
+// operation must either error or keep the model exact, and invariants must
+// hold throughout.
+func TestTortureRandomFaultNoise(t *testing.T) {
+	plan := faultinject.RandomFaults(99, 0.02)
+	rep, err := Torture(tortureConfig(), TortureOptions{Seed: 17, Steps: 600, Plan: plan})
+	if err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	if rep.OpErrors == 0 {
+		t.Fatalf("2%% fault rate over 600 steps produced zero op errors (%s)", rep)
+	}
+}
+
+// TestTortureDeterministicBySeed re-runs a faulted torture and demands an
+// identical report — the EXPERIMENTS.md reproducibility contract.
+func TestTortureDeterministicBySeed(t *testing.T) {
+	// Include probabilistic read faults: verification sweeps issue reads too,
+	// so any map-order dependence in the harness shows up as firings at
+	// run-dependent addresses even when the summary counters agree.
+	run := func() string {
+		plan := faultinject.NewPlan(7,
+			faultinject.Rule{Kind: faultinject.KindError, Op: nand.OpCopy, Seg: faultinject.AnySeg, Prob: 0.05},
+			faultinject.Rule{Kind: faultinject.KindError, Op: nand.OpRead, Seg: faultinject.AnySeg, Prob: 0.02})
+		rep, err := Torture(tortureConfig(), TortureOptions{Seed: 23, Steps: 500, Plan: plan})
+		if err != nil {
+			t.Fatalf("%v (%s)", err, rep)
+		}
+		return fmt.Sprintf("%s fired=%v", rep, rep.Fired)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seeds, different runs:\n%s\n%s", a, b)
+	}
+}
+
+// --- satellite regressions -------------------------------------------------
+
+// TestGCErrorRecordedNotSwallowed drives a background clean into an injected
+// copy error and asserts the error is recorded in Stats, the device stays
+// consistent, and the log head still accepts writes (the failed copy's
+// allocated page was rolled back, not left as a permanent hole).
+func TestGCErrorRecordedNotSwallowed(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 40; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lba := int64(0); lba < 20; lba++ { // invalidate some blocks
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = f.sched.Drain(now)
+
+	// Pick a victim that still holds valid data, so the clean must copy.
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	victim := -1
+	for _, seg := range f.UsedSegments() {
+		if seg == f.headSeg {
+			continue
+		}
+		if f.CountValidMerged(int64(seg)*pps, int64(seg+1)*pps) > 0 {
+			victim = seg
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no cleanable victim with valid data")
+	}
+	plan := faultinject.GCCopyError(1)
+	plan.Arm(f.Device())
+	if err := f.ForceClean(now, victim); err != nil {
+		t.Fatal(err)
+	}
+	now = f.sched.Drain(now)
+	plan.Disarm(f.Device())
+
+	st := f.Stats()
+	if st.GCErrors != 1 {
+		t.Fatalf("GCErrors = %d, want 1 (error swallowed)", st.GCErrors)
+	}
+	if !strings.Contains(st.GCLastErr, "copy-forward") {
+		t.Fatalf("GCLastErr = %q, want copy-forward error", st.GCLastErr)
+	}
+	if f.CleaningActive() {
+		t.Fatal("cleaner still marked active after abort")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("inconsistent after GC abort: %v", err)
+	}
+	// The log head must not be bricked by the rolled-back allocation.
+	for lba := int64(0); lba < 10; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 3)); err != nil {
+			t.Fatalf("write after GC abort: %v", err)
+		}
+	}
+	// And the victim must still be cleanable.
+	if err := f.ForceClean(now, victim); err != nil {
+		t.Fatalf("victim not cleanable after abort: %v", err)
+	}
+	now = f.sched.Drain(now)
+	if st := f.Stats(); st.GCErases == 0 {
+		t.Fatal("retry clean never erased the victim")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFaultDoesNotBrickLogHead: a failed foreground program must roll
+// the allocated page back; without ungetPage every subsequent write fails
+// with ErrOutOfOrder.
+func TestWriteFaultDoesNotBrickLogHead(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	if now, err = f.Write(now, 1, sectorPattern(ss, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan(0, faultinject.Rule{
+		Kind: faultinject.KindError, Op: nand.OpProgram, Seg: faultinject.AnySeg, AfterN: 1,
+	})
+	plan.Arm(f.Device())
+	if _, err := f.Write(now, 2, sectorPattern(ss, 2, 1)); err == nil {
+		t.Fatal("injected program fault not reported")
+	}
+	plan.Disarm(f.Device())
+	for lba := int64(2); lba < 12; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatalf("log head bricked after one failed program: %v", err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivationNoteFaultLeaksNoEpoch: if the activate note cannot be
+// written, beginActivation must not leave a live epoch behind (a leaked
+// epoch pins every snapshot block forever).
+func TestActivationNoteFaultLeaksNoEpoch(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 8; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochsBefore := len(f.vstore.Epochs())
+	counterBefore := f.epochCounter
+	plan := faultinject.NewPlan(0, faultinject.Rule{
+		Kind: faultinject.KindError, Op: nand.OpProgram, Seg: faultinject.AnySeg, AfterN: 1,
+	})
+	plan.Arm(f.Device())
+	if _, _, err := f.Activate(now, snap.ID, noLimit, false); err == nil {
+		t.Fatal("activation with failing note write must error")
+	}
+	plan.Disarm(f.Device())
+	if got := len(f.vstore.Epochs()); got != epochsBefore {
+		t.Fatalf("epoch leaked: %d validity epochs, want %d", got, epochsBefore)
+	}
+	if f.epochCounter != counterBefore {
+		t.Fatalf("epoch counter leaked: %d, want %d", f.epochCounter, counterBefore)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is still activatable once the fault clears.
+	vw, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vw.Deactivate(now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelRacingBlockMove: cancel an in-flight activation, then force the
+// cleaner to move blocks the scan had collected. onBlockMoved after Cancel
+// must be a no-op (no panic, no resurrection of the cancelled epoch).
+func TestCancelRacingBlockMove(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 30; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lba := int64(0); lba < 15; lba++ { // make garbage so a clean has work
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = f.sched.Drain(now)
+
+	act, now, err := f.Activate(now, snap.ID, actLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the scan make partial progress, then cancel mid-flight.
+	f.sched.RunUntil(now.Add(6 * sim.Millisecond))
+	if act.Ready() {
+		t.Skip("activation finished before cancel; tighten actLimit")
+	}
+	if err := act.Cancel(now); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Cancel = %v", err)
+	}
+	// Now force a clean that moves snapshot blocks; the cancelled
+	// activation must ignore onBlockMoved deliveries.
+	victim := -1
+	for _, seg := range f.UsedSegments() {
+		if seg != f.headSeg {
+			victim = seg
+			break
+		}
+	}
+	if victim >= 0 {
+		if err := f.ForceClean(now, victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = f.sched.Drain(now)
+	if _, err := act.View(); err == nil {
+		t.Fatal("cancelled activation produced a view")
+	}
+	if f.vstore.Exists(act.epoch) && !f.vstore.Deleted(act.epoch) {
+		t.Fatal("cancelled activation's epoch still live")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Later activations of the same snapshot still work.
+	vw, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vw.Deactivate(now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeactivateWritableViewAfterSnapshot: deactivating a writable view
+// whose epoch was frozen into a snapshot must not delete the snapshotted
+// epoch — only the fresh continuation epoch dies.
+func TestDeactivateWritableViewAfterSnapshot(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 10; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, now, err := f.ActivateSync(now, base.ID, noLimit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lba := int64(0); lba < 5; lba++ {
+		if now, err = vw.Write(now, lba, sectorPattern(ss, lba, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freeze the view's writes into a snapshot, then write a little more
+	// (into the continuation epoch) and deactivate.
+	forked, now, err := vw.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now, err = vw.Write(now, 6, sectorPattern(ss, 6, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if now, err = vw.Deactivate(now); err != nil {
+		t.Fatal(err)
+	}
+	if !f.vstore.Exists(forked.Epoch) || f.vstore.Deleted(forked.Epoch) {
+		t.Fatal("deactivation deleted the snapshotted epoch")
+	}
+	now = f.sched.Drain(now)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The forked snapshot reads back the view's frozen writes.
+	fv, now, err := f.ActivateSync(now, forked.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ss)
+	for lba := int64(0); lba < 5; lba++ {
+		if _, err := fv.Read(now, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, sectorPattern(ss, lba, 7)) {
+			t.Fatalf("forked snapshot LBA %d lost the view's write", lba)
+		}
+	}
+	// The un-snapshotted continuation write (LBA 6) is garbage by design:
+	// it must NOT appear in the forked snapshot.
+	if _, err := fv.Read(now, 6, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, sectorPattern(ss, 6, 9)) {
+		t.Fatal("un-snapshotted continuation write leaked into the snapshot")
+	}
+	if _, err := fv.Deactivate(now); err != nil {
+		t.Fatal(err)
+	}
+}

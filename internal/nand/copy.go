@@ -32,11 +32,16 @@ func (d *Device) CopyPage(now sim.Time, from, to PageAddr) (sim.Time, error) {
 		return now, fmt.Errorf("%w: segment %d page %d (next free %d)",
 			ErrOutOfOrder, d.SegmentOf(to), toIdx, dstSeg.nextProg)
 	}
-	if d.FaultFn != nil {
-		if err := d.FaultFn(OpRead, from); err != nil {
+	if d.hook != nil {
+		// OpCopy lets fault plans target cleaner traffic specifically; the
+		// read/program consults model the underlying physical operations.
+		if err := d.hook.BeforeOp(OpCopy, from); err != nil {
 			return now, err
 		}
-		if err := d.FaultFn(OpProgram, to); err != nil {
+		if err := d.hook.BeforeOp(OpRead, from); err != nil {
+			return now, err
+		}
+		if err := d.hook.BeforeOp(OpProgram, to); err != nil {
 			return now, err
 		}
 	}

@@ -54,6 +54,10 @@ const (
 	OpProgram
 	OpErase
 	OpScanOOB
+	// OpCopy is consulted (in addition to OpRead and OpProgram) when the
+	// cleaner moves a page with CopyPage, so fault plans can target
+	// copy-forward traffic without also failing foreground I/O.
+	OpCopy
 )
 
 func (o Op) String() string {
@@ -66,10 +70,39 @@ func (o Op) String() string {
 		return "erase"
 	case OpScanOOB:
 		return "scan-oob"
+	case OpCopy:
+		return "copy"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
 }
+
+// FaultHook intercepts device operations for failure injection. The device
+// consults it (when non-nil) before executing any operation, and gives it a
+// chance to corrupt header bytes as they are programmed — the two primitives
+// from which read/program/erase errors, torn log notes, and crash-at-
+// operation-N scenarios are built. A nil hook costs one pointer check per
+// operation.
+type FaultHook interface {
+	// BeforeOp is consulted before op executes; a non-nil error aborts the
+	// operation with that error and no device state change.
+	BeforeOp(op Op, addr PageAddr) error
+	// MutateOOB may corrupt the OOB header bytes being programmed at addr
+	// (a torn or corrupted header). It returns the bytes to store;
+	// returning oob unchanged stores the caller's header verbatim. It must
+	// not modify oob in place.
+	MutateOOB(addr PageAddr, oob []byte) []byte
+}
+
+// FaultFunc adapts a plain before-op function to FaultHook (no OOB
+// corruption).
+type FaultFunc func(op Op, addr PageAddr) error
+
+// BeforeOp implements FaultHook.
+func (fn FaultFunc) BeforeOp(op Op, addr PageAddr) error { return fn(op, addr) }
+
+// MutateOOB implements FaultHook; it never corrupts anything.
+func (FaultFunc) MutateOOB(_ PageAddr, oob []byte) []byte { return oob }
 
 // Config describes device geometry and timing. The zero value is not usable;
 // call DefaultConfig and adjust.
@@ -183,10 +216,7 @@ type Device struct {
 	writeBus busModel
 	stats    Stats
 
-	// FaultFn, when non-nil, is consulted before every operation; a non-nil
-	// return aborts the operation with that error. Used by failure-injection
-	// tests.
-	FaultFn func(op Op, addr PageAddr) error
+	hook FaultHook // nil = no fault injection
 }
 
 // busModel converts a byte count into occupancy of a shared bus resource.
@@ -236,6 +266,12 @@ func New(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook.
+func (d *Device) SetFaultHook(h FaultHook) { d.hook = h }
+
+// FaultHook returns the installed fault-injection hook, if any.
+func (d *Device) FaultHook() FaultHook { return d.hook }
 
 // Stats returns a snapshot of the activity counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -303,8 +339,8 @@ func fnv1a(h uint64, b []byte) uint64 {
 // virtual time now. It returns the operation's completion time. len(data)
 // must equal the sector size; len(oob) must not exceed OOBSize.
 func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim.Time, error) {
-	if d.FaultFn != nil {
-		if err := d.FaultFn(OpProgram, addr); err != nil {
+	if d.hook != nil {
+		if err := d.hook.BeforeOp(OpProgram, addr); err != nil {
 			return now, err
 		}
 	}
@@ -325,6 +361,13 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 	if d.cfg.SequentialProg && idx != seg.nextProg {
 		return now, fmt.Errorf("%w: segment %d page %d (next free %d)",
 			ErrOutOfOrder, d.SegmentOf(addr), idx, seg.nextProg)
+	}
+	if d.hook != nil {
+		// Torn/corrupted header injection: the payload lands but its header
+		// bytes may be garbage, as when power fails mid-program.
+		if m := d.hook.MutateOOB(addr, oob); len(m) <= OOBSize {
+			oob = m
+		}
 	}
 
 	p.state = pageProgrammed
@@ -353,8 +396,8 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 // fingerprint mode; oob is always the stored header bytes. The returned
 // slices alias device memory and must not be modified.
 func (d *Device) ReadPage(now sim.Time, addr PageAddr) (data, oob []byte, done sim.Time, err error) {
-	if d.FaultFn != nil {
-		if err := d.FaultFn(OpRead, addr); err != nil {
+	if d.hook != nil {
+		if err := d.hook.BeforeOp(OpRead, addr); err != nil {
 			return nil, nil, now, err
 		}
 	}
@@ -401,8 +444,8 @@ func (d *Device) ScanSegmentOOB(now sim.Time, seg int) (oobs [][]byte, done sim.
 	if seg < 0 || seg >= d.cfg.Segments {
 		return nil, now, fmt.Errorf("%w: segment %d", ErrBadAddress, seg)
 	}
-	if d.FaultFn != nil {
-		if err := d.FaultFn(OpScanOOB, d.Addr(seg, 0)); err != nil {
+	if d.hook != nil {
+		if err := d.hook.BeforeOp(OpScanOOB, d.Addr(seg, 0)); err != nil {
 			return nil, now, err
 		}
 	}
@@ -431,8 +474,8 @@ func (d *Device) EraseSegment(now sim.Time, seg int) (sim.Time, error) {
 	if seg < 0 || seg >= d.cfg.Segments {
 		return now, fmt.Errorf("%w: segment %d", ErrBadAddress, seg)
 	}
-	if d.FaultFn != nil {
-		if err := d.FaultFn(OpErase, d.Addr(seg, 0)); err != nil {
+	if d.hook != nil {
+		if err := d.hook.BeforeOp(OpErase, d.Addr(seg, 0)); err != nil {
 			return now, err
 		}
 	}

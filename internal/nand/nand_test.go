@@ -290,12 +290,12 @@ func TestFingerprintMode(t *testing.T) {
 func TestFaultInjection(t *testing.T) {
 	d := New(testConfig())
 	boom := errors.New("boom")
-	d.FaultFn = func(op Op, addr PageAddr) error {
+	d.SetFaultHook(FaultFunc(func(op Op, addr PageAddr) error {
 		if op == OpProgram && addr == 2 {
 			return boom
 		}
 		return nil
-	}
+	}))
 	data := fill(512, 1)
 	for i := 0; i < 2; i++ {
 		if _, err := d.ProgramPage(0, PageAddr(i), data, nil); err != nil {
@@ -304,6 +304,83 @@ func TestFaultInjection(t *testing.T) {
 	}
 	if _, err := d.ProgramPage(0, 2, data, nil); !errors.Is(err, boom) {
 		t.Fatalf("got %v, want injected error", err)
+	}
+	// The failed program must leave the page erased and programmable once
+	// the hook is removed.
+	if d.IsProgrammed(2) {
+		t.Fatal("failed program left the page programmed")
+	}
+	d.SetFaultHook(nil)
+	if _, err := d.ProgramPage(0, 2, data, nil); err != nil {
+		t.Fatalf("program after hook removal: %v", err)
+	}
+}
+
+// oobCorruptor is a FaultHook that flips the first OOB byte of every
+// programmed page (a torn header).
+type oobCorruptor struct{ hits int }
+
+func (c *oobCorruptor) BeforeOp(Op, PageAddr) error { return nil }
+
+func (c *oobCorruptor) MutateOOB(_ PageAddr, oob []byte) []byte {
+	c.hits++
+	out := append([]byte(nil), oob...)
+	if len(out) > 0 {
+		out[0] ^= 0xFF
+	}
+	return out
+}
+
+func TestFaultHookMutatesOOB(t *testing.T) {
+	d := New(testConfig())
+	c := &oobCorruptor{}
+	d.SetFaultHook(c)
+	want := []byte{0xAA, 0xBB}
+	if _, err := d.ProgramPage(0, 0, fill(512, 1), want); err != nil {
+		t.Fatal(err)
+	}
+	if c.hits != 1 {
+		t.Fatalf("MutateOOB called %d times, want 1", c.hits)
+	}
+	oob, err := d.PageOOB(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oob[0] != 0xAA^0xFF || oob[1] != 0xBB {
+		t.Fatalf("stored oob = %x, want corrupted first byte", oob[:2])
+	}
+	if want[0] != 0xAA {
+		t.Fatal("caller's oob buffer was modified in place")
+	}
+}
+
+func TestFaultHookOpCopyTargetsCleanerCopies(t *testing.T) {
+	d := New(testConfig())
+	data := fill(512, 1)
+	if _, err := d.ProgramPage(0, 0, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("copy boom")
+	d.SetFaultHook(FaultFunc(func(op Op, addr PageAddr) error {
+		if op == OpCopy {
+			return boom
+		}
+		return nil
+	}))
+	// Foreground programs and reads are untouched…
+	if _, err := d.ProgramPage(0, 1, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d.ReadPage(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// …but copy-forward fails, with the destination left erased.
+	dst := d.Addr(1, 0)
+	if _, err := d.CopyPage(0, 0, dst); !errors.Is(err, boom) {
+		t.Fatalf("CopyPage = %v, want injected copy error", err)
+	}
+	if d.IsProgrammed(dst) {
+		t.Fatal("failed copy programmed the destination")
 	}
 }
 

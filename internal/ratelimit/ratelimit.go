@@ -40,8 +40,11 @@ type Budget struct {
 func NewBudget(ws WorkSleep) *Budget { return &Budget{ws: ws} }
 
 // Charge records that d of work was just performed. When the accumulated
-// work reaches the budget, Charge resets the accumulator and returns the
-// configured sleep with exhausted=true; the caller yields for that long.
+// work reaches the budget, Charge returns the configured sleep — one per
+// full work period consumed, so a single quantum several times larger than
+// Work owes proportionally more sleep — with exhausted=true; the caller
+// yields for that long. Work in excess of whole periods carries over to the
+// next Charge rather than being forgiven.
 func (b *Budget) Charge(d sim.Duration) (sleep sim.Duration, exhausted bool) {
 	if !b.ws.Enabled() {
 		return 0, false
@@ -50,8 +53,9 @@ func (b *Budget) Charge(d sim.Duration) (sleep sim.Duration, exhausted bool) {
 	if b.used < b.ws.Work {
 		return 0, false
 	}
-	b.used = 0
-	return b.ws.Sleep, true
+	periods := b.used / b.ws.Work
+	b.used -= periods * b.ws.Work
+	return sim.Duration(periods) * b.ws.Sleep, true
 }
 
 // Config returns the budget's configuration.
@@ -64,30 +68,30 @@ func (b *Budget) Config() WorkSleep { return b.ws }
 // current time: the remaining work runs unthrottled, producing the
 // interference spike the snapshot-aware estimate avoids.
 type Pacer struct {
-	start        sim.Time
-	delayPerUnit sim.Duration
-	planned      int
-	done         int
+	start   sim.Time
+	window  sim.Duration
+	planned int
+	done    int
 }
 
 // NewPacer plans estimatedUnits of work across window starting at start.
 // estimatedUnits <= 0 disables pacing entirely.
 func NewPacer(start sim.Time, estimatedUnits int, window sim.Duration) *Pacer {
-	p := &Pacer{start: start, planned: estimatedUnits}
-	if estimatedUnits > 0 {
-		p.delayPerUnit = window / sim.Duration(estimatedUnits)
-	}
-	return p
+	return &Pacer{start: start, window: window, planned: estimatedUnits}
 }
 
 // Ready returns the earliest time at or after now at which the next unit of
-// work may run, and consumes that unit.
+// work may run, and consumes that unit. Ready-times are computed as
+// start + i*window/planned with the multiplication first, so sub-tick
+// per-unit delays spread across units instead of truncating to zero (which
+// would silently disable pacing whenever planned exceeded the window's tick
+// count).
 func (p *Pacer) Ready(now sim.Time) sim.Time {
 	if p.planned <= 0 || p.done >= p.planned {
 		p.done++
 		return now
 	}
-	at := p.start.Add(sim.Duration(p.done) * p.delayPerUnit)
+	at := p.start.Add(sim.Duration(int64(p.done) * int64(p.window) / int64(p.planned)))
 	p.done++
 	if at < now {
 		return now

@@ -49,10 +49,42 @@ func TestBudgetDisabled(t *testing.T) {
 }
 
 func TestBudgetOvershootSingleCharge(t *testing.T) {
+	// A quantum worth ten full work periods owes ten sleeps, not one: the
+	// old code reset the accumulator to zero and systematically
+	// under-throttled large scan quanta.
 	b := NewBudget(WorkSleep{Work: 100, Sleep: 7})
 	sleep, ex := b.Charge(1000)
+	if !ex || sleep != 70 {
+		t.Fatalf("Charge(1000) = %d,%v; want 70 (10 periods x 7)", sleep, ex)
+	}
+}
+
+func TestBudgetCarryoverExact(t *testing.T) {
+	b := NewBudget(WorkSleep{Work: 100, Sleep: 7})
+	// 250 = 2 full periods + 50 carried over.
+	sleep, ex := b.Charge(250)
+	if !ex || sleep != 14 {
+		t.Fatalf("Charge(250) = %d,%v; want 14", sleep, ex)
+	}
+	// The 50 remainder must persist: another 50 completes a period.
+	if sleep, ex := b.Charge(49); ex || sleep != 0 {
+		t.Fatalf("Charge(49) = %d,%v; carryover lost", sleep, ex)
+	}
+	sleep, ex = b.Charge(1)
 	if !ex || sleep != 7 {
-		t.Fatal("single oversized charge should exhaust")
+		t.Fatalf("Charge(1) after 250+49 = %d,%v; want 7", sleep, ex)
+	}
+	// Long-run conservation: total sleep tracks total work regardless of
+	// quantum sizes.
+	b = NewBudget(WorkSleep{Work: 100, Sleep: 7})
+	var total sim.Duration
+	for _, q := range []sim.Duration{3, 333, 64, 1, 999, 100, 42, 58} {
+		s, _ := b.Charge(q)
+		total += s
+	}
+	// 1600 units of work = 16 periods = 112 sleep.
+	if total != 112 {
+		t.Fatalf("total sleep = %d, want 112", total)
 	}
 }
 
@@ -97,6 +129,46 @@ func TestPacerDisabled(t *testing.T) {
 	p := NewPacer(0, 0, 1000)
 	if at := p.Ready(42); at != 42 {
 		t.Fatal("disabled pacer delayed work")
+	}
+}
+
+func TestPacerLargePlanNoZeroDelayCollapse(t *testing.T) {
+	// planned > window's tick count: the old per-unit-delay computation
+	// truncated window/planned to 0 and disabled pacing entirely. With
+	// remainder-spreading the plan still covers the window.
+	const window = 1000
+	const planned = 3000
+	p := NewPacer(0, planned, window)
+	var last sim.Time
+	nonzero := false
+	for i := 0; i < planned; i++ {
+		at := p.Ready(0)
+		if at < last {
+			t.Fatalf("unit %d ready at %d, before previous %d", i, at, last)
+		}
+		if at > 0 {
+			nonzero = true
+		}
+		last = at
+	}
+	if !nonzero {
+		t.Fatal("pacer degenerated to zero delay for every unit")
+	}
+	// The final unit lands at the end of the window (within one unit's
+	// share), not at time zero.
+	if last < window*(planned-1)/planned {
+		t.Fatalf("last unit ready at %d, want ~%d", last, window)
+	}
+}
+
+func TestPacerReadyTimesExact(t *testing.T) {
+	// i*window/planned with the multiply first: 7 units over 10 ticks.
+	p := NewPacer(0, 7, 10)
+	want := []sim.Time{0, 1, 2, 4, 5, 7, 8} // floor(i*10/7)
+	for i, w := range want {
+		if at := p.Ready(0); at != w {
+			t.Fatalf("unit %d ready at %d, want %d", i, at, w)
+		}
 	}
 }
 

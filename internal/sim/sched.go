@@ -124,6 +124,15 @@ func (s *Scheduler) Drain(now Time) Time {
 	return last
 }
 
+// Reset discards every pending task quantum without running it. Fault
+// harnesses use it to model power loss: background work (cleans, snapshot
+// activations) lives in host RAM and simply ceases to exist at the crash
+// point, while the device's durable state stays whatever the executed quanta
+// made it.
+func (s *Scheduler) Reset() {
+	s.heap = nil
+}
+
 // Pending reports the number of scheduled task quanta.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 

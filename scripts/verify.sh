@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, tests, and the race detector.
+# Run from the repository root (or anywhere inside it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: all green"

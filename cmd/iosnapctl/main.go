@@ -15,13 +15,22 @@
 //	iosnapctl -image dev.img snap-read -id N -lba L [-count k]
 //	iosnapctl -image dev.img stats
 //	iosnapctl -image dev.img check
-//	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|none] [-seed N] [-steps N]
+//	iosnapctl -image dev.img health
+//	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|transient|wear-out|none] [-seed N] [-steps N]
 //
 // check reloads the image, crash-recovers, and runs the full invariant
-// checker over the rebuilt state. faultdemo needs no image: it drives the
-// randomized torture harness against an in-memory device with a fault plan
-// armed and prints the run report, demonstrating that every injected fault
-// is either surfaced as an error or survived with invariants intact.
+// checker over the rebuilt state; health reports per-segment media health
+// (suspect/retired segments, wear, degradation). Both — like every other
+// verb — exit non-zero on failure, so scripts can gate on them.
+//
+// faultdemo needs no image: it drives the randomized torture harness
+// against an in-memory device with a fault plan armed and prints the run
+// report, demonstrating that every injected fault is either surfaced as an
+// error or survived with invariants intact. The transient plan injects
+// retryable read/program faults the retry policy must absorb; the wear-out
+// plan combines an erase budget (erases past it fail probabilistically,
+// retiring segments after rescue), 1% transient faults, an armed scrubber,
+// and three crash/recover cycles.
 package main
 
 import (
@@ -97,6 +106,8 @@ func run(args []string) error {
 		err = cmdStats(f)
 	case "check":
 		err = cmdCheck(f)
+	case "health":
+		err = cmdHealth(f)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -329,6 +340,39 @@ func cmdCheck(f *iosnap.FTL) error {
 	return nil
 }
 
+// cmdHealth reports media health: segment health states (persisted in the
+// image, so retirements survive reloads), wear, and whether the device is
+// degraded to read-only for lack of rescuable space.
+func cmdHealth(f *iosnap.FTL) error {
+	dev := f.Device()
+	suspect, retired := dev.HealthCounts()
+	st := f.Stats()
+	fmt.Printf("segments:           %d total, %d free, %d suspect, %d retired\n",
+		dev.Config().Segments, f.FreeSegments(), suspect, retired)
+	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
+	fmt.Printf("degraded:           %v\n", st.Degraded)
+	fmt.Printf("retries:            %d\n", st.Retries)
+	fmt.Printf("media failures:     %d\n", st.MediaFailures)
+	fmt.Printf("rescued pages:      %d\n", st.RescuedPages)
+	fmt.Printf("out-of-space writes: %d\n", st.OutOfSpaceWrites)
+	fmt.Printf("scrub passes:       %d (%d segments scanned, %d rescues)\n",
+		st.ScrubPasses, st.ScrubSegments, st.ScrubRescues)
+	bad := false
+	for seg := 0; seg < dev.Config().Segments; seg++ {
+		if h := dev.SegmentHealth(seg); h != nand.Healthy {
+			if !bad {
+				fmt.Printf("%-8s %-8s %s\n", "SEGMENT", "HEALTH", "ERASES")
+				bad = true
+			}
+			fmt.Printf("%-8d %-8s %d\n", seg, h, dev.EraseCount(seg))
+		}
+	}
+	if !bad {
+		fmt.Println("all segments healthy")
+	}
+	return nil
+}
+
 // demoConfig is the faultdemo device: small enough that a few hundred
 // operations exercise cleaning, in-memory data so torn/corrupt pages are
 // observable, geometry matching the package torture tests.
@@ -347,13 +391,14 @@ func demoConfig() iosnap.Config {
 
 func cmdFaultDemo(args []string) error {
 	fs := flag.NewFlagSet("faultdemo", flag.ContinueOnError)
-	planName := fs.String("plan", "gc-copy", "fault plan: gc-copy | torn-note | crash-scan | random | none")
+	planName := fs.String("plan", "gc-copy", "fault plan: gc-copy | torn-note | crash-scan | random | transient | wear-out | none")
 	seed := fs.Uint64("seed", 1, "workload RNG seed")
 	steps := fs.Int("steps", 600, "operations to run")
-	prob := fs.Float64("prob", 0.02, "per-operation fault probability (random plan only)")
+	prob := fs.Float64("prob", 0.02, "per-operation fault probability (random/transient plans)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := demoConfig()
 	opt := iosnap.TortureOptions{Seed: *seed, Steps: *steps}
 	switch *planName {
 	case "gc-copy":
@@ -366,15 +411,50 @@ func cmdFaultDemo(args []string) error {
 		opt.ActivationLimit = ratelimit.WorkSleep{Work: 10 * sim.Microsecond, Sleep: 5 * sim.Millisecond}
 	case "random":
 		opt.Plan = faultinject.RandomFaults(*seed, *prob)
+	case "transient":
+		// Retryable faults only: the run must complete with zero surfaced
+		// errors — the retry policy absorbs every episode.
+		opt.Plan = faultinject.RandomTransients(*seed, *prob, 2)
+	case "wear-out":
+		// The media-failure acceptance scenario: a low erase budget (erases
+		// past it fail with ErrWornOut, retiring segments after rescue), 1%
+		// transient read/program faults, an armed scrubber, and three
+		// crash/recover cycles with a fresh fault plan each cycle.
+		cfg.Nand.WearOutThreshold = 6
+		cfg.Nand.WearOutProb = 0.3
+		cfg.Nand.WearSeed = *seed
+		cfg.ScrubInterval = 2 * sim.Millisecond
+		cfg.ScrubLimit = ratelimit.WorkSleep{Work: 50 * sim.Microsecond, Sleep: 2 * sim.Millisecond}
+		wearPlan := func(cycle int) *faultinject.Plan {
+			return faultinject.NewPlan(*seed+uint64(cycle)*7919,
+				faultinject.Rule{Name: "transient-read", Kind: faultinject.KindTransient,
+					Op: nand.OpRead, Seg: faultinject.AnySeg, Prob: 0.01, Times: 1},
+				faultinject.Rule{Name: "transient-program", Kind: faultinject.KindTransient,
+					Op: nand.OpProgram, Seg: faultinject.AnySeg, Prob: 0.01, Times: 1},
+				faultinject.Rule{Name: "crash", Kind: faultinject.KindCrash,
+					Op: nand.OpProgram, Seg: faultinject.AnySeg, AfterN: 120},
+			)
+		}
+		opt.Plan = wearPlan(0)
+		opt.Replan = func(cycle int) *faultinject.Plan {
+			if cycle >= 3 {
+				return nil
+			}
+			return wearPlan(cycle)
+		}
 	case "none":
 	default:
-		return fmt.Errorf("unknown fault plan %q (want gc-copy, torn-note, crash-scan, random, or none)", *planName)
+		return fmt.Errorf("unknown fault plan %q (want gc-copy, torn-note, crash-scan, random, transient, wear-out, or none)", *planName)
 	}
-	rep, err := iosnap.Torture(demoConfig(), opt)
+	rep, err := iosnap.Torture(cfg, opt)
 	if err != nil {
 		return fmt.Errorf("torture run found a real bug: %w", err)
 	}
 	fmt.Printf("plan=%s seed=%d %s\n", *planName, *seed, rep)
+	st := rep.FinalStats
+	fmt.Printf("media: retries=%d failures=%d suspect=%d retired=%d rescued=%d scrubPasses=%d degraded=%v\n",
+		st.Retries, st.MediaFailures, st.SegmentsSuspect, st.SegmentsRetired,
+		st.RescuedPages, st.ScrubPasses, st.Degraded)
 	if len(rep.Fired) == 0 {
 		fmt.Println("no faults fired (try more -steps or a different -seed)")
 		return nil

@@ -1,11 +1,46 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain doubles as a re-exec shim: when IOSNAPCTL_ARGS is set, the test
+// binary behaves exactly like iosnapctl's main — same error printing, same
+// exit code — so tests can assert the process-level contract (non-zero exit
+// on invariant violations and failed runs). Args are joined with an ASCII
+// unit separator, since TempDir paths may contain spaces.
+func TestMain(m *testing.M) {
+	if argv := os.Getenv("IOSNAPCTL_ARGS"); argv != "" {
+		if err := run(strings.Split(argv, "\x1f")); err != nil {
+			fmt.Fprintln(os.Stderr, "iosnapctl:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// execCtl re-executes the test binary as iosnapctl and returns its exit code.
+func execCtl(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "IOSNAPCTL_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec: %v (output %q)", err, out)
+	}
+	return ee.ExitCode()
+}
 
 // runCtl invokes the CLI entry point with the given image and args.
 func runCtl(t *testing.T, image string, args ...string) error {
@@ -108,13 +143,60 @@ func TestCLICheck(t *testing.T) {
 // errors on any real bug (invariant violation, wrong content without an
 // error), so success here is a meaningful assertion, not just smoke.
 func TestCLIFaultDemo(t *testing.T) {
-	for _, plan := range []string{"gc-copy", "torn-note", "crash-scan", "random", "none"} {
+	for _, plan := range []string{"gc-copy", "torn-note", "crash-scan", "random", "transient", "wear-out", "none"} {
 		if err := run([]string{"faultdemo", "-plan", plan, "-seed", "3", "-steps", "400"}); err != nil {
 			t.Fatalf("faultdemo -plan %s: %v", plan, err)
 		}
 	}
 	if err := run([]string{"faultdemo", "-plan", "bogus"}); err == nil {
 		t.Fatal("unknown fault plan accepted")
+	}
+}
+
+// TestCLIHealth exercises the health verb on a populated image.
+func TestCLIHealth(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "dev.img")
+	if err := runCtl(t, img, "init", "-megabytes", "8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "write", "-lba", "0", "-text", "x", "-count", "4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "health"); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+}
+
+// TestCLIExitCodes asserts the process-level contract: check and faultdemo
+// exit non-zero when they find a problem and zero when the run is clean.
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test skipped in short mode")
+	}
+	dir := t.TempDir()
+	img := filepath.Join(dir, "dev.img")
+	if code := execCtl(t, "-image", img, "init", "-megabytes", "8"); code != 0 {
+		t.Fatalf("init exited %d", code)
+	}
+	if code := execCtl(t, "-image", img, "check"); code != 0 {
+		t.Fatalf("check on healthy image exited %d", code)
+	}
+	if code := execCtl(t, "-image", img, "health"); code != 0 {
+		t.Fatalf("health exited %d", code)
+	}
+	bad := filepath.Join(dir, "bad.img")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := execCtl(t, "-image", bad, "check"); code == 0 {
+		t.Fatal("check on corrupt image exited 0")
+	}
+	if code := execCtl(t, "faultdemo", "-plan", "wear-out", "-seed", "3", "-steps", "400"); code != 0 {
+		t.Fatalf("faultdemo wear-out exited %d", code)
+	}
+	if code := execCtl(t, "faultdemo", "-plan", "bogus"); code == 0 {
+		t.Fatal("faultdemo with unknown plan exited 0")
 	}
 }
 

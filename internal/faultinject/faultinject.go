@@ -46,6 +46,13 @@ const (
 	// crash artifact. (A torn header is only ever observable after power
 	// loss: while the host stays up its RAM state is authoritative.)
 	KindTornOOB
+	// KindTransient injects retryable failures: a matching (op, page) target
+	// fails its first Times attempts with the rule's error (default
+	// nand.ErrTransient) and then succeeds — the distinction a retry policy
+	// exists to exploit. Count-based rules put the AfterN-th distinct
+	// matching target into a transient episode; with Prob > 0 each new
+	// target independently enters an episode with that probability.
+	KindTransient
 )
 
 func (k Kind) String() string {
@@ -56,6 +63,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindTornOOB:
 		return "torn-oob"
+	case KindTransient:
+		return "transient"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -84,7 +93,12 @@ type Rule struct {
 	AfterN int64
 	Prob   float64
 
-	// Err is the error injected by KindError (default nand.ErrDeviceFailed).
+	// Times is how many consecutive attempts a KindTransient episode fails
+	// before the target recovers (default 1).
+	Times int64
+
+	// Err is the error injected by KindError (default nand.ErrDeviceFailed)
+	// or KindTransient (default nand.ErrTransient).
 	Err error
 
 	// CrashAfter makes a KindError rule also cut power after injecting its
@@ -108,6 +122,18 @@ type ruleState struct {
 	Rule
 	matched int64
 	spent   bool
+	trans   map[transKey]*transState // KindTransient per-target episodes
+}
+
+// transKey identifies a transient-fault target: retrying the same operation
+// at the same page consumes the episode; other targets are independent.
+type transKey struct {
+	op   nand.Op
+	addr nand.PageAddr
+}
+
+type transState struct {
+	remaining int64 // failures still to inject; 0 = target behaves normally
 }
 
 // Plan is a deterministic schedule of faults against one device. It
@@ -127,7 +153,11 @@ func NewPlan(seed uint64, rules ...Rule) *Plan {
 	p := &Plan{rng: sim.NewRNG(seed)}
 	for _, r := range rules {
 		if r.Err == nil {
-			r.Err = nand.ErrDeviceFailed
+			if r.Kind == KindTransient {
+				r.Err = nand.ErrTransient
+			} else {
+				r.Err = nand.ErrDeviceFailed
+			}
 		}
 		if r.Name == "" {
 			r.Name = r.Kind.String()
@@ -135,7 +165,14 @@ func NewPlan(seed uint64, rules ...Rule) *Plan {
 		if r.AfterN <= 0 && r.Prob == 0 {
 			r.AfterN = 1
 		}
-		p.rules = append(p.rules, &ruleState{Rule: r})
+		if r.Times <= 0 {
+			r.Times = 1
+		}
+		rs := &ruleState{Rule: r}
+		if r.Kind == KindTransient {
+			rs.trans = make(map[transKey]*transState)
+		}
+		p.rules = append(p.rules, rs)
 	}
 	return p
 }
@@ -208,6 +245,12 @@ func (p *Plan) BeforeOp(op nand.Op, addr nand.PageAddr) error {
 		if r.Seg != AnySeg && r.Seg != p.segOf(addr) {
 			continue
 		}
+		if r.Kind == KindTransient {
+			if err := p.transientFault(r, op, addr); err != nil {
+				return err
+			}
+			continue
+		}
 		if !p.triggers(r) {
 			continue
 		}
@@ -224,6 +267,33 @@ func (p *Plan) BeforeOp(op nand.Op, addr nand.PageAddr) error {
 		}
 	}
 	return nil
+}
+
+// transientFault runs one KindTransient rule against a matching operation:
+// the first attempt at a new target decides (by count or probability)
+// whether the target enters an episode; attempts during an episode fail and
+// consume it. Determinism holds because targets are keyed, never iterated.
+func (p *Plan) transientFault(r *ruleState, op nand.Op, addr nand.PageAddr) error {
+	key := transKey{op: op, addr: addr}
+	st, seen := r.trans[key]
+	if !seen {
+		st = &transState{}
+		r.trans[key] = st
+		r.matched++
+		if r.Prob > 0 {
+			if p.rng.Float64() < r.Prob {
+				st.remaining = r.Times
+			}
+		} else if r.matched == r.AfterN {
+			st.remaining = r.Times
+		}
+	}
+	if st.remaining <= 0 {
+		return nil
+	}
+	st.remaining--
+	p.fired = append(p.fired, Fired{Rule: r.Name, Op: op, Addr: addr, Count: r.matched})
+	return r.Err
 }
 
 // MutateOOB implements nand.FaultHook: KindTornOOB rules corrupt matching
@@ -278,6 +348,17 @@ func TornNote(t header.Type, n int64) *Plan {
 // mid-recovery, whichever issues it.
 func CrashAtScan(n int64) *Plan {
 	return NewPlan(0, Rule{Name: "crash-at-scan", Kind: KindCrash, Op: nand.OpScanOOB, Seg: AnySeg, AfterN: n})
+}
+
+// RandomTransients is a probabilistic retryable-fault plan: each distinct
+// read or program target independently enters a transient episode with
+// probability prob, failing its first times attempts before recovering —
+// the workload a bounded retry policy must absorb without surfacing errors.
+func RandomTransients(seed uint64, prob float64, times int64) *Plan {
+	return NewPlan(seed,
+		Rule{Name: "transient-read", Kind: KindTransient, Op: nand.OpRead, Seg: AnySeg, Prob: prob, Times: times},
+		Rule{Name: "transient-program", Kind: KindTransient, Op: nand.OpProgram, Seg: AnySeg, Prob: prob, Times: times},
+	)
 }
 
 // RandomFaults is a probabilistic background-noise plan: every operation

@@ -235,3 +235,87 @@ func TestDefaultsAndAccessors(t *testing.T) {
 		t.Fatal("MutateOOB without torn rules must return input unchanged")
 	}
 }
+
+// TestTransientEpisodeFailsThenClears: a transient target fails exactly
+// Times attempts and then behaves normally, while other targets are
+// untouched.
+func TestTransientEpisodeFailsThenClears(t *testing.T) {
+	d := testDevice()
+	p := NewPlan(0, Rule{
+		Kind: KindTransient, Op: nand.OpProgram, Seg: AnySeg, AfterN: 1, Times: 2,
+	})
+	p.Arm(d)
+
+	payload := make([]byte, d.Config().SectorSize)
+	addr := d.Addr(0, 0)
+	for i := 0; i < 2; i++ {
+		if _, err := d.ProgramPage(0, addr, payload, dataOOB(1, 1)); !errors.Is(err, nand.ErrTransient) {
+			t.Fatalf("attempt %d: %v, want ErrTransient", i, err)
+		}
+	}
+	// Third attempt at the same target succeeds — and the page really landed.
+	if _, err := d.ProgramPage(0, addr, payload, dataOOB(1, 1)); err != nil {
+		t.Fatalf("post-episode attempt: %v", err)
+	}
+	if !d.IsProgrammed(addr) {
+		t.Fatal("post-episode program did not land")
+	}
+	// Only the first distinct target was in an episode (AfterN=1).
+	if _, err := d.ProgramPage(0, d.Addr(0, 1), payload, dataOOB(2, 2)); err != nil {
+		t.Fatalf("other target: %v", err)
+	}
+	if got := len(p.Fired()); got != 2 {
+		t.Fatalf("fired %d events, want 2", got)
+	}
+}
+
+// TestTransientCountSelectsNthTarget: AfterN counts distinct matching
+// targets, so only the n-th new (op, page) pair enters an episode.
+func TestTransientCountSelectsNthTarget(t *testing.T) {
+	d := testDevice()
+	p := NewPlan(0, Rule{Kind: KindTransient, Op: nand.OpRead, Seg: AnySeg, AfterN: 2, Times: 1})
+	program(t, d, d.Addr(0, 0), 1)
+	program(t, d, d.Addr(0, 1), 2)
+	p.Arm(d)
+
+	if _, _, _, err := d.ReadPage(0, d.Addr(0, 0)); err != nil {
+		t.Fatalf("first target must not fault: %v", err)
+	}
+	if _, _, _, err := d.ReadPage(0, d.Addr(0, 1)); !errors.Is(err, nand.ErrTransient) {
+		t.Fatalf("second target: %v, want ErrTransient", err)
+	}
+	if _, _, _, err := d.ReadPage(0, d.Addr(0, 1)); err != nil {
+		t.Fatalf("retry of second target: %v", err)
+	}
+}
+
+// TestRandomTransientsDeterministic: the same seed yields the same fired
+// sequence; transient faults always clear within Times retries.
+func TestRandomTransientsDeterministic(t *testing.T) {
+	run := func() string {
+		d := testDevice()
+		p := RandomTransients(7, 0.5, 1)
+		p.Arm(d)
+		payload := make([]byte, d.Config().SectorSize)
+		for i := 0; i < 8; i++ {
+			addr := d.Addr(0, i)
+			_, err := d.ProgramPage(0, addr, payload, dataOOB(uint64(i), uint64(i)))
+			if errors.Is(err, nand.ErrTransient) {
+				if _, err := d.ProgramPage(0, addr, payload, dataOOB(uint64(i), uint64(i))); err != nil {
+					t.Fatalf("retry after single-failure episode: %v", err)
+				}
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.String()
+	}
+	a, b := run(), run()
+	if a == b && a != "-" {
+		return
+	}
+	if a != b {
+		t.Fatalf("same seed, different transients:\n%s\n%s", a, b)
+	}
+	t.Fatal("prob 0.5 over 8 targets fired nothing; plan dead")
+}

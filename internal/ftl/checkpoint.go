@@ -56,7 +56,7 @@ func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
 		}
 		f.seq++
 		h := header.Header{Type: header.TypeCheckpoint, LBA: uint64(c), Epoch: uint64(chunks), Seq: f.seq}
-		d, err := f.dev.ProgramPage(t, addr, payload, h.Marshal())
+		d, err := f.devProgramPage(t, addr, payload, h.Marshal())
 		if err != nil {
 			f.ungetPage(addr)
 			return now, fmt.Errorf("ftl: writing checkpoint chunk %d: %w", c, err)

@@ -18,6 +18,7 @@ import (
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
+	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
 
@@ -28,6 +29,11 @@ var (
 	ErrClosed      = errors.New("ftl: device closed")
 	ErrDeviceFull  = errors.New("ftl: no reclaimable space")
 	ErrUnformatted = errors.New("ftl: device holds no valid log")
+	// ErrOutOfSpace is graceful degradation: new writes are shed because the
+	// free pool is down to the rescue reserve and cleaning cannot refill it.
+	// Reads, trims, and background cleaning keep running, and writes resume
+	// automatically once reclaimed space lifts the pool above the reserve.
+	ErrOutOfSpace = errors.New("ftl: out of space (degraded: writes shed, reads still served)")
 )
 
 // Config parameterizes the FTL above the raw NAND geometry.
@@ -64,6 +70,17 @@ type Config struct {
 	// block's validity. The vanilla FTL consults a single bitmap; the
 	// snapshot FTL pays this per epoch merged (Table 4's "validity merge").
 	MergeCPUPerBlock sim.Duration
+
+	// Retry bounds per-NAND-operation retries of transient media errors.
+	// The zero value disables retrying.
+	Retry retry.Policy
+
+	// RescueReserve is the number of free segments the write path must leave
+	// untouched: headroom that keeps the cleaner and segment rescue able to
+	// make progress even when users have filled the device. Writes that
+	// would dip into the reserve (and cannot force-clean their way out) are
+	// shed with ErrOutOfSpace. 0 behaves like the historical floor of 1.
+	RescueReserve int
 }
 
 // DefaultConfig returns a config over the given NAND geometry with the
@@ -88,7 +105,18 @@ func DefaultConfig(nc nand.Config) Config {
 		GCChunk:          32,
 		MapCPUCost:       300 * sim.Nanosecond,
 		MergeCPUPerBlock: 15 * sim.Nanosecond,
+		Retry:            retry.Default(),
+		RescueReserve:    2,
 	}
+}
+
+// dataReserve is the free-segment floor user writes may not cross; the
+// historical behaviour (keep one segment for the cleaner) is the minimum.
+func (c Config) dataReserve() int {
+	if c.RescueReserve < 1 {
+		return 1
+	}
+	return c.RescueReserve
 }
 
 // Validate checks config consistency.
@@ -108,6 +136,9 @@ func (c Config) Validate() error {
 	}
 	if c.GCChunk <= 0 {
 		return fmt.Errorf("ftl: GCChunk %d must be positive", c.GCChunk)
+	}
+	if c.RescueReserve < 0 || c.RescueReserve >= c.Nand.Segments {
+		return fmt.Errorf("ftl: RescueReserve %d out of range", c.RescueReserve)
 	}
 	return nil
 }
@@ -131,6 +162,13 @@ type Stats struct {
 	GCLastAt     sim.Time     // completion time of the most recent clean
 	MapMemory    int64        // bytes, refreshed on Stats()
 	WriteAmplify float64      // (user+gc programs)/user programs, refreshed on Stats()
+
+	Retries          int64 // NAND operations re-attempted by the retry policy
+	MediaFailures    int64 // permanent media failures (each marks a segment suspect)
+	SegmentsSuspect  int   // refreshed on Stats()
+	SegmentsRetired  int   // refreshed on Stats()
+	OutOfSpaceWrites int64 // writes shed with ErrOutOfSpace
+	Degraded         bool  // write path currently shedding load, refreshed on Stats()
 }
 
 // FTL is the vanilla log-structured translation layer. It is not safe for
@@ -152,6 +190,7 @@ type FTL struct {
 
 	gcActive bool
 	gcVictim int // segment a background gcTask currently owns (-1 = none)
+	degraded bool
 	closed   bool
 	stats    Stats
 }
@@ -205,6 +244,8 @@ func (f *FTL) Stats() Stats {
 	if s.UserWrites > 0 {
 		s.WriteAmplify = float64(s.UserWrites+s.GCCopied) / float64(s.UserWrites)
 	}
+	s.SegmentsSuspect, s.SegmentsRetired = f.dev.HealthCounts()
+	s.Degraded = f.degraded
 	return s
 }
 
@@ -251,7 +292,7 @@ func (f *FTL) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
 			}
 			continue
 		}
-		data, _, d, err := f.dev.ReadPage(cur, nand.PageAddr(addr))
+		data, _, d, err := f.devReadPage(cur, nand.PageAddr(addr))
 		if err != nil {
 			return now, fmt.Errorf("ftl: reading LBA %d: %w", lba+int64(i), err)
 		}
@@ -300,9 +341,12 @@ func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, er
 	}
 	f.seq++
 	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: 0, Seq: f.seq}
-	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
+	done, err := f.devProgramPage(now, addr, sector, h.Marshal())
 	if err != nil {
 		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead() // move future appends off the failing segment
+		}
 		return now, fmt.Errorf("ftl: programming LBA %d: %w", lba, err)
 	}
 	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
@@ -346,14 +390,23 @@ func (f *FTL) allocPage(now sim.Time) (nand.PageAddr, sim.Time, error) {
 }
 
 func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
-	// Forced cleaning: the pool is nearly empty and the writer must wait.
-	for len(f.freeSegs) <= 1 {
+	// Forced cleaning: the pool is down to the reserve and the writer must
+	// wait. If cleaning cannot lift it back out, the write is shed instead
+	// of bricking the device — reads, trims, and GC continue, and the next
+	// write re-evaluates the pool from scratch.
+	for len(f.freeSegs) <= f.cfg.dataReserve() {
 		var err error
 		now, err = f.cleanOnce(now, true)
 		if err != nil {
+			if errors.Is(err, ErrDeviceFull) {
+				f.degraded = true
+				f.stats.OutOfSpaceWrites++
+				return now, ErrOutOfSpace
+			}
 			return now, err
 		}
 	}
+	f.degraded = false
 	f.headSeg = f.freeSegs[0]
 	f.freeSegs = f.freeSegs[1:]
 	f.headIdx = 0

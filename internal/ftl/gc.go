@@ -6,6 +6,7 @@ import (
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
 
@@ -212,7 +213,7 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 			f.ungetPage(dst)
 			return cursor, maxDone, copied, fmt.Errorf("ftl: cleaner decoding header: %w", err)
 		}
-		done, err := f.dev.CopyPage(submit, old, dst)
+		done, err := f.devCopyPage(submit, old, dst)
 		if err != nil {
 			f.ungetPage(dst)
 			return cursor, maxDone, copied, fmt.Errorf("ftl: copy-forward: %w", err)
@@ -255,11 +256,24 @@ func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
 	return addr, now, nil
 }
 
-// finishClean erases the victim and returns it to the free pool.
+// finishClean erases the victim and returns it to the free pool — or
+// retires it. By this point every valid page has been copied off, so a
+// permanently failing or suspect victim can leave service without losing a
+// byte; returning it to the pool would just let the next writer trip over
+// the same dying segment.
 func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
-	done, err := f.dev.EraseSegment(now, victim)
+	done, err := f.devEraseSegment(now, victim)
 	if err != nil {
+		if retry.MediaFailure(err) {
+			f.retireSegment(victim)
+			return now, nil
+		}
 		return now, fmt.Errorf("ftl: erasing segment %d: %w", victim, err)
+	}
+	f.stats.GCErases++
+	if f.dev.SegmentHealth(victim) != nand.Healthy {
+		f.retireSegment(victim)
+		return done, nil
 	}
 	for i, s := range f.usedSegs {
 		if s == victim {
@@ -268,6 +282,5 @@ func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
 		}
 	}
 	f.freeSegs = append(f.freeSegs, victim)
-	f.stats.GCErases++
 	return done, nil
 }

@@ -1,0 +1,118 @@
+package ftl
+
+import (
+	"iosnap/internal/nand"
+	"iosnap/internal/retry"
+	"iosnap/internal/sim"
+)
+
+// This file is the FTL's media-failure boundary: every NAND operation goes
+// through a wrapper that retries transient errors under the configured
+// policy and, when a failure proves permanent, marks the affected segment
+// suspect so the cleaner retires it on its next pass.
+
+// markSuspect records a permanent media failure against seg.
+func (f *FTL) markSuspect(seg int) {
+	if f.dev.SegmentHealth(seg) != nand.Healthy {
+		return
+	}
+	f.dev.MarkSuspect(seg)
+	f.stats.MediaFailures++
+}
+
+func (f *FTL) devReadPage(now sim.Time, addr nand.PageAddr) (data, oob []byte, done sim.Time, err error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		var e error
+		data, oob, at, e = f.dev.ReadPage(at, addr)
+		return at, e
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(addr))
+	}
+	return data, oob, done, err
+}
+
+func (f *FTL) devProgramPage(now sim.Time, addr nand.PageAddr, data, oob []byte) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.ProgramPage(at, addr, data, oob)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(addr))
+	}
+	return done, err
+}
+
+// devCopyPage attributes a permanent copy failure to the source segment:
+// that is the segment the cleaner is trying to move data off, and suspecting
+// it drives the rescue machinery toward the data most at risk. (A permanent
+// destination failure resurfaces as a program failure on the head soon
+// enough.)
+func (f *FTL) devCopyPage(now sim.Time, from, to nand.PageAddr) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.CopyPage(at, from, to)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(from))
+	}
+	return done, err
+}
+
+func (f *FTL) devEraseSegment(now sim.Time, seg int) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.EraseSegment(at, seg)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(seg)
+	}
+	return done, err
+}
+
+func (f *FTL) devScanSegmentOOB(now sim.Time, seg int) (oobs [][]byte, done sim.Time, err error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		var e error
+		oobs, at, e = f.dev.ScanSegmentOOB(at, seg)
+		return at, e
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(seg)
+	}
+	return oobs, done, err
+}
+
+// retireSegment removes a fully-rescued segment from service: the device
+// refuses further programs/erases, and the segment leaves both pools for
+// good. Callers must have moved every valid page off it first.
+func (f *FTL) retireSegment(seg int) {
+	f.dev.Retire(seg)
+	for i, s := range f.usedSegs {
+		if s == seg {
+			f.usedSegs = append(f.usedSegs[:i], f.usedSegs[i+1:]...)
+			break
+		}
+	}
+	for i, s := range f.freeSegs {
+		if s == seg {
+			f.freeSegs = append(f.freeSegs[:i], f.freeSegs[i+1:]...)
+			break
+		}
+	}
+}
+
+// sealHead abandons the rest of a suspect head segment so subsequent appends
+// land on healthy media; the suspect segment's existing data is rescued when
+// the cleaner picks it. With no spare free segment the head stays put (the
+// next write retries in place rather than starving the cleaner).
+func (f *FTL) sealHead() {
+	if f.dev.SegmentHealth(f.headSeg) == nand.Healthy || len(f.freeSegs) <= 1 {
+		return
+	}
+	f.headSeg = f.freeSegs[0]
+	f.freeSegs = f.freeSegs[1:]
+	f.headIdx = 0
+	f.usedSegs = append(f.usedSegs, f.headSeg)
+}

@@ -61,7 +61,13 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		anyData   bool
 	)
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
-		oobs, done, err := dev.ScanSegmentOOB(now, seg)
+		if dev.SegmentHealth(seg) == nand.Retired {
+			// A retired segment was fully rescued before retirement; any
+			// headers it still holds are stale copies that must not win
+			// last-write-wins replay over the rescued ones.
+			continue
+		}
+		oobs, done, err := f.devScanSegmentOOB(now, seg)
 		if err != nil {
 			return nil, now, fmt.Errorf("ftl: scanning segment %d: %w", seg, err)
 		}
@@ -136,9 +142,12 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	}
 	var used []segOrder
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
-		if segUsed[seg] {
+		switch {
+		case dev.SegmentHealth(seg) == nand.Retired:
+			// Belongs to neither pool: a grown bad block stays out of service.
+		case segUsed[seg]:
 			used = append(used, segOrder{seg, segMaxSeq[seg]})
-		} else {
+		default:
 			f.freeSegs = append(f.freeSegs, seg)
 		}
 	}
@@ -148,11 +157,13 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	}
 	copy(f.segLastSeq, segMaxSeq)
 
-	// The head resumes at the newest segment if it still has room.
+	// The head resumes at the newest segment if it still has room — and is
+	// healthy; appending onto suspect media would repeat the failure that
+	// made it suspect.
 	if len(f.usedSegs) > 0 {
 		last := f.usedSegs[len(f.usedSegs)-1]
 		next := dev.NextFreeInSegment(last)
-		if next < cfg.Nand.PagesPerSegment {
+		if next < cfg.Nand.PagesPerSegment && dev.SegmentHealth(last) == nand.Healthy {
 			f.headSeg, f.headIdx = last, next
 		} else {
 			if len(f.freeSegs) == 0 {
@@ -207,7 +218,7 @@ func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, si
 	var entries []ftlmap.Entry
 	for i := uint64(0); i < total; i++ {
 		c := seen[i]
-		payload, _, done, err := f.dev.ReadPage(now, c.addr)
+		payload, _, done, err := f.devReadPage(now, c.addr)
 		if err != nil {
 			return false, 0, now, fmt.Errorf("ftl: reading checkpoint chunk %d: %w", i, err)
 		}

@@ -283,7 +283,7 @@ func (a *Activation) Run(now sim.Time) (sim.Time, bool) {
 			seg := a.scanList[a.segCursor]
 			a.segCursor++
 			start := now
-			oobs, done, err := f.dev.ScanSegmentOOB(now, seg)
+			oobs, done, err := f.devScanSegmentOOB(now, seg)
 			if err != nil {
 				return a.fail(now, fmt.Errorf("iosnap: activation scan of segment %d: %w", seg, err))
 			}

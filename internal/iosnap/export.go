@@ -46,7 +46,7 @@ func (vw *View) Export(now sim.Time, w io.Writer) (sim.Time, error) {
 	var exportErr error
 	zero := make([]byte, ss)
 	vw.v.fmap.All(func(lba, addr uint64) bool {
-		data, _, done, err := vw.f.dev.ReadPage(now, nand.PageAddr(addr))
+		data, _, done, err := vw.f.devReadPage(now, nand.PageAddr(addr))
 		if err != nil {
 			exportErr = fmt.Errorf("iosnap: exporting LBA %d: %w", lba, err)
 			return false

@@ -6,7 +6,9 @@ import (
 
 	"iosnap/internal/bitmap"
 	"iosnap/internal/header"
+	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
 
@@ -306,7 +308,7 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: cleaner decoding header: %w", err)
 		}
-		done, err := f.dev.CopyPage(submit, old, dst)
+		done, err := f.devCopyPage(submit, old, dst)
 		if err != nil {
 			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: copy-forward: %w", err)
@@ -350,16 +352,33 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 			a.onBlockMoved(old, dst, h)
 		}
 		f.stats.GCCopied++
+		if f.dev.SegmentHealth(victim) != nand.Healthy {
+			f.stats.RescuedPages++
+		}
 		copied++
 	}
 	return cursor, maxDone, nil
 }
 
-// finishClean erases the victim and returns it to the pool.
+// finishClean erases the victim and returns it to the pool — or retires it.
+// By this point every block valid in ANY live epoch has been copied off
+// (copy-forward runs under the merged validity map), so a permanently
+// failing or suspect victim can leave service without losing a byte of any
+// snapshot; returning it to the pool would just let the next writer trip
+// over the same dying segment.
 func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
-	done, err := f.dev.EraseSegment(now, victim)
+	done, err := f.devEraseSegment(now, victim)
 	if err != nil {
+		if retry.MediaFailure(err) {
+			f.retireSegment(victim)
+			return now, nil
+		}
 		return now, fmt.Errorf("iosnap: erasing segment %d: %w", victim, err)
+	}
+	f.stats.GCErases++
+	if f.dev.SegmentHealth(victim) != nand.Healthy {
+		f.retireSegment(victim)
+		return done, nil
 	}
 	for i, s := range f.usedSegs {
 		if s == victim {
@@ -369,7 +388,6 @@ func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
 	}
 	f.freeSegs = append(f.freeSegs, victim)
 	f.presence.clear(victim)
-	f.stats.GCErases++
 	return done, nil
 }
 

@@ -26,9 +26,12 @@ import (
 //     live snapshot's epoch exists in the validity store, parent/child
 //     links are mutual, and each snapshot's epoch reaches its parent's
 //     epoch by walking the epoch-parent chain;
-//  4. usedSegs and freeSegs partition the device with no duplicates, free
-//     segments hold no programmed pages and no presence summary, and the
-//     log head lives in a used segment.
+//  4. usedSegs and freeSegs partition the non-retired segments with no
+//     duplicates, free segments hold no programmed pages and no presence
+//     summary, and the log head lives in a used segment;
+//  5. retired segments are fully out of service: in neither pool, never the
+//     log head, with no block valid in any live epoch (their data was
+//     rescued before retirement) and no presence summary.
 //
 // The checker inspects RAM state and raw page contents only (no timed device
 // operations), so it is safe to run at any quiesced point — after
@@ -218,8 +221,26 @@ func (f *FTL) checkPools() error {
 			headUsed = true
 		}
 	}
-	if len(where) != f.cfg.Nand.Segments {
-		return fmt.Errorf("invariant: %d segments tracked, device has %d", len(where), f.cfg.Nand.Segments)
+	retired := f.dev.RetiredSegments()
+	for _, s := range retired {
+		if pool, pooled := where[s]; pooled {
+			return fmt.Errorf("invariant: retired segment %d still in %s pool", s, pool)
+		}
+		if s == f.headSeg {
+			return fmt.Errorf("invariant: log head on retired segment %d", s)
+		}
+		pps := int64(f.cfg.Nand.PagesPerSegment)
+		lo, hi := int64(s)*pps, int64(s+1)*pps
+		if n := f.vstore.MergeRange(f.vstore.Epochs(), lo, hi).Count(); n != 0 {
+			return fmt.Errorf("invariant: retired segment %d holds %d merged-valid blocks (rescue incomplete)", s, n)
+		}
+		if f.presence.count(s) != 0 {
+			return fmt.Errorf("invariant: retired segment %d has a non-empty presence summary", s)
+		}
+	}
+	if len(where)+len(retired) != f.cfg.Nand.Segments {
+		return fmt.Errorf("invariant: %d segments tracked + %d retired, device has %d",
+			len(where), len(retired), f.cfg.Nand.Segments)
 	}
 	if !headUsed {
 		return fmt.Errorf("invariant: log head segment %d not in used list", f.headSeg)

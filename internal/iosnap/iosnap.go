@@ -30,6 +30,7 @@ import (
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
 
@@ -44,6 +45,12 @@ var (
 	ErrNotReady        = errors.New("iosnap: activation not finished")
 	ErrViewClosed      = errors.New("iosnap: activated view deactivated")
 	ErrReadOnlyView    = errors.New("iosnap: view is read-only")
+	// ErrOutOfSpace is the graceful-degradation error: the free pool fell to
+	// the rescue reserve with nothing reclaimable, so new writes shed while
+	// reads, snapshot deletes, and GC keep working. The condition clears
+	// automatically once cleaning frees space (e.g. after a trim or a
+	// snapshot delete releases blocks).
+	ErrOutOfSpace = errors.New("iosnap: out of space (degraded read-only)")
 )
 
 // GCPolicy selects how the cleaner estimates its work for pacing.
@@ -111,6 +118,27 @@ type Config struct {
 	// only the segments whose epoch-presence summary intersects the
 	// snapshot's lineage, instead of the whole log.
 	SelectiveScan bool
+
+	// Retry bounds how many times a failed NAND operation is reissued and
+	// how virtual-time backoff grows between attempts. Errors that persist
+	// past the budget are permanent: the segment is marked suspect and the
+	// rescue machinery takes over.
+	Retry retry.Policy
+	// RescueReserve is the number of free segments held back from normal
+	// allocation so a dying segment can always be rescued (copy-forward
+	// needs destination space even when the device is nearly full). When
+	// the pool would dip below the reserve and nothing is reclaimable,
+	// writes shed with ErrOutOfSpace instead of consuming the reserve.
+	RescueReserve int
+	// ScrubInterval arms the background scrubber: at most one scrub pass
+	// per interval walks the used segments oldest-first, read-verifying
+	// their headers and rescuing+retiring any suspect segment. Zero
+	// disables scrubbing (the default; cleaning still retires suspects).
+	ScrubInterval sim.Duration
+	// ScrubLimit paces the scrubber's segment scans (work/sleep, like
+	// activation rate-limiting) so foreground latency is preserved. The
+	// zero value scrubs unthrottled.
+	ScrubLimit ratelimit.WorkSleep
 }
 
 // DefaultConfig mirrors ftl.DefaultConfig with the snapshot knobs added.
@@ -138,7 +166,18 @@ func DefaultConfig(nc nand.Config) Config {
 		ReconstructCPUPerEntry: 150 * sim.Nanosecond,
 		BitmapPageBits:         bitmap.DefaultBitsPerPage,
 		ActivationBatch:        8,
+		Retry:                  retry.Default(),
+		RescueReserve:          2,
 	}
+}
+
+// dataReserve is the free-pool floor for ordinary allocation. At least one
+// segment must always stay free for the cleaner's copy destination.
+func (c Config) dataReserve() int {
+	if c.RescueReserve < 1 {
+		return 1
+	}
+	return c.RescueReserve
 }
 
 // Validate checks configuration consistency.
@@ -161,6 +200,12 @@ func (c Config) Validate() error {
 	}
 	if c.ActivationBatch < 1 {
 		return fmt.Errorf("iosnap: ActivationBatch %d must be at least 1", c.ActivationBatch)
+	}
+	if c.RescueReserve < 0 || c.RescueReserve >= c.Nand.Segments {
+		return fmt.Errorf("iosnap: RescueReserve %d out of range", c.RescueReserve)
+	}
+	if c.ScrubInterval < 0 {
+		return fmt.Errorf("iosnap: ScrubInterval must not be negative")
 	}
 	return nil
 }
@@ -190,6 +235,20 @@ type Stats struct {
 	GCLastAt        sim.Time
 
 	TornPagesSkipped int64 // unparseable OOB headers tolerated during recovery/activation scans
+
+	Retries         int64 // NAND operations reissued after a transient error
+	MediaFailures   int64 // permanent media failures observed (segments marked suspect)
+	SegmentsSuspect int   // segments awaiting rescue (refreshed by Stats())
+	SegmentsRetired int   // segments permanently out of service (refreshed by Stats())
+	RescuedPages    int64 // blocks copied off suspect segments by rescue/scrub
+
+	ScrubPasses   int64    // completed scrub passes over the log
+	ScrubSegments int64    // segments read-verified by the scrubber
+	ScrubRescues  int64    // suspect segments rescued+retired by the scrubber
+	ScrubLastAt   sim.Time // completion time of the last scrub pass
+
+	OutOfSpaceWrites int64 // writes shed with ErrOutOfSpace
+	Degraded         bool  // currently in out-of-space read-only degradation
 
 	MapMemory      int64 // active forward map bytes (refreshed by Stats())
 	ValidityMemory int64 // CoW validity pages bytes (refreshed by Stats())
@@ -234,6 +293,9 @@ type FTL struct {
 
 	gcActive    bool
 	gcVictim    int // segment a background gcTask currently owns (-1 = none)
+	scrubActive bool
+	lastScrub   sim.Time // completion time of the last scrub pass
+	degraded    bool     // out-of-space: writes shed until cleaning frees space
 	closed      bool
 	frozen      bool
 	activations []*Activation // in-flight activations (cleaner keeps them consistent)
@@ -309,6 +371,8 @@ func (f *FTL) Stats() Stats {
 	s.CoWPageCopies = f.vstore.CoWCopies()
 	s.MapMemory = f.active.fmap.MemoryBytes()
 	s.ValidityMemory = f.vstore.MemoryBytes()
+	s.SegmentsSuspect, s.SegmentsRetired = f.dev.HealthCounts()
+	s.Degraded = f.degraded
 	if s.UserWrites > 0 {
 		s.WriteAmplify = float64(s.UserWrites+s.GCCopied) / float64(s.UserWrites)
 	}
@@ -365,7 +429,7 @@ func (f *FTL) readVia(v *view, now sim.Time, lba int64, buf []byte) (sim.Time, e
 			}
 			continue
 		}
-		data, _, d, err := f.dev.ReadPage(cur, nand.PageAddr(addr))
+		data, _, d, err := f.devReadPage(cur, nand.PageAddr(addr))
 		if err != nil {
 			return now, fmt.Errorf("iosnap: reading LBA %d: %w", lba+int64(i), err)
 		}
@@ -429,9 +493,12 @@ func (f *FTL) writeSector(v *view, now sim.Time, lba uint64, sector []byte) (sim
 	}
 	f.seq++
 	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: uint64(v.epoch), Seq: f.seq}
-	done, err := f.dev.ProgramPage(now, addr, sector, h.Marshal())
+	done, err := f.devProgramPage(now, addr, sector, h.Marshal())
 	if err != nil {
 		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead()
+		}
 		return now, fmt.Errorf("iosnap: programming LBA %d: %w", lba, err)
 	}
 	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
@@ -470,21 +537,38 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 }
 
 // allocPage returns the next log-head page, forcing synchronous cleaning
-// when the pool is nearly empty.
+// when the pool is nearly empty. Ordinary allocation honours the rescue
+// reserve; when the pool cannot be kept above it the device degrades to
+// read-only and the write sheds with ErrOutOfSpace.
 func (f *FTL) allocPage(now sim.Time) (nand.PageAddr, sim.Time, error) {
+	return f.allocPageReserve(now, f.cfg.dataReserve())
+}
+
+// allocPageReserve allocates a log-head page while keeping at least
+// `reserve` segments free. Space-freeing operations (snapshot delete and
+// deactivate notes) pass a lower reserve so they still work while the
+// device is degraded; everything else goes through allocPage.
+func (f *FTL) allocPageReserve(now sim.Time, reserve int) (nand.PageAddr, sim.Time, error) {
 	if f.headIdx == f.cfg.Nand.PagesPerSegment {
-		for len(f.freeSegs) <= 1 {
+		for len(f.freeSegs) <= reserve {
 			var err error
 			now, err = f.cleanOnce(now, true)
 			if err != nil {
+				if errors.Is(err, ErrDeviceFull) {
+					f.degraded = true
+					f.stats.OutOfSpaceWrites++
+					return 0, now, ErrOutOfSpace
+				}
 				return 0, now, err
 			}
 		}
+		f.degraded = false
 		f.headSeg = f.freeSegs[0]
 		f.freeSegs = f.freeSegs[1:]
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
 		f.maybeScheduleGC(now)
+		f.maybeScheduleScrub(now)
 	}
 	addr := f.dev.Addr(f.headSeg, f.headIdx)
 	f.headIdx++
@@ -527,16 +611,26 @@ func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
 // per snapshot operation) and returns its address. Notes are marked valid
 // in the active epoch so the cleaner preserves them for crash recovery.
 func (f *FTL) writeNote(now sim.Time, typ header.Type, id SnapshotID, epoch bitmap.Epoch) (nand.PageAddr, sim.Time, error) {
-	addr, now, err := f.allocPage(now)
+	reserve := f.cfg.dataReserve()
+	if typ == header.TypeSnapDelete || typ == header.TypeSnapDeactivate {
+		// Space-FREEING notes dip below the rescue reserve: deleting a
+		// snapshot is how a degraded device recovers, so it must not be
+		// refused for the very space it is about to release.
+		reserve = 1
+	}
+	addr, now, err := f.allocPageReserve(now, reserve)
 	if err != nil {
 		return 0, now, err
 	}
 	f.seq++
 	h := header.Header{Type: typ, LBA: uint64(id), Epoch: uint64(epoch), Seq: f.seq}
 	payload := make([]byte, f.cfg.Nand.SectorSize)
-	done, err := f.dev.ProgramPage(now, addr, payload, h.Marshal())
+	done, err := f.devProgramPage(now, addr, payload, h.Marshal())
 	if err != nil {
 		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead()
+		}
 		return 0, now, fmt.Errorf("iosnap: writing %v note: %w", typ, err)
 	}
 	f.vstore.Set(f.active.epoch, int64(addr))

@@ -1,0 +1,121 @@
+package iosnap
+
+import (
+	"iosnap/internal/nand"
+	"iosnap/internal/retry"
+	"iosnap/internal/sim"
+)
+
+// This file is ioSnap's media-failure boundary, mirroring the one in
+// internal/ftl: every NAND operation goes through a wrapper that retries
+// transient errors under the configured policy and, when a failure proves
+// permanent, marks the affected segment suspect so the cleaner (or the
+// scrubber) rescues its data and retires it.
+
+// markSuspect records a permanent media failure against seg.
+func (f *FTL) markSuspect(seg int) {
+	if f.dev.SegmentHealth(seg) != nand.Healthy {
+		return
+	}
+	f.dev.MarkSuspect(seg)
+	f.stats.MediaFailures++
+}
+
+func (f *FTL) devReadPage(now sim.Time, addr nand.PageAddr) (data, oob []byte, done sim.Time, err error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		var e error
+		data, oob, at, e = f.dev.ReadPage(at, addr)
+		return at, e
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(addr))
+	}
+	return data, oob, done, err
+}
+
+func (f *FTL) devProgramPage(now sim.Time, addr nand.PageAddr, data, oob []byte) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.ProgramPage(at, addr, data, oob)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(addr))
+	}
+	return done, err
+}
+
+// devCopyPage attributes a permanent copy failure to the source segment:
+// that is the segment the cleaner is moving data off, and suspecting it
+// drives the rescue machinery toward the data most at risk. (A permanent
+// destination failure resurfaces as a program failure on the head.)
+func (f *FTL) devCopyPage(now sim.Time, from, to nand.PageAddr) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.CopyPage(at, from, to)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(f.dev.SegmentOf(from))
+	}
+	return done, err
+}
+
+func (f *FTL) devEraseSegment(now sim.Time, seg int) (sim.Time, error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		return f.dev.EraseSegment(at, seg)
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(seg)
+	}
+	return done, err
+}
+
+func (f *FTL) devScanSegmentOOB(now sim.Time, seg int) (oobs [][]byte, done sim.Time, err error) {
+	done, retries, err := f.cfg.Retry.Do(now, func(at sim.Time) (sim.Time, error) {
+		var e error
+		oobs, at, e = f.dev.ScanSegmentOOB(at, seg)
+		return at, e
+	})
+	f.stats.Retries += retries
+	if err != nil && retry.MediaFailure(err) {
+		f.markSuspect(seg)
+	}
+	return oobs, done, err
+}
+
+// retireSegment removes a fully-rescued segment from service: the device
+// refuses further programs/erases, and the segment leaves both pools and
+// the presence summary for good. Callers must have moved every merged-valid
+// block off it first (copy-forward under the merged validity map rescues
+// blocks live in ANY epoch, so snapshotted data survives too).
+func (f *FTL) retireSegment(seg int) {
+	f.dev.Retire(seg)
+	for i, s := range f.usedSegs {
+		if s == seg {
+			f.usedSegs = append(f.usedSegs[:i], f.usedSegs[i+1:]...)
+			break
+		}
+	}
+	for i, s := range f.freeSegs {
+		if s == seg {
+			f.freeSegs = append(f.freeSegs[:i], f.freeSegs[i+1:]...)
+			break
+		}
+	}
+	f.presence.clear(seg)
+}
+
+// sealHead abandons the rest of a suspect head segment so subsequent appends
+// land on healthy media; the suspect segment's existing data is rescued when
+// the cleaner or scrubber picks it. With no spare free segment the head stays
+// put (the next write retries in place rather than starving the cleaner).
+func (f *FTL) sealHead() {
+	if f.dev.SegmentHealth(f.headSeg) == nand.Healthy || len(f.freeSegs) <= 1 {
+		return
+	}
+	f.headSeg = f.freeSegs[0]
+	f.freeSegs = f.freeSegs[1:]
+	f.headIdx = 0
+	f.usedSegs = append(f.usedSegs, f.headSeg)
+}

@@ -56,6 +56,17 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		sched = sim.NewScheduler()
 	}
 
+	f := &FTL{
+		cfg:         cfg,
+		dev:         dev,
+		sched:       sched,
+		vstore:      bitmap.NewStore(cfg.Nand.TotalPages(), cfg.BitmapPageBits),
+		tree:        NewTree(),
+		epochParent: make(map[bitmap.Epoch]bitmap.Epoch),
+		gcVictim:    -1,
+		presence:    newEpochPresence(cfg.Nand.Segments),
+	}
+
 	// ---- Scan: one pass over all OOB headers. ----
 	var (
 		notes     []recNote
@@ -66,7 +77,13 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		torn      int64
 	)
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
-		oobs, done, err := dev.ScanSegmentOOB(now, seg)
+		if dev.SegmentHealth(seg) == nand.Retired {
+			// A retired segment was fully rescued before retirement; any
+			// headers it still holds are stale copies that must not win
+			// last-write-wins replay over the rescued ones.
+			continue
+		}
+		oobs, done, err := f.devScanSegmentOOB(now, seg)
 		if err != nil {
 			return nil, now, fmt.Errorf("iosnap: scanning segment %d: %w", seg, err)
 		}
@@ -99,17 +116,6 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 				notes = append(notes, recNote{typ: h.Type, id: SnapshotID(h.LBA), epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
 			}
 		}
-	}
-
-	f := &FTL{
-		cfg:         cfg,
-		dev:         dev,
-		sched:       sched,
-		vstore:      bitmap.NewStore(cfg.Nand.TotalPages(), cfg.BitmapPageBits),
-		tree:        NewTree(),
-		epochParent: make(map[bitmap.Epoch]bitmap.Epoch),
-		gcVictim:    -1,
-		presence:    newEpochPresence(cfg.Nand.Segments),
 	}
 	f.seq = maxSeq
 	f.stats.TornPagesSkipped = torn
@@ -269,9 +275,12 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	}
 	var used []segOrder
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
-		if segUsed[seg] {
+		switch {
+		case dev.SegmentHealth(seg) == nand.Retired:
+			// Belongs to neither pool: a grown bad block stays out of service.
+		case segUsed[seg]:
 			used = append(used, segOrder{seg, segMaxSeq[seg]})
-		} else {
+		default:
 			f.freeSegs = append(f.freeSegs, seg)
 		}
 	}
@@ -283,7 +292,10 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	copy(f.segLastSeq, segMaxSeq)
 	if len(f.usedSegs) > 0 {
 		last := f.usedSegs[len(f.usedSegs)-1]
-		if next := dev.NextFreeInSegment(last); next < cfg.Nand.PagesPerSegment {
+		// The head resumes at the newest segment if it still has room — and
+		// is healthy; appending onto suspect media would repeat the failure
+		// that made it suspect.
+		if next := dev.NextFreeInSegment(last); next < cfg.Nand.PagesPerSegment && dev.SegmentHealth(last) == nand.Healthy {
 			f.headSeg, f.headIdx = last, next
 		} else {
 			if len(f.freeSegs) == 0 {
@@ -295,6 +307,9 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			f.usedSegs = append(f.usedSegs, f.headSeg)
 		}
 	} else {
+		if len(f.freeSegs) == 0 {
+			return nil, now, ErrDeviceFull
+		}
 		f.headSeg = f.freeSegs[0]
 		f.freeSegs = f.freeSegs[1:]
 		f.headIdx = 0

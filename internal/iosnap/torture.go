@@ -2,6 +2,7 @@ package iosnap
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,13 @@ type TortureOptions struct {
 	// crash-recovered with Recover.
 	Plan *faultinject.Plan
 
+	// Replan, when non-nil, supplies a fresh fault plan after each
+	// power-cycle (cycle counts from 1), letting one run take multiple
+	// crash/recover cycles; returning nil leaves the remainder of the run
+	// fault-free. Without Replan the first crash permanently disarms faults
+	// (the original single-crash behaviour).
+	Replan func(cycle int) *faultinject.Plan
+
 	// CheckEvery runs CheckInvariants after this many steps (default 100).
 	CheckEvery int
 
@@ -48,7 +56,7 @@ type TortureReport struct {
 	Recoveries  int64 // successful crash recoveries
 	Checks      int64 // CheckInvariants passes
 	Activations int64 // background activations started
-	Fired       []faultinject.Fired
+	Fired       []faultinject.Fired // accumulated across all armed plans
 	FinalStats  Stats
 }
 
@@ -82,9 +90,14 @@ type tortureRun struct {
 	view *View                         // one live activated view
 	vmod map[int64]byte                // its content model
 
-	// crashHandled is set once the crash has been power-cycled: the plan's
-	// Crashed() stays true forever, but only the first observation demands
-	// a recovery (the plan is disarmed and never re-armed afterwards).
+	// plan is the currently armed fault plan (starts as opt.Plan, swapped by
+	// opt.Replan after each power-cycle; nil once faults are done).
+	plan *faultinject.Plan
+
+	// crashHandled is set once the current plan's crash has been
+	// power-cycled: its Crashed() stays true forever, but only the first
+	// observation demands a recovery. It resets when Replan arms a fresh
+	// plan for the next cycle.
 	crashHandled bool
 }
 
@@ -116,20 +129,29 @@ func Torture(cfg Config, opt TortureOptions) (*TortureReport, error) {
 		snap: make(map[SnapshotID]map[int64]byte),
 		mod:  make(map[int64]byte),
 	}
-	if opt.Plan != nil {
-		opt.Plan.Arm(f.dev)
+	t.plan = opt.Plan
+	if t.plan != nil {
+		t.plan.Arm(f.dev)
 	}
 	err = t.run()
-	if opt.Plan != nil {
-		t.rep.Fired = opt.Plan.Fired()
-		opt.Plan.Disarm(t.f.dev)
-	}
+	t.retirePlan()
 	t.rep.FinalStats = t.f.Stats()
 	return t.rep, err
 }
 
+// retirePlan disarms the current plan, banking its fired records into the
+// cumulative report.
+func (t *tortureRun) retirePlan() {
+	if t.plan == nil {
+		return
+	}
+	t.rep.Fired = append(t.rep.Fired, t.plan.Fired()...)
+	t.plan.Disarm(t.f.dev)
+	t.plan = nil
+}
+
 func (t *tortureRun) crashed() bool {
-	return !t.crashHandled && t.opt.Plan != nil && t.opt.Plan.Crashed()
+	return !t.crashHandled && t.plan != nil && t.plan.Crashed()
 }
 
 // opErr tallies an operation error; a crash is handled by the step loop.
@@ -375,7 +397,7 @@ func (t *tortureRun) reapActivation() {
 func (t *tortureRun) powerCycle() error {
 	t.rep.Crashes++
 	t.crashHandled = true
-	t.opt.Plan.Disarm(t.f.dev)
+	t.retirePlan()
 	t.f.sched.Reset()
 	t.act, t.view, t.vmod = nil, nil, nil
 	f2, now2, err := Recover(t.cfg, t.f.dev, sim.NewScheduler(), t.now)
@@ -393,7 +415,18 @@ func (t *tortureRun) powerCycle() error {
 			return fmt.Errorf("torture: acknowledged snapshot %d lost by recovery", id)
 		}
 	}
-	return t.check()
+	if err := t.check(); err != nil {
+		return err
+	}
+	// Arm the next cycle's plan, if the caller wants more crashes.
+	if t.opt.Replan != nil {
+		if p := t.opt.Replan(int(t.rep.Crashes)); p != nil {
+			t.plan = p
+			t.plan.Arm(t.f.dev)
+			t.crashHandled = false
+		}
+	}
+	return nil
 }
 
 // check asserts the invariants and the active content model.
@@ -443,19 +476,20 @@ func (t *tortureRun) check() error {
 // planArmed reports whether the fault plan is still attached to the device,
 // i.e. verification reads themselves can draw injected errors.
 func (t *tortureRun) planArmed() bool {
-	return t.opt.Plan != nil && t.f.dev.FaultHook() == t.opt.Plan
+	return t.plan != nil && t.f.dev.FaultHook() == t.plan
 }
 
 // verifySnapshots activates every live snapshot (unthrottled, faults
 // disarmed by the caller at this point unless the plan never crashed) and
 // verifies its frozen content.
 func (t *tortureRun) verifySnapshots() error {
-	if t.opt.Plan != nil {
-		t.opt.Plan.Disarm(t.f.dev)
-	}
+	t.retirePlan()
 	if t.view != nil {
 		if _, err := t.view.Deactivate(t.now); err != nil && !t.crashed() {
-			return fmt.Errorf("torture: final deactivate: %w", err)
+			if !errors.Is(err, ErrOutOfSpace) {
+				return fmt.Errorf("torture: final deactivate: %w", err)
+			}
+			t.opErr() // genuinely exhausted: the note cannot be logged
 		}
 		t.view, t.vmod = nil, nil
 	}
@@ -464,6 +498,12 @@ func (t *tortureRun) verifySnapshots() error {
 		frozen := t.snap[id]
 		view, done, err := t.f.ActivateSync(t.now, id, ratelimit.WorkSleep{}, false)
 		if err != nil {
+			if errors.Is(err, ErrOutOfSpace) {
+				// A degraded device cannot log the activation note; the
+				// snapshot's data is intact but unverifiable this run.
+				t.opErr()
+				continue
+			}
 			return fmt.Errorf("torture: final activation of snapshot %d: %w", id, err)
 		}
 		t.now = done
@@ -477,7 +517,10 @@ func (t *tortureRun) verifySnapshots() error {
 			}
 		}
 		if _, err := view.Deactivate(t.now); err != nil {
-			return fmt.Errorf("torture: snapshot %d deactivate: %w", id, err)
+			if !errors.Is(err, ErrOutOfSpace) {
+				return fmt.Errorf("torture: snapshot %d deactivate: %w", id, err)
+			}
+			t.opErr()
 		}
 	}
 	return nil

@@ -24,6 +24,9 @@ func (d *Device) CopyPage(now sim.Time, from, to PageAddr) (sim.Time, error) {
 	if err != nil {
 		return now, err
 	}
+	if dstSeg.health == Retired {
+		return now, fmt.Errorf("%w: copy into segment %d", ErrRetired, d.SegmentOf(to))
+	}
 	if dst.state != pageErased {
 		return now, fmt.Errorf("%w: copy destination %d", ErrNotErased, to)
 	}

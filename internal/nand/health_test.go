@@ -1,0 +1,143 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthTransitions(t *testing.T) {
+	d := New(testConfig())
+	if h := d.SegmentHealth(1); h != Healthy {
+		t.Fatalf("fresh segment health = %v, want healthy", h)
+	}
+	d.MarkSuspect(1)
+	if h := d.SegmentHealth(1); h != Suspect {
+		t.Fatalf("health after MarkSuspect = %v", h)
+	}
+	d.Retire(1)
+	if h := d.SegmentHealth(1); h != Retired {
+		t.Fatalf("health after Retire = %v", h)
+	}
+	// Retirement is terminal.
+	d.MarkSuspect(1)
+	if h := d.SegmentHealth(1); h != Retired {
+		t.Fatalf("MarkSuspect resurrected a retired segment: %v", h)
+	}
+	sus, ret := d.HealthCounts()
+	if sus != 0 || ret != 1 {
+		t.Fatalf("HealthCounts = (%d, %d), want (0, 1)", sus, ret)
+	}
+	if got := d.RetiredSegments(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RetiredSegments = %v", got)
+	}
+	// Out-of-range probes are inert.
+	d.MarkSuspect(-1)
+	d.Retire(99)
+	if d.SegmentHealth(-1) != Retired || d.SegmentHealth(99) != Retired {
+		t.Fatal("out-of-range segments must report retired")
+	}
+}
+
+func TestRetiredSegmentRefusesProgramAndErase(t *testing.T) {
+	d := New(testConfig())
+	data := fill(512, 0xAB)
+	if _, err := d.ProgramPage(0, d.Addr(2, 0), data, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Retire(2)
+
+	if _, err := d.ProgramPage(0, d.Addr(2, 1), data, nil); !errors.Is(err, ErrRetired) {
+		t.Fatalf("program of retired segment: %v, want ErrRetired", err)
+	}
+	if _, err := d.EraseSegment(0, 2); !errors.Is(err, ErrRetired) {
+		t.Fatalf("erase of retired segment: %v, want ErrRetired", err)
+	}
+	if _, err := d.ProgramPage(0, d.Addr(3, 0), data, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CopyPage(0, d.Addr(3, 0), d.Addr(2, 1)); !errors.Is(err, ErrRetired) {
+		t.Fatalf("copy into retired segment: %v, want ErrRetired", err)
+	}
+	// Reads of surviving pages still work — rescue depends on this.
+	got, _, _, err := d.ReadPage(0, d.Addr(2, 0))
+	if err != nil {
+		t.Fatalf("read of retired segment's page: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("retired segment's data corrupted")
+	}
+	if _, err := d.CopyPage(0, d.Addr(2, 0), d.Addr(3, 1)); err != nil {
+		t.Fatalf("copy out of retired segment: %v", err)
+	}
+}
+
+// TestWearOutModel: past the threshold, erases fail with ErrWornOut at the
+// configured probability, reproducibly for a fixed WearSeed.
+func TestWearOutModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.WearOutThreshold = 3
+	cfg.WearOutProb = 0.5
+	cfg.WearSeed = 42
+
+	run := func() (failures int, failSeq []int) {
+		d := New(cfg)
+		for i := 0; i < 40; i++ {
+			if _, err := d.EraseSegment(0, 0); err != nil {
+				if !errors.Is(err, ErrWornOut) {
+					t.Fatalf("erase %d: %v", i, err)
+				}
+				failures++
+				failSeq = append(failSeq, i)
+			}
+		}
+		return failures, failSeq
+	}
+	n1, seq1 := run()
+	n2, seq2 := run()
+	if n1 != n2 || len(seq1) != len(seq2) {
+		t.Fatalf("wear-out not deterministic: %d vs %d failures", n1, n2)
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("wear-out failure sequence diverged: %v vs %v", seq1, seq2)
+		}
+	}
+	// With prob 0.5 over ~37 post-threshold erases, both extremes are
+	// astronomically unlikely; zero either way means the model is dead.
+	if n1 == 0 {
+		t.Fatal("no wear-out failures past the threshold")
+	}
+	if n1 >= 37 {
+		t.Fatal("every post-threshold erase failed; prob misapplied")
+	}
+	// A failed erase leaves the segment's contents and counters intact.
+	d := New(cfg)
+	if _, err := d.ProgramPage(0, d.Addr(1, 0), fill(512, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsProgrammed(d.Addr(1, 0)) {
+		t.Fatal("setup")
+	}
+}
+
+func TestWearOutDisabledByDefault(t *testing.T) {
+	d := New(testConfig())
+	for i := 0; i < 100; i++ {
+		if _, err := d.EraseSegment(0, 0); err != nil {
+			t.Fatalf("erase %d with wear model off: %v", i, err)
+		}
+	}
+}
+
+func TestWearConfigValidate(t *testing.T) {
+	cfg := testConfig()
+	cfg.WearOutThreshold = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative WearOutThreshold accepted")
+	}
+	cfg = testConfig()
+	cfg.WearOutProb = 1.5
+	if cfg.Validate() == nil {
+		t.Fatal("WearOutProb > 1 accepted")
+	}
+}

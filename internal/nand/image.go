@@ -6,8 +6,10 @@ import (
 	"io"
 )
 
-// imageVersion guards the on-disk image format.
-const imageVersion = 1
+// imageVersion guards the on-disk image format. Version 2 added per-segment
+// health (the grown-bad-block table); version 1 images load with every
+// segment healthy.
+const imageVersion = 2
 
 // imagePage is the serialized form of a programmed page.
 type imagePage struct {
@@ -21,6 +23,7 @@ type imageSegment struct {
 	Index    int
 	NextProg int
 	Erases   int
+	Health   Health // absent in v1 images; gob leaves it Healthy
 	Pages    []imagePage
 }
 
@@ -40,7 +43,7 @@ func (d *Device) SaveImage(w io.Writer) error {
 	}
 	for i := range d.segs {
 		s := &d.segs[i]
-		is := imageSegment{Index: i, NextProg: s.nextProg, Erases: s.erases}
+		is := imageSegment{Index: i, NextProg: s.nextProg, Erases: s.erases, Health: s.health}
 		for j := range s.pages {
 			p := &s.pages[j]
 			if p.state != pageProgrammed {
@@ -62,8 +65,8 @@ func LoadImage(r io.Reader) (*Device, error) {
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("nand: decoding image header: %w", err)
 	}
-	if hdr.Version != imageVersion {
-		return nil, fmt.Errorf("nand: image version %d, want %d", hdr.Version, imageVersion)
+	if hdr.Version < 1 || hdr.Version > imageVersion {
+		return nil, fmt.Errorf("nand: image version %d, want 1..%d", hdr.Version, imageVersion)
 	}
 	if err := hdr.Cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("nand: image has invalid config: %w", err)
@@ -81,6 +84,7 @@ func LoadImage(r io.Reader) (*Device, error) {
 		s := &d.segs[is.Index]
 		s.nextProg = is.NextProg
 		s.erases = is.Erases
+		s.health = is.Health
 		for _, ip := range is.Pages {
 			if ip.Index < 0 || ip.Index >= hdr.Cfg.PagesPerSegment {
 				return nil, fmt.Errorf("nand: image page index %d out of range", ip.Index)

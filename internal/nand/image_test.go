@@ -2,6 +2,7 @@ package nand
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -79,6 +80,52 @@ func TestImageFingerprintMode(t *testing.T) {
 	}
 	if fp != Fingerprint(data) {
 		t.Fatal("fingerprint not preserved")
+	}
+}
+
+// TestImageHealthAndWearPersist: a retired segment must stay retired across
+// save/load (the grown-bad-block table is device state, not FTL RAM), and the
+// wear-model configuration must ride along with it.
+func TestImageHealthAndWearPersist(t *testing.T) {
+	cfg := testConfig()
+	cfg.WearOutThreshold = 5
+	cfg.WearOutProb = 0.25
+	cfg.WearSeed = 99
+	d := New(cfg)
+	if _, err := d.ProgramPage(0, d.Addr(1, 0), fill(512, 0x5A), nil); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkSuspect(0)
+	d.Retire(1)
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := d2.SegmentHealth(0); h != Suspect {
+		t.Fatalf("segment 0 health after reload = %v, want suspect", h)
+	}
+	if h := d2.SegmentHealth(1); h != Retired {
+		t.Fatalf("segment 1 health after reload = %v, want retired", h)
+	}
+	if d2.Config().WearOutThreshold != 5 || d2.Config().WearOutProb != 0.25 {
+		t.Fatal("wear model configuration lost on reload")
+	}
+	// The reloaded device still enforces retirement.
+	if _, err := d2.EraseSegment(0, 1); !errors.Is(err, ErrRetired) {
+		t.Fatalf("reloaded retired segment erasable: %v", err)
+	}
+	// And the surviving page is still readable.
+	got, _, _, err := d2.ReadPage(0, d2.Addr(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill(512, 0x5A)) {
+		t.Fatal("retired segment's page lost on reload")
 	}
 }
 

@@ -43,7 +43,36 @@ var (
 	ErrWornOut      = errors.New("nand: segment exceeded erase endurance")
 	ErrOutOfOrder   = errors.New("nand: program not at next free page of segment")
 	ErrDeviceFailed = errors.New("nand: injected device failure")
+	ErrTransient    = errors.New("nand: transient device error")
+	ErrRetired      = errors.New("nand: segment retired")
 )
+
+// Health classifies a segment's media condition. Healthy segments behave
+// normally; Suspect segments have seen a permanent-looking failure and are
+// candidates for rescue; Retired segments are grown bad blocks — the device
+// refuses to program or erase them (reads of surviving pages still work, so
+// a rescue in progress can finish).
+type Health uint8
+
+// Segment health states.
+const (
+	Healthy Health = iota
+	Suspect
+	Retired
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Retired:
+		return "retired"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
 
 // Op identifies a device operation for fault injection and statistics.
 type Op int
@@ -123,6 +152,16 @@ type Config struct {
 	EraseEndurance int  // max erases per segment; 0 = unlimited
 	StoreData      bool // keep payloads (true) or fingerprints only (false)
 	SequentialProg bool // enforce in-order programming within a segment
+
+	// Wear-out model: once a segment has been erased WearOutThreshold times,
+	// each further erase fails with ErrWornOut with probability WearOutProb.
+	// This is the soft, probabilistic aging real flash exhibits, as opposed
+	// to EraseEndurance's hard cliff. WearOutThreshold 0 disables the model.
+	// Failures draw from a generator seeded with WearSeed, so a given
+	// operation sequence wears out reproducibly.
+	WearOutThreshold int
+	WearOutProb      float64
+	WearSeed         uint64
 }
 
 // DefaultConfig returns a configuration calibrated so that the vanilla FTL's
@@ -161,6 +200,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("nand: Channels %d must be positive", c.Channels)
 	case c.ReadLatency < 0 || c.ProgramLatency < 0 || c.EraseLatency < 0:
 		return errors.New("nand: latencies must be non-negative")
+	case c.WearOutThreshold < 0:
+		return fmt.Errorf("nand: WearOutThreshold %d must be non-negative", c.WearOutThreshold)
+	case c.WearOutProb < 0 || c.WearOutProb > 1:
+		return fmt.Errorf("nand: WearOutProb %g outside [0,1]", c.WearOutProb)
 	}
 	return nil
 }
@@ -194,6 +237,7 @@ type segment struct {
 	pages    []page
 	nextProg int // next in-order page index (SequentialProg)
 	erases   int
+	health   Health
 }
 
 // Stats counts device activity since construction or the last ResetStats.
@@ -215,6 +259,7 @@ type Device struct {
 	readBus  busModel
 	writeBus busModel
 	stats    Stats
+	wearRNG  *sim.RNG // draws wear-out erase failures; nil when model off
 
 	hook FaultHook // nil = no fault injection
 }
@@ -260,6 +305,9 @@ func New(cfg Config) *Device {
 	}
 	for i := range d.segs {
 		d.segs[i].pages = make([]page, cfg.PagesPerSegment)
+	}
+	if cfg.WearOutThreshold > 0 {
+		d.wearRNG = sim.NewRNG(cfg.WearSeed)
 	}
 	return d
 }
@@ -347,6 +395,9 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 	seg, p, err := d.check(addr)
 	if err != nil {
 		return now, err
+	}
+	if seg.health == Retired {
+		return now, fmt.Errorf("%w: program of segment %d", ErrRetired, d.SegmentOf(addr))
 	}
 	if len(data) != d.cfg.SectorSize {
 		return now, fmt.Errorf("%w: got %d, want %d", ErrBadSize, len(data), d.cfg.SectorSize)
@@ -480,8 +531,17 @@ func (d *Device) EraseSegment(now sim.Time, seg int) (sim.Time, error) {
 		}
 	}
 	s := &d.segs[seg]
+	if s.health == Retired {
+		return now, fmt.Errorf("%w: erase of segment %d", ErrRetired, seg)
+	}
 	if d.cfg.EraseEndurance > 0 && s.erases >= d.cfg.EraseEndurance {
 		return now, fmt.Errorf("%w: segment %d after %d erases", ErrWornOut, seg, s.erases)
+	}
+	if d.wearRNG != nil && s.erases >= d.cfg.WearOutThreshold &&
+		d.wearRNG.Float64() < d.cfg.WearOutProb {
+		// Aged cells failed to reach the erased state; the segment is intact
+		// but unreliable. The caller decides whether to retry or retire.
+		return now, fmt.Errorf("%w: segment %d wear-out after %d erases", ErrWornOut, seg, s.erases)
 	}
 	for i := range s.pages {
 		s.pages[i] = page{}
@@ -493,6 +553,57 @@ func (d *Device) EraseSegment(now sim.Time, seg int) (sim.Time, error) {
 	ch := &d.channels[seg%d.cfg.Channels]
 	_, done := ch.Acquire(now, d.cfg.EraseLatency)
 	return done, nil
+}
+
+// SegmentHealth returns the health state of segment seg.
+func (d *Device) SegmentHealth(seg int) Health {
+	if seg < 0 || seg >= d.cfg.Segments {
+		return Retired // out-of-range segments are unusable by definition
+	}
+	return d.segs[seg].health
+}
+
+// MarkSuspect flags segment seg as failing. It is a no-op on retired
+// segments (retirement is terminal).
+func (d *Device) MarkSuspect(seg int) {
+	if seg < 0 || seg >= d.cfg.Segments || d.segs[seg].health == Retired {
+		return
+	}
+	d.segs[seg].health = Suspect
+}
+
+// Retire marks segment seg as a grown bad block: programs and erases are
+// refused from now on. Reads of pages it still holds continue to work.
+// Retirement is terminal — there is no way back to Healthy.
+func (d *Device) Retire(seg int) {
+	if seg < 0 || seg >= d.cfg.Segments {
+		return
+	}
+	d.segs[seg].health = Retired
+}
+
+// HealthCounts returns how many segments are currently suspect and retired.
+func (d *Device) HealthCounts() (suspect, retired int) {
+	for i := range d.segs {
+		switch d.segs[i].health {
+		case Suspect:
+			suspect++
+		case Retired:
+			retired++
+		}
+	}
+	return suspect, retired
+}
+
+// RetiredSegments lists the retired segment indices in ascending order.
+func (d *Device) RetiredSegments() []int {
+	var out []int
+	for i := range d.segs {
+		if d.segs[i].health == Retired {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // EraseCount returns how many times segment seg has been erased.

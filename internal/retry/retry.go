@@ -1,0 +1,76 @@
+// Package retry is the shared media-retry policy both FTLs apply to NAND
+// operations. Flash errors split into two classes: transient ones (a read
+// that needs another sensing pass, a program disturbed by a neighbour)
+// clear on their own and are worth bounded re-attempts; permanent ones
+// (wear-out, a grown bad block) never clear and should instead mark the
+// segment suspect so rescue and retirement can deal with it. Policy
+// implements the first half of that split; MediaFailure classifies the
+// second.
+//
+// Backoff is virtual time: a retried operation is simply re-submitted at a
+// later sim.Time, so retries cost simulated latency — visible in every
+// experiment — without any real-world sleeping.
+package retry
+
+import (
+	"errors"
+
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// Policy bounds the retry loop. The zero value performs no retries, so an
+// unconfigured FTL behaves exactly as before this package existed.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per operation (first try
+	// included); values below 1 mean a single attempt.
+	MaxAttempts int
+	// Backoff is the virtual-time delay before the second attempt; it
+	// doubles for each further attempt.
+	Backoff sim.Duration
+}
+
+// Default is the policy both FTLs adopt via their DefaultConfig: three
+// attempts with a 100µs initial backoff, enough to clear any
+// faultinject.KindTransient episode with Times ≤ 2.
+func Default() Policy {
+	return Policy{MaxAttempts: 3, Backoff: 100 * sim.Microsecond}
+}
+
+// Transient reports whether err is worth retrying.
+func Transient(err error) bool {
+	return errors.Is(err, nand.ErrTransient)
+}
+
+// MediaFailure reports whether err is a permanent media failure that should
+// mark the affected segment suspect: wear-out, a device failure, or a
+// transient error that survived the whole retry budget. Power loss and
+// logic errors (bad address, out-of-order program, ...) are not media
+// failures — crashing is not the medium's fault, and logic errors are bugs.
+func MediaFailure(err error) bool {
+	return errors.Is(err, nand.ErrDeviceFailed) ||
+		errors.Is(err, nand.ErrWornOut) ||
+		errors.Is(err, nand.ErrTransient)
+}
+
+// Do runs op, retrying transient failures within the policy's budget. op
+// receives the virtual submit time of its attempt and returns its
+// completion time. Do returns the final attempt's completion time, the
+// number of retries performed (0 when the first attempt decided), and the
+// final error.
+func (p Policy) Do(now sim.Time, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := p.Backoff
+	for attempt := 1; ; attempt++ {
+		done, err = op(now)
+		if err == nil || attempt >= maxAttempts || !Transient(err) {
+			return done, retries, err
+		}
+		retries++
+		now = now.Add(backoff)
+		backoff *= 2
+	}
+}

@@ -1,0 +1,91 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+func TestDoSucceedsAfterTransients(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Backoff: 100 * sim.Microsecond}
+	attempts := 0
+	var submits []sim.Time
+	done, retries, err := p.Do(0, func(at sim.Time) (sim.Time, error) {
+		attempts++
+		submits = append(submits, at)
+		if attempts < 3 {
+			return at, fmt.Errorf("wrapped: %w", nand.ErrTransient)
+		}
+		return at.Add(40 * sim.Microsecond), nil
+	})
+	if err != nil || attempts != 3 || retries != 2 {
+		t.Fatalf("err=%v attempts=%d retries=%d", err, attempts, retries)
+	}
+	// Exponential virtual-time backoff: 0, +100µs, +200µs more.
+	want := []sim.Time{0, sim.Time(100 * sim.Microsecond), sim.Time(300 * sim.Microsecond)}
+	for i := range want {
+		if submits[i] != want[i] {
+			t.Fatalf("submit times %v, want %v", submits, want)
+		}
+	}
+	if done != want[2].Add(40*sim.Microsecond) {
+		t.Fatalf("done = %v", done)
+	}
+}
+
+func TestDoGivesUpAfterBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 2, Backoff: sim.Microsecond}
+	attempts := 0
+	_, retries, err := p.Do(0, func(at sim.Time) (sim.Time, error) {
+		attempts++
+		return at, nand.ErrTransient
+	})
+	if !errors.Is(err, nand.ErrTransient) || attempts != 2 || retries != 1 {
+		t.Fatalf("err=%v attempts=%d retries=%d", err, attempts, retries)
+	}
+}
+
+func TestDoDoesNotRetryPermanentErrors(t *testing.T) {
+	p := Default()
+	for _, perm := range []error{nand.ErrDeviceFailed, nand.ErrWornOut, nand.ErrNotErased} {
+		attempts := 0
+		_, retries, err := p.Do(0, func(at sim.Time) (sim.Time, error) {
+			attempts++
+			return at, perm
+		})
+		if !errors.Is(err, perm) || attempts != 1 || retries != 0 {
+			t.Fatalf("%v: attempts=%d retries=%d err=%v", perm, attempts, retries, err)
+		}
+	}
+}
+
+func TestZeroValuePolicySingleAttempt(t *testing.T) {
+	var p Policy
+	attempts := 0
+	_, retries, err := p.Do(0, func(at sim.Time) (sim.Time, error) {
+		attempts++
+		return at, nand.ErrTransient
+	})
+	if attempts != 1 || retries != 0 || err == nil {
+		t.Fatalf("zero policy: attempts=%d retries=%d err=%v", attempts, retries, err)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !Transient(fmt.Errorf("x: %w", nand.ErrTransient)) || Transient(nand.ErrDeviceFailed) {
+		t.Fatal("Transient misclassifies")
+	}
+	for _, err := range []error{nand.ErrDeviceFailed, nand.ErrWornOut, nand.ErrTransient} {
+		if !MediaFailure(err) {
+			t.Fatalf("%v should be a media failure", err)
+		}
+	}
+	for _, err := range []error{nand.ErrNotErased, nand.ErrBadAddress, nand.ErrOutOfOrder, errors.New("faultinject: device lost power")} {
+		if MediaFailure(err) {
+			t.Fatalf("%v should not be a media failure", err)
+		}
+	}
+}

@@ -326,6 +326,8 @@ func cmdStats(f *iosnap.FTL) error {
 	if st.GCLastErr != "" {
 		fmt.Printf("gc last error:      %s\n", st.GCLastErr)
 	}
+	fmt.Printf("gc victim selects:  %d (%d served from fresh caches)\n", st.GCVictimSelects, st.GCCacheHits)
+	fmt.Printf("gc cache rebuilds:  %d (%d pages re-merged)\n", st.GCCacheRebuilds, st.GCCacheRebuildPages)
 	fmt.Printf("torn pages skipped: %d\n", st.TornPagesSkipped)
 	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
 	return nil

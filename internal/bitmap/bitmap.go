@@ -11,7 +11,10 @@
 // paper's Figure 7b).
 package bitmap
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 const wordBits = 64
 
@@ -66,7 +69,8 @@ func (b *Bitmap) Or(other *Bitmap) {
 	}
 }
 
-// CountRange returns the number of set bits in [lo, hi).
+// CountRange returns the number of set bits in [lo, hi), popcounting a word
+// at a time with masked boundary words.
 func (b *Bitmap) CountRange(lo, hi int64) int {
 	if lo < 0 {
 		lo = 0
@@ -74,12 +78,20 @@ func (b *Bitmap) CountRange(lo, hi int64) int {
 	if hi > b.n {
 		hi = b.n
 	}
-	n := 0
-	for i := lo; i < hi; i++ {
-		if b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0 {
-			n++
-		}
+	if lo >= hi {
+		return 0
 	}
+	loWord, hiWord := lo/wordBits, (hi-1)/wordBits
+	if loWord == hiWord {
+		w := b.words[loWord] >> uint(lo%wordBits)
+		return bits.OnesCount64(w << uint(wordBits-(hi-lo)) >> uint(wordBits-(hi-lo)))
+	}
+	n := bits.OnesCount64(b.words[loWord] >> uint(lo%wordBits))
+	for w := loWord + 1; w < hiWord; w++ {
+		n += bits.OnesCount64(b.words[w])
+	}
+	tail := hi - hiWord*wordBits // 1..64 bits of the last word
+	n += bits.OnesCount64(b.words[hiWord] << uint(wordBits-tail) >> uint(wordBits-tail))
 	return n
 }
 
@@ -87,9 +99,39 @@ func (b *Bitmap) CountRange(lo, hi int64) int {
 func (b *Bitmap) Count() int {
 	n := 0
 	for _, w := range b.words {
-		n += popcount(w)
+		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// Reset zeroes every bit in place, preserving the backing storage.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with other's bits. The bitmaps must be the same
+// length.
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	if b.n != other.n {
+		panic("bitmap: CopyFrom of mismatched lengths")
+	}
+	copy(b.words, other.words)
+}
+
+// Equal reports whether b and other hold identical bits. Bitmaps of
+// different lengths are never equal.
+func (b *Bitmap) Equal(other *Bitmap) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy.
@@ -99,11 +141,4 @@ func (b *Bitmap) Clone() *Bitmap {
 	return c
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,6 +1,9 @@
 package bitmap
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Epoch identifies one epoch's validity map within a Store. Epoch numbers
 // come from the FTL's monotonically increasing epoch counter.
@@ -39,6 +42,7 @@ type Store struct {
 	cowCopies  int64 // total bitmap pages copied (Figure 7b's counter)
 	livePages  int64 // privately owned pages across live epochs
 	totalPages int64 // ceil(nBits / bitsPerPage)
+	gen        uint64
 }
 
 // NewStore creates a store covering nBits physical pages with the given CoW
@@ -95,6 +99,7 @@ func (s *Store) CreateEpoch(e, parent Epoch) error {
 		p.children = append(p.children, em)
 	}
 	s.epochs[e] = em
+	s.gen++
 	return nil
 }
 
@@ -108,8 +113,15 @@ func (s *Store) DeleteEpoch(e Epoch) error {
 		return fmt.Errorf("bitmap: epoch %d does not exist", e)
 	}
 	em.deleted = true
+	s.gen++
 	return nil
 }
+
+// Gen returns a counter that advances whenever the set of live epochs
+// changes (CreateEpoch or DeleteEpoch). Cached merge results built against
+// one generation are exact until the generation moves; the cleaner's
+// incremental accounting uses this as its staleness stamp.
+func (s *Store) Gen() uint64 { return s.gen }
 
 // Deleted reports whether epoch e is marked deleted.
 func (s *Store) Deleted(e Epoch) bool {
@@ -256,10 +268,34 @@ func (s *Store) Clear(e Epoch, i int64) (cow bool) {
 // proportional to len(epochs) × (hi-lo) — is exactly the "validity merge"
 // overhead measured in the paper's Table 4.
 func (s *Store) MergeRange(epochs []Epoch, lo, hi int64) *Bitmap {
+	return s.MergeRangeInto(epochs, lo, hi, nil)
+}
+
+// MergeRangeInto is MergeRange reusing out as the destination buffer when it
+// is non-nil and of length hi-lo (it is zeroed first); otherwise a fresh
+// bitmap is allocated. The cleaner's cached-merge rebuilds call this to
+// avoid re-allocating a segment-sized bitmap per rebuild.
+func (s *Store) MergeRangeInto(epochs []Epoch, lo, hi int64, out *Bitmap) *Bitmap {
 	if lo < 0 || hi > s.nBits || lo > hi {
 		panic(fmt.Sprintf("bitmap: merge range [%d,%d) out of [0,%d)", lo, hi, s.nBits))
 	}
-	out := New(hi - lo)
+	if out == nil || out.n != hi-lo {
+		out = New(hi - lo)
+	} else {
+		out.Reset()
+	}
+	s.OrRangeInto(epochs, lo, hi, out)
+	return out
+}
+
+// OrRangeInto ORs the validity of bits [lo, hi) across the given epochs
+// (skipping deleted ones) into out, which must have length hi-lo. Unlike
+// MergeRangeInto it does not zero out first, so callers can layer epoch
+// groups into one merged map.
+func (s *Store) OrRangeInto(epochs []Epoch, lo, hi int64, out *Bitmap) {
+	if out.n != hi-lo {
+		panic(fmt.Sprintf("bitmap: OrRangeInto buffer length %d != range %d", out.n, hi-lo))
+	}
 	wordAligned := lo%wordBits == 0
 	for _, e := range epochs {
 		em := s.get(e)
@@ -283,7 +319,6 @@ func (s *Store) MergeRange(epochs []Epoch, lo, hi int64) *Bitmap {
 			}
 		}
 	}
-	return out
 }
 
 // mergeWords ORs epoch em's bits in the word-aligned range [lo, hi) into
@@ -314,12 +349,48 @@ func (s *Store) mergeWords(em *epochMap, out *Bitmap, lo, hi int64) {
 	}
 }
 
-// CountValid returns the number of set bits in [lo, hi) for epoch e.
+// CountValid returns the number of set bits in [lo, hi) for epoch e,
+// popcounting whole CoW-page words where the range allows it.
 func (s *Store) CountValid(e Epoch, lo, hi int64) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.nBits {
+		hi = s.nBits
+	}
+	if lo >= hi {
+		return 0
+	}
+	em := s.get(e)
 	n := 0
-	for i := lo; i < hi; i++ {
-		if s.Test(e, i) {
-			n++
+	for pageIdx := lo / s.bitsPerPage; pageIdx*s.bitsPerPage < hi; pageIdx++ {
+		pg, _ := em.findPage(pageIdx)
+		if pg == nil {
+			continue
+		}
+		pageStart := pageIdx * s.bitsPerPage
+		from := lo
+		if pageStart > from {
+			from = pageStart
+		}
+		to := pageStart + s.bitsPerPage
+		if to > hi {
+			to = hi
+		}
+		// Popcount full words; mask the partial boundary words.
+		for bit := from; bit < to; {
+			w := pg.words[(bit-pageStart)/wordBits]
+			start := bit % wordBits
+			span := wordBits - start
+			if rem := to - bit; rem < span {
+				span = rem
+			}
+			w >>= uint(start)
+			if span < wordBits {
+				w &= (1 << uint(span)) - 1
+			}
+			n += bits.OnesCount64(w)
+			bit += span
 		}
 	}
 	return n

@@ -31,8 +31,7 @@ func (f *FTL) ForceClean(now sim.Time, seg int) error {
 	if !found {
 		return fmt.Errorf("ftl: segment %d not in use", seg)
 	}
-	pps := f.cfg.Nand.PagesPerSegment
-	valid := f.validity.CountRange(int64(seg)*int64(pps), int64(seg+1)*int64(pps))
+	valid := f.acct.validCount(seg)
 	quanta := (valid + f.cfg.GCChunk - 1) / f.cfg.GCChunk
 	f.gcActive = true
 	f.gcVictim = seg

@@ -193,6 +193,27 @@ type FTL struct {
 	degraded bool
 	closed   bool
 	stats    Stats
+
+	acct *gcAcct // incremental per-segment valid counters (gcacct.go)
+}
+
+// markValid sets a validity bit and keeps the per-segment counters exact.
+// All validity transitions must go through markValid/markInvalid.
+func (f *FTL) markValid(p int64) {
+	if f.validity.Test(p) {
+		return
+	}
+	f.validity.Set(p)
+	f.acct.onSet(p)
+}
+
+// markInvalid clears a validity bit and keeps the per-segment counters exact.
+func (f *FTL) markInvalid(p int64) {
+	if !f.validity.Test(p) {
+		return
+	}
+	f.validity.Clear(p)
+	f.acct.onClear(p)
 }
 
 // New formats a fresh device and returns an FTL over it. The scheduler is
@@ -219,6 +240,8 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 	}
 	f.headSeg = 0
 	f.usedSegs = []int{0}
+	f.acct = newGCAcct(f)
+	f.acct.track(0)
 	return f, nil
 }
 
@@ -351,9 +374,9 @@ func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, er
 	}
 	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
 	if prev, existed := f.fmap.Insert(lba, uint64(addr)); existed {
-		f.validity.Clear(int64(prev))
+		f.markInvalid(int64(prev))
 	}
-	f.validity.Set(int64(addr))
+	f.markValid(int64(addr))
 	return done, nil
 }
 
@@ -411,6 +434,7 @@ func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
 	f.freeSegs = f.freeSegs[1:]
 	f.headIdx = 0
 	f.usedSegs = append(f.usedSegs, f.headSeg)
+	f.acct.track(f.headSeg)
 	f.maybeScheduleGC(now)
 	return now, nil
 }
@@ -423,7 +447,7 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 	}
 	for i := int64(0); i < n; i++ {
 		if prev, existed := f.fmap.Delete(uint64(lba + i)); existed {
-			f.validity.Clear(int64(prev))
+			f.markInvalid(int64(prev))
 		}
 	}
 	f.stats.Trims += n

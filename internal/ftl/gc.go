@@ -65,34 +65,26 @@ func (f *FTL) maybeScheduleGC(now sim.Time) {
 
 // selectVictim picks the cleaning victim per the configured policy,
 // returning its index and the number of valid pages it still holds (the
-// vanilla cleaner's work estimate). It returns -1 when no candidate exists.
+// vanilla cleaner's work estimate). It returns -1 when no candidate exists —
+// including when every candidate is fully valid, since cleaning a segment
+// with nothing invalid reclaims no space and only burns an erase. (The log
+// head and a segment the background task is mid-way through cleaning are
+// never picked: a forced clean stealing the latter would erase it twice and
+// corrupt the free pool.)
+//
+// Selection runs entirely over the incrementally-maintained counters in
+// f.acct: O(log S) for greedy, O(S) for cost-benefit, no bitmap walks.
 func (f *FTL) selectVictim() (victim, validPages int) {
-	pps := f.cfg.Nand.PagesPerSegment
-	best, bestValid := -1, 0
-	bestScore := -1.0
-	anyInvalid := false
-	for _, seg := range f.usedSegs {
-		if seg == f.headSeg || seg == f.gcVictim {
-			// Never pick the log head, nor a segment the background task is
-			// mid-way through cleaning (a forced clean stealing it would
-			// erase it twice and corrupt the free pool).
-			continue
-		}
-		valid := f.validity.CountRange(int64(seg)*int64(pps), int64(seg+1)*int64(pps))
-		invalid := pps - valid
-		if invalid > 0 {
-			anyInvalid = true
-		}
-		score := victimScore(f.cfg.VictimPolicy, invalid, valid, f.seq, f.segLastSeq[seg])
-		if score > bestScore {
-			best, bestScore, bestValid = seg, score, valid
-		}
+	var e *segCounter
+	if f.cfg.VictimPolicy == VictimCostBenefit {
+		e = f.acct.bestCostBenefit()
+	} else {
+		e = f.acct.bestGreedy()
 	}
-	if !anyInvalid {
-		// Nothing reclaimable anywhere: cleaning would only burn erases.
+	if e == nil {
 		return -1, 0
 	}
-	return best, bestValid
+	return e.seg, f.acct.validCount(e.seg)
 }
 
 // gcTask incrementally cleans one victim segment under pacing.
@@ -230,8 +222,8 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		if h.Type == header.TypeData {
 			f.fmap.Insert(h.LBA, uint64(dst))
 		}
-		f.validity.Clear(int64(old))
-		f.validity.Set(int64(dst))
+		f.markInvalid(int64(old))
+		f.markValid(int64(dst))
 		f.stats.GCCopied++
 		copied++
 	}
@@ -250,6 +242,7 @@ func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
 		f.freeSegs = f.freeSegs[1:]
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
+		f.acct.track(f.headSeg)
 	}
 	addr := f.dev.Addr(f.headSeg, f.headIdx)
 	f.headIdx++
@@ -281,6 +274,7 @@ func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
 			break
 		}
 	}
+	f.acct.untrack(victim)
 	f.freeSegs = append(f.freeSegs, victim)
 	return done, nil
 }

@@ -89,6 +89,7 @@ func (f *FTL) devScanSegmentOOB(now sim.Time, seg int) (oobs [][]byte, done sim.
 // good. Callers must have moved every valid page off it first.
 func (f *FTL) retireSegment(seg int) {
 	f.dev.Retire(seg)
+	f.acct.untrack(seg)
 	for i, s := range f.usedSegs {
 		if s == seg {
 			f.usedSegs = append(f.usedSegs[:i], f.usedSegs[i+1:]...)
@@ -115,4 +116,5 @@ func (f *FTL) sealHead() {
 	f.freeSegs = f.freeSegs[1:]
 	f.headIdx = 0
 	f.usedSegs = append(f.usedSegs, f.headSeg)
+	f.acct.track(f.headSeg)
 }

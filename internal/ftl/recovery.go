@@ -51,6 +51,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		gcVictim:   -1,
 		segLastSeq: make([]uint64, cfg.Nand.Segments),
 	}
+	f.acct = newGCAcct(f)
 
 	var (
 		entries   []scanEntry
@@ -183,6 +184,11 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
 	}
+	// Track in usedSegs order so insertion stamps reproduce the oldest-first
+	// tie-break of a scan-based selection.
+	for _, s := range f.usedSegs {
+		f.acct.track(s)
+	}
 	f.maybeScheduleGC(now)
 	return f, now, nil
 }
@@ -234,7 +240,7 @@ func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, si
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	f.fmap = ftlmap.BulkLoad(entries, 1.0)
 	for _, e := range entries {
-		f.validity.Set(int64(e.Val))
+		f.markValid(int64(e.Val))
 	}
 	return true, maxSeq, now, nil
 }
@@ -250,9 +256,9 @@ func (f *FTL) applyNewerEntries(entries []scanEntry) {
 	}
 	for lba, e := range winners {
 		if prev, existed := f.fmap.Insert(lba, uint64(e.addr)); existed {
-			f.validity.Clear(int64(prev))
+			f.markInvalid(int64(prev))
 		}
-		f.validity.Set(int64(e.addr))
+		f.markValid(int64(e.addr))
 	}
 }
 
@@ -273,6 +279,6 @@ func (f *FTL) replayEntries(entries []scanEntry) {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 	f.fmap = ftlmap.BulkLoad(sorted, 1.0)
 	for _, e := range sorted {
-		f.validity.Set(int64(e.Val))
+		f.markValid(int64(e.Val))
 	}
 }

@@ -95,6 +95,7 @@ func (vw *View) Deactivate(now sim.Time) (sim.Time, error) {
 			break
 		}
 	}
+	f.acct.bumpViewGen()
 	// If this view's epoch froze into a snapshot, the *current* epoch is a
 	// fresh continuation holding only un-snapshotted writes; either way the
 	// view's live epoch is now garbage.
@@ -355,6 +356,9 @@ func (a *Activation) Run(now sim.Time) (sim.Time, bool) {
 	fm := ftlmap.BulkLoad(a.sorted, 1.0)
 	v := &view{fmap: fm, epoch: a.epoch, writable: a.writable, parent: a.snap}
 	f.views = append(f.views, v)
+	// The view's epoch just moved from the "frozen" to the "backs a view"
+	// class without the epoch set changing; invalidate the merge caches.
+	f.acct.bumpViewGen()
 	a.view = &View{f: f, v: v, snap: a.snap}
 	a.done = true
 	a.completedAt = now

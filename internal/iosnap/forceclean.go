@@ -34,20 +34,23 @@ func (f *FTL) ForceClean(now sim.Time, seg int) error {
 	}
 	pps := int64(f.cfg.Nand.PagesPerSegment)
 	lo, hi := int64(seg)*pps, int64(seg+1)*pps
-	merged, cost := f.mergeSegment(seg)
+	cost := f.acct.ensureFresh(seg)
 	f.stats.GCMergeTime += cost
-	est := merged.Count()
+	est := f.acct.validCount(seg)
 	if f.cfg.GCPolicy == GCVanillaEstimate {
 		est = f.vstore.CountValid(f.active.epoch, lo, hi)
 	}
 	quanta := (est + f.cfg.GCChunk - 1) / f.cfg.GCChunk
 	f.gcActive = true
 	f.gcVictim = seg
+	merged := f.acct.mergedClone(seg)
 	f.sched.Schedule(now, &gcTask{
 		f:       f,
 		victim:  seg,
 		pacer:   ratelimit.NewPacer(now, quanta, f.cfg.GCWindow),
 		started: now,
+		merged:  merged,
+		order:   f.copyOrder(seg, merged),
 	})
 	return nil
 }

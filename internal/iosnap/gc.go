@@ -24,8 +24,10 @@ import (
 //     translation referenced the moved block;
 //  5. erase the victim.
 
-// segMergeView computes the merged validity for one segment and remembers
-// the per-epoch validity so the copy loop can fix bits cheaply.
+// mergeSegment computes the merged validity for one segment from scratch.
+// The hot paths read the incremental caches in gcacct.go instead; this stays
+// as the reference implementation for the accounting invariant check, the
+// victim-selection benchmark, and diagnostics.
 func (f *FTL) mergeSegment(seg int) (*bitmap.Bitmap, sim.Duration) {
 	pps := int64(f.cfg.Nand.PagesPerSegment)
 	lo, hi := int64(seg)*pps, int64(seg+1)*pps
@@ -42,43 +44,59 @@ func (f *FTL) mergeSegment(seg int) (*bitmap.Bitmap, sim.Duration) {
 	return merged, cost
 }
 
-// selectVictim greedily picks the non-head segment with the most invalid
-// blocks under the *merged* view (which is the only correct notion of
-// invalid once snapshots exist), returning the victim, its merged valid
-// count, the active-epoch valid count (the vanilla estimate), and the
-// merge CPU cost incurred while selecting.
+// selectVictim picks the non-head segment with the best score under the
+// *merged* view (the only correct notion of invalid once snapshots exist),
+// returning the victim, its merged valid count, the active-epoch valid
+// count (the vanilla estimate), and the merge CPU charged for bringing
+// stale caches up to date. A segment with no merged-invalid block is never
+// a victim — cleaning it would be pure copy-forward churn. The log head and
+// a segment mid-clean are never picked (a forced clean stealing the latter
+// would erase it twice and corrupt the free pool).
 func (f *FTL) selectVictim() (victim, mergedValid, activeValid int, cost sim.Duration) {
+	cost = f.acct.refreshAll()
+	f.stats.GCVictimSelects++
+	if cost == 0 {
+		f.stats.GCCacheHits++
+	}
+	var e *segAcct
+	if f.cfg.VictimPolicy == VictimCostBenefit {
+		e = f.acct.bestCostBenefit()
+	} else {
+		e = f.acct.bestGreedy()
+	}
+	if e == nil {
+		return -1, 0, 0, cost
+	}
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	lo, hi := int64(e.seg)*pps, int64(e.seg+1)*pps
+	return e.seg, e.valid, f.vstore.CountValid(f.active.epoch, lo, hi), cost
+}
+
+// selectVictimScratch re-derives the victim by a full re-merge of every
+// used segment — the pre-incremental algorithm. Kept (uncharged) as the
+// reference the accounting cross-check and BenchmarkVictimSelect compare
+// against.
+func (f *FTL) selectVictimScratch() (victim, mergedValid int) {
 	pps := int64(f.cfg.Nand.PagesPerSegment)
 	best := -1
 	bestScore := -1.0
-	anyInvalid := false
-	var bestMerged, bestActive int
-	var total sim.Duration
+	bestMerged := 0
 	for _, seg := range f.usedSegs {
 		if seg == f.headSeg || seg == f.gcVictim {
-			// Never pick the log head, nor a segment the background task is
-			// mid-way through cleaning (a forced clean stealing it would
-			// erase it twice and corrupt the free pool).
 			continue
 		}
-		merged, c := f.mergeSegment(seg)
-		total += c
+		merged, _ := f.mergeSegment(seg)
 		mv := merged.Count()
 		invalid := int(pps) - mv
-		if invalid > 0 {
-			anyInvalid = true
+		if invalid == 0 {
+			continue
 		}
 		score := victimScore(f.cfg.VictimPolicy, invalid, mv, f.seq, f.segLastSeq[seg])
 		if score > bestScore {
-			lo, hi := int64(seg)*pps, int64(seg+1)*pps
 			best, bestScore, bestMerged = seg, score, mv
-			bestActive = f.vstore.CountValid(f.active.epoch, lo, hi)
 		}
 	}
-	if !anyInvalid {
-		return -1, 0, 0, total
-	}
-	return best, bestMerged, bestActive, total
+	return best, bestMerged
 }
 
 // VictimPolicy selects the cleaner's segment-choice heuristic.
@@ -132,11 +150,16 @@ func (f *FTL) maybeScheduleGC(now sim.Time) {
 	quanta := (est + f.cfg.GCChunk - 1) / f.cfg.GCChunk
 	f.gcActive = true
 	f.gcVictim = victim
+	// Hand the selection-time merged map to the task: re-merging it in the
+	// task's first quantum would charge GCMergeTime twice for one clean.
+	merged := f.acct.mergedClone(victim)
 	task := &gcTask{
 		f:       f,
 		victim:  victim,
 		pacer:   ratelimit.NewPacer(now, quanta, f.cfg.GCWindow),
 		started: now,
+		merged:  merged,
+		order:   f.copyOrder(victim, merged),
 	}
 	f.sched.Schedule(now, task)
 }
@@ -159,13 +182,6 @@ func (t *gcTask) Name() string { return fmt.Sprintf("iosnap-gc(seg %d)", t.victi
 func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	f := t.f
 
-	if t.merged == nil {
-		var cost sim.Duration
-		t.merged, cost = f.mergeSegment(t.victim)
-		f.stats.GCMergeTime += cost
-		now = now.Add(cost)
-		t.order = f.copyOrder(t.victim, t.merged)
-	}
 	var err error
 	t.cursor, now, err = f.copyForward(now, t.victim, t.merged, t.order, t.cursor, f.cfg.GCChunk)
 	if err != nil {
@@ -246,7 +262,9 @@ func (f *FTL) copyOrder(victim int, merged *bitmap.Bitmap) []int {
 	return out
 }
 
-// cleanOnce synchronously cleans the best victim (forced path).
+// cleanOnce synchronously cleans the best victim (forced path). Selection
+// already leaves the victim's merged map cached and fresh, so the clean
+// reuses it instead of merging (and charging) a second time.
 func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
 	victim, _, _, cost := f.selectVictim()
 	f.stats.GCMergeTime += cost
@@ -254,9 +272,7 @@ func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
 	if victim < 0 {
 		return now, ErrDeviceFull
 	}
-	merged, mcost := f.mergeSegment(victim)
-	f.stats.GCMergeTime += mcost
-	now = now.Add(mcost)
+	merged := f.acct.mergedClone(victim)
 	order := f.copyOrder(victim, merged)
 	start := now
 	cursor := 0
@@ -335,10 +351,31 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 				holders = append(holders, e)
 			}
 		}
+		// Epochs() enumerates in map order; the clear/set order below decides
+		// which epochs pay CoW push-down copies, so fix it for reproducibility.
+		sort.Slice(holders, func(a, b int) bool { return holders[a] < holders[b] })
 		for _, e := range holders {
 			f.vstore.Clear(e, int64(old))
 			f.vstore.Set(e, int64(dst))
 		}
+		// Mirror the re-point in the incremental accounting: the holders are
+		// known exactly here, so both the merged and the frozen caches can be
+		// fixed without a rebuild.
+		frozenHolder := false
+		for _, e := range holders {
+			isView := false
+			for _, v := range f.views {
+				if v.epoch == e {
+					isView = true
+					break
+				}
+			}
+			if !isView {
+				frozenHolder = true
+				break
+			}
+		}
+		f.acct.onBlockMoved(old, dst, len(holders) > 0, frozenHolder)
 		// Step 4: re-point forward maps.
 		if h.Type == header.TypeData {
 			for _, v := range f.views {
@@ -388,6 +425,7 @@ func (f *FTL) finishClean(now sim.Time, victim int) (sim.Time, error) {
 	}
 	f.freeSegs = append(f.freeSegs, victim)
 	f.presence.clear(victim)
+	f.acct.untrack(victim)
 	return done, nil
 }
 

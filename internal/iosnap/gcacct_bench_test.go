@@ -1,0 +1,93 @@
+package iosnap
+
+import (
+	"testing"
+
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// benchFTL builds an FTL carrying nSnaps live snapshots over a 64-segment ×
+// 64-page device. Each round writes a fresh 20-LBA window twice (the first
+// pass becomes merged-invalid garbage, since no earlier epoch ever saw those
+// pages) and then snapshots, so the final state has many used segments, a
+// deep live-epoch set, and a realistic mix of valid and reclaimable blocks.
+func benchFTL(b *testing.B, nSnaps int) (*FTL, sim.Time) {
+	b.Helper()
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 64
+	nc.Segments = 64
+	nc.Channels = 4
+	nc.StoreData = true
+	cfg := DefaultConfig(nc)
+	cfg.GCWindow = 10 * sim.Millisecond
+	f, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := sim.Time(0)
+	buf := make([]byte, f.SectorSize())
+	for r := 0; r < nSnaps; r++ {
+		base := int64(r) * 20
+		for pass := 0; pass < 2; pass++ {
+			for i := int64(0); i < 20; i++ {
+				done, err := f.Write(now, base+i, buf)
+				if err != nil {
+					b.Fatalf("round %d write: %v", r, err)
+				}
+				now = done
+				f.sched.RunUntil(now)
+			}
+		}
+		if _, done, err := f.CreateSnapshot(now); err != nil {
+			b.Fatalf("round %d snapshot: %v", r, err)
+		} else {
+			now = done
+		}
+	}
+	return f, f.sched.Drain(now)
+}
+
+// BenchmarkVictimSelect measures one cleaner victim decision on the
+// incremental path: cached counters plus the score heap, with the caches in
+// the all-fresh steady state they occupy between epoch-set changes.
+func BenchmarkVictimSelect(b *testing.B) {
+	f, _ := benchFTL(b, 64)
+	f.selectVictim() // warm: pay the one post-churn rebuild outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.selectVictim()
+	}
+}
+
+// BenchmarkVictimSelectScratch measures the pre-optimization behaviour kept
+// as selectVictimScratch: a from-scratch merge across every live epoch for
+// every used segment, per decision.
+func BenchmarkVictimSelectScratch(b *testing.B) {
+	f, _ := benchFTL(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.selectVictimScratch()
+	}
+}
+
+// BenchmarkGCHeavySnapshotWorkload measures end-to-end host time of a write
+// stream that keeps the cleaner busy under 64 live snapshots: the working
+// set cycles over snapshot-pinned LBAs, so every write both invalidates and
+// appends, and the free pool hovers near the reserve where every allocation
+// consults the cleaner.
+func BenchmarkGCHeavySnapshotWorkload(b *testing.B) {
+	f, now := benchFTL(b, 64)
+	buf := make([]byte, f.SectorSize())
+	const space = 64 * 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := f.Write(now, int64(i)%space, buf)
+		if err != nil {
+			b.Fatalf("write %d: %v", i, err)
+		}
+		now = done
+		f.sched.RunUntil(now)
+	}
+}

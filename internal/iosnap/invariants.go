@@ -46,7 +46,103 @@ func (f *FTL) CheckInvariants() error {
 	if err := f.checkTree(); err != nil {
 		return err
 	}
-	return f.checkPools()
+	if err := f.checkPools(); err != nil {
+		return err
+	}
+	return f.checkGCAccounting()
+}
+
+// checkGCAccounting cross-checks the incremental merged-validity accounting
+// (gcacct.go) against a from-scratch recompute:
+//
+//   - the tracked-segment set equals the usedSegs set, with insertion stamps
+//     strictly increasing in usedSegs order (the tie-break that makes heap
+//     selection reproduce the old oldest-first scan);
+//   - the greedy heap contains exactly the tracked entries, with correct
+//     back-pointers and the heap property intact;
+//   - every FRESH entry's cached merged and frozen bitmaps match a scratch
+//     merge over the live epochs (split by view membership), and its valid
+//     counter matches the merged popcount. Stale entries (generation behind)
+//     are legal — they are rebuilt before the next selection — so only
+//     freshness is asserted for them, not contents.
+func (f *FTL) checkGCAccounting() error {
+	a := f.acct
+	pps := int64(f.cfg.Nand.PagesPerSegment)
+	gen := a.curGen()
+
+	tracked := 0
+	for s, e := range a.bySeg {
+		if e == nil {
+			continue
+		}
+		tracked++
+		if e.seg != s {
+			return fmt.Errorf("invariant: gcacct entry for segment %d carries seg %d", s, e.seg)
+		}
+	}
+	if tracked != len(f.usedSegs) {
+		return fmt.Errorf("invariant: gcacct tracks %d segments, usedSegs has %d", tracked, len(f.usedSegs))
+	}
+	if len(a.heap) != tracked {
+		return fmt.Errorf("invariant: gcacct heap has %d entries for %d tracked segments", len(a.heap), tracked)
+	}
+	var prevStamp uint64
+	for i, s := range f.usedSegs {
+		e := a.bySeg[s]
+		if e == nil {
+			return fmt.Errorf("invariant: used segment %d untracked by gcacct", s)
+		}
+		if i > 0 && e.stamp <= prevStamp {
+			return fmt.Errorf("invariant: gcacct stamp order broken at used segment %d (%d after %d)", s, e.stamp, prevStamp)
+		}
+		prevStamp = e.stamp
+	}
+	for i, e := range a.heap {
+		if e.heapIdx != i {
+			return fmt.Errorf("invariant: gcacct heap[%d] (segment %d) back-pointer is %d", i, e.seg, e.heapIdx)
+		}
+		if a.bySeg[e.seg] != e {
+			return fmt.Errorf("invariant: gcacct heap[%d] (segment %d) not the tracked entry", i, e.seg)
+		}
+		if i > 0 && a.better(e, a.heap[(i-1)/2]) {
+			return fmt.Errorf("invariant: gcacct heap property broken at index %d (segment %d)", i, e.seg)
+		}
+	}
+
+	// Scratch recompute for fresh caches. The epoch split mirrors ensureFresh.
+	isView := make(map[bitmap.Epoch]bool, len(f.views))
+	for _, v := range f.views {
+		isView[v.epoch] = true
+	}
+	var frozenEps, liveEps []bitmap.Epoch
+	for _, ep := range f.vstore.Epochs() {
+		if f.vstore.Deleted(ep) {
+			continue
+		}
+		liveEps = append(liveEps, ep)
+		if !isView[ep] {
+			frozenEps = append(frozenEps, ep)
+		}
+	}
+	for _, s := range f.usedSegs {
+		e := a.bySeg[s]
+		if e.gen != gen {
+			continue // stale by design; rebuilt before the next selection
+		}
+		lo, hi := int64(s)*pps, int64(s+1)*pps
+		wantMerged := f.vstore.MergeRange(liveEps, lo, hi)
+		wantFrozen := f.vstore.MergeRange(frozenEps, lo, hi)
+		if !e.merged.Equal(wantMerged) {
+			return fmt.Errorf("invariant: gcacct segment %d cached merged bitmap diverges from scratch merge", s)
+		}
+		if !e.frozen.Equal(wantFrozen) {
+			return fmt.Errorf("invariant: gcacct segment %d cached frozen bitmap diverges from scratch merge", s)
+		}
+		if e.valid != wantMerged.Count() {
+			return fmt.Errorf("invariant: gcacct segment %d valid counter %d, scratch merge counts %d", s, e.valid, wantMerged.Count())
+		}
+	}
+	return nil
 }
 
 // lineageOf returns the set of epochs on e's parent chain, including e. The

@@ -234,6 +234,11 @@ type Stats struct {
 	GCTotalTime     sim.Duration
 	GCLastAt        sim.Time
 
+	GCVictimSelects     int64 // victim-selection decisions taken
+	GCCacheHits         int64 // decisions served entirely from fresh merge caches
+	GCCacheRebuilds     int64 // per-segment merge caches rebuilt after an epoch-set change
+	GCCacheRebuildPages int64 // pages passed over by those rebuilds
+
 	TornPagesSkipped int64 // unparseable OOB headers tolerated during recovery/activation scans
 
 	Retries         int64 // NAND operations reissued after a transient error
@@ -277,6 +282,7 @@ type FTL struct {
 	vstore   *bitmap.Store
 	tree     *Tree
 	presence *epochPresence
+	acct     *gcAcct // incremental merged-validity accounting (gcacct.go)
 
 	active *view   // the primary block device
 	views  []*view // active + all live activated views
@@ -332,6 +338,8 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 	}
 	f.headSeg = 0
 	f.usedSegs = []int{0}
+	f.acct = newGCAcct(f)
+	f.acct.track(0, true)
 	return f, nil
 }
 
@@ -508,10 +516,12 @@ func (f *FTL) writeSector(v *view, now sim.Time, lba uint64, sector []byte) (sim
 		if f.vstore.Clear(v.epoch, int64(prev)) {
 			cows++
 		}
+		f.acct.onViewClear(v.epoch, int64(prev))
 	}
 	if f.vstore.Set(v.epoch, int64(addr)) {
 		cows++
 	}
+	f.acct.onViewSet(int64(addr))
 	if cows > 0 {
 		done = done.Add(sim.Duration(cows) * f.cfg.CoWPageCost)
 	}
@@ -530,6 +540,7 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 	for i := int64(0); i < n; i++ {
 		if prev, existed := f.active.fmap.Delete(uint64(lba + i)); existed {
 			f.vstore.Clear(f.active.epoch, int64(prev))
+			f.acct.onViewClear(f.active.epoch, int64(prev))
 		}
 	}
 	f.stats.Trims += n
@@ -567,6 +578,7 @@ func (f *FTL) allocPageReserve(now sim.Time, reserve int) (nand.PageAddr, sim.Ti
 		f.freeSegs = f.freeSegs[1:]
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
+		f.acct.track(f.headSeg, true)
 		f.maybeScheduleGC(now)
 		f.maybeScheduleScrub(now)
 	}
@@ -601,6 +613,7 @@ func (f *FTL) allocPageGC(now sim.Time) (nand.PageAddr, sim.Time, error) {
 		f.freeSegs = f.freeSegs[1:]
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
+		f.acct.track(f.headSeg, true)
 	}
 	addr := f.dev.Addr(f.headSeg, f.headIdx)
 	f.headIdx++
@@ -634,6 +647,7 @@ func (f *FTL) writeNote(now sim.Time, typ header.Type, id SnapshotID, epoch bitm
 		return 0, now, fmt.Errorf("iosnap: writing %v note: %w", typ, err)
 	}
 	f.vstore.Set(f.active.epoch, int64(addr))
+	f.acct.onViewSet(int64(addr))
 	f.presence.add(f.dev.SegmentOf(addr), f.active.epoch)
 	return addr, done, nil
 }

@@ -104,6 +104,7 @@ func (f *FTL) retireSegment(seg int) {
 		}
 	}
 	f.presence.clear(seg)
+	f.acct.untrack(seg)
 }
 
 // sealHead abandons the rest of a suspect head segment so subsequent appends
@@ -118,4 +119,5 @@ func (f *FTL) sealHead() {
 	f.freeSegs = f.freeSegs[1:]
 	f.headIdx = 0
 	f.usedSegs = append(f.usedSegs, f.headSeg)
+	f.acct.track(f.headSeg, true)
 }

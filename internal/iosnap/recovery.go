@@ -315,6 +315,13 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		f.headIdx = 0
 		f.usedSegs = append(f.usedSegs, f.headSeg)
 	}
+	// Accounting entries start stale (their caches were never built), in
+	// final usedSegs order so victim tie-breaks match a linear scan; the
+	// first selection decision rebuilds them against the recovered epochs.
+	f.acct = newGCAcct(f)
+	for _, s := range f.usedSegs {
+		f.acct.track(s, false)
+	}
 	// Reconstruction CPU cost: proportional to processed translations.
 	now = now.Add(sim.Duration(len(data)) * cfg.ReconstructCPUPerEntry)
 	f.maybeScheduleGC(now)

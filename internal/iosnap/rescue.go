@@ -22,9 +22,10 @@ func (f *FTL) rescueSegment(now sim.Time, seg int) (sim.Time, error) {
 	if !f.segInUse(seg) {
 		return now, fmt.Errorf("iosnap: segment %d not in use", seg)
 	}
-	merged, cost := f.mergeSegment(seg)
+	cost := f.acct.ensureFresh(seg)
 	f.stats.GCMergeTime += cost
 	now = now.Add(cost)
+	merged := f.acct.mergedClone(seg)
 	order := f.copyOrder(seg, merged)
 	cursor := 0
 	for cursor < len(order) {

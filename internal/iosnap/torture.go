@@ -46,6 +46,33 @@ type TortureOptions struct {
 	// in-flight across workload steps (zero = unthrottled, activations
 	// complete almost immediately).
 	ActivationLimit ratelimit.WorkSleep
+
+	// SnapshotChurn shifts the operation mix toward snapshot-lifecycle
+	// storms: more creates (the live-snapshot cap rises from 3 to 6), more
+	// deletes, more activate/deactivate cycles, more forced cleans, plus
+	// scrub passes. Every one of those changes the epoch set or the view
+	// membership, so churn runs hammer the cleaner's generation-stamped
+	// cache invalidation (gcacct.go) across GC, rescue, and scrub.
+	SnapshotChurn bool
+}
+
+// opCuts are the cumulative percentile cut-points of the operation mix; an
+// op draw in [0,100) lands in the first band it is below (subject to each
+// band's guard, falling through to later bands like the switch always did).
+type opCuts struct {
+	write, trim, create, del, activate, viewWrite, deact, force, scrub int
+	maxSnaps                                                           int
+}
+
+func (o TortureOptions) cuts() opCuts {
+	if o.SnapshotChurn {
+		return opCuts{write: 20, trim: 26, create: 44, del: 58, activate: 70,
+			viewWrite: 74, deact: 80, force: 90, scrub: 96, maxSnaps: 6}
+	}
+	// The historical mix; scrub == force makes the scrub band empty so
+	// seeded non-churn runs draw the exact same operation sequence as ever.
+	return opCuts{write: 45, trim: 52, create: 60, del: 66, activate: 74,
+		viewWrite: 78, deact: 83, force: 88, scrub: 88, maxSnaps: 3}
 }
 
 // TortureReport summarizes a torture run.
@@ -208,8 +235,9 @@ func (t *tortureRun) run() error {
 // injected faults are absorbed as OpErrors.
 func (t *tortureRun) step(step int) error {
 	f := t.f
+	cut := t.opt.cuts()
 	switch op := t.rng.Intn(100); {
-	case op < 45: // active write
+	case op < cut.write: // active write
 		lba := t.rng.Int63n(t.opt.Space)
 		v := byte(step%251 + 1)
 		done, err := f.Write(t.now, lba, torturePattern(t.ss, lba, v))
@@ -225,7 +253,7 @@ func (t *tortureRun) step(step int) error {
 		}
 		t.mod[lba] = v
 		t.now = done
-	case op < 52: // trim
+	case op < cut.trim: // trim
 		lba := t.rng.Int63n(t.opt.Space)
 		done, err := f.Trim(t.now, lba, 1)
 		if err != nil {
@@ -234,7 +262,7 @@ func (t *tortureRun) step(step int) error {
 		}
 		delete(t.mod, lba)
 		t.now = done
-	case op < 60 && len(t.snap) < 3: // snapshot create
+	case op < cut.create && len(t.snap) < cut.maxSnaps: // snapshot create
 		snap, done, err := f.CreateSnapshot(t.now)
 		if err != nil {
 			t.opErr()
@@ -250,7 +278,7 @@ func (t *tortureRun) step(step int) error {
 			frozen[k] = v
 		}
 		t.snap[snap.ID] = frozen
-	case op < 66 && len(t.snap) > 0: // snapshot delete
+	case op < cut.del && len(t.snap) > 0: // snapshot delete
 		id := t.pickSnap()
 		if t.view != nil && t.view.Snapshot().ID == id {
 			return nil // keep the activated snapshot's model simple
@@ -269,7 +297,7 @@ func (t *tortureRun) step(step int) error {
 		}
 		t.now = done
 		delete(t.snap, id)
-	case op < 74 && len(t.snap) > 0 && t.act == nil && t.view == nil: // activate
+	case op < cut.activate && len(t.snap) > 0 && t.act == nil && t.view == nil: // activate
 		id := t.pickSnap()
 		writable := t.rng.Intn(2) == 0
 		act, done, err := f.Activate(t.now, id, t.opt.ActivationLimit, writable)
@@ -284,7 +312,7 @@ func (t *tortureRun) step(step int) error {
 		t.now = done
 		t.act = act
 		t.rep.Activations++
-	case op < 78 && t.view != nil: // view write
+	case op < cut.viewWrite && t.view != nil: // view write
 		if !t.view.Writable() {
 			return nil
 		}
@@ -301,7 +329,7 @@ func (t *tortureRun) step(step int) error {
 		}
 		t.vmod[lba] = v
 		t.now = done
-	case op < 83 && t.view != nil: // deactivate
+	case op < cut.deact && t.view != nil: // deactivate
 		done, err := t.view.Deactivate(t.now)
 		if err != nil {
 			t.opErr()
@@ -313,7 +341,7 @@ func (t *tortureRun) step(step int) error {
 		}
 		t.now = done
 		t.view, t.vmod = nil, nil
-	case op < 88: // forced clean of a random used, non-head segment
+	case op < cut.force: // forced clean of a random used, non-head segment
 		used := f.UsedSegments()
 		if len(used) < 2 || f.CleaningActive() {
 			return nil
@@ -326,6 +354,8 @@ func (t *tortureRun) step(step int) error {
 			t.opErr()
 			return nil
 		}
+	case op < cut.scrub: // scrub pass (churn mix only)
+		f.StartScrub(t.now)
 	default: // verify one active LBA
 		lba := t.rng.Int63n(t.opt.Space)
 		buf := make([]byte, t.ss)

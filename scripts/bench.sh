@@ -1,0 +1,46 @@
+#!/bin/sh
+# GC victim-selection benchmark: runs the incremental-vs-scratch selection
+# benchmarks plus the GC-heavy many-snapshot workload, and writes the
+# results (with the incremental/scratch speedup ratio) to BENCH_gc.json at
+# the repository root. No dependencies beyond the go toolchain and awk.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_gc.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (victim selection + GC-heavy workload)"
+go test ./internal/iosnap/ -run '^$' \
+	-bench 'BenchmarkVictimSelect$|BenchmarkVictimSelectScratch$|BenchmarkGCHeavySnapshotWorkload$' \
+	-benchtime=1000x | tee "$raw"
+
+awk '
+/^BenchmarkVictimSelect / || /^BenchmarkVictimSelect\t/           { sel = $3 }
+/^BenchmarkVictimSelectScratch/                                    { scr = $3 }
+/^BenchmarkGCHeavySnapshotWorkload/                                { wl  = $3 }
+END {
+	if (sel == "" || scr == "" || wl == "") {
+		print "bench.sh: missing benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	speedup = scr / sel
+	printf "{\n"
+	printf "  \"benchmark\": \"gc-victim-selection\",\n"
+	printf "  \"config\": \"64 segments x 64 pages, 64 live snapshots\",\n"
+	printf "  \"victim_select_incremental_ns_op\": %.2f,\n", sel
+	printf "  \"victim_select_scratch_ns_op\": %.2f,\n", scr
+	printf "  \"gc_heavy_workload_ns_op\": %.2f,\n", wl
+	printf "  \"speedup\": %.1f\n", speedup
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "== wrote $out"
+cat "$out"
+
+speedup=$(awk -F'[:,]' '/"speedup"/ { print $2 }' "$out")
+awk "BEGIN { exit !($speedup >= 5) }" || {
+	echo "bench.sh: speedup $speedup below the 5x acceptance floor" >&2
+	exit 1
+}

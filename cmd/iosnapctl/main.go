@@ -1,7 +1,9 @@
 // Command iosnapctl operates an ioSnap device persisted to an image file.
-// Every invocation reloads the NAND image and runs the paper's crash
-// recovery (two-pass log scan) to rebuild the FTL state — the snapshot
-// tree and forward map live only in the log, exactly as in the paper.
+// Every invocation reloads the NAND image and runs crash recovery to
+// rebuild the FTL state. Mutating verbs checkpoint on save, so the next
+// invocation mounts tail-bounded from the anchored checkpoint; without one
+// (crash, torn checkpoint, stale generation) recovery falls back to the
+// paper's full two-pass log scan.
 //
 // Usage:
 //
@@ -163,7 +165,11 @@ func load(image string) (*nand.Device, *iosnap.FTL, error) {
 }
 
 func save(image string, dev *nand.Device, f *iosnap.FTL, now sim.Time) error {
-	f.Scheduler().Drain(now)
+	// Close drains background work and writes a checkpoint, so the next
+	// invocation mounts tail-bounded instead of full-scanning the log.
+	if _, err := f.Close(now); err != nil {
+		return fmt.Errorf("checkpointing before save: %w", err)
+	}
 	return writeImage(image, dev)
 }
 
@@ -329,6 +335,14 @@ func cmdStats(f *iosnap.FTL) error {
 	fmt.Printf("gc victim selects:  %d (%d served from fresh caches)\n", st.GCVictimSelects, st.GCCacheHits)
 	fmt.Printf("gc cache rebuilds:  %d (%d pages re-merged)\n", st.GCCacheRebuilds, st.GCCacheRebuildPages)
 	fmt.Printf("torn pages skipped: %d\n", st.TornPagesSkipped)
+	mode := "full-scan"
+	if st.RecoveryTailBounded {
+		mode = "tail-bounded"
+	}
+	fmt.Printf("recovery:           %s (%d segments, %d header pages, %d fallbacks)\n",
+		mode, st.RecoverySegsScanned, st.RecoveryHeaderPages, st.RecoveryFallbacks)
+	fmt.Printf("checkpoints:        %d committed (%d chunks, %d errors)\n",
+		st.Checkpoints, st.CheckpointChunks, st.CheckpointErrors)
 	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
 	return nil
 }

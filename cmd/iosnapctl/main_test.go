@@ -115,6 +115,36 @@ func TestCLIStateSurvivesReload(t *testing.T) {
 	}
 }
 
+// TestCLITailBoundedReload verifies that a mutating verb checkpoints on
+// save, so the next invocation mounts tail-bounded instead of full-scanning
+// the log — and that the checkpointed state is the state written.
+func TestCLITailBoundedReload(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "dev.img")
+	if err := runCtl(t, img, "init", "-megabytes", "8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, img, "write", "-lba", "1", "-text", "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if !st.RecoveryTailBounded {
+		t.Fatalf("reload after write did not mount tail-bounded (%d segments scanned, %d fallbacks)",
+			st.RecoverySegsScanned, st.RecoveryFallbacks)
+	}
+	buf := make([]byte, f.SectorSize())
+	if _, err := f.Read(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(buf), "ckpt") {
+		t.Fatalf("state lost: %q", string(buf[:8]))
+	}
+}
+
 // TestCLICheck exercises the invariant checker verb on a populated image.
 func TestCLICheck(t *testing.T) {
 	dir := t.TempDir()

@@ -3,6 +3,7 @@ package bitmap
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // Epoch identifies one epoch's validity map within a Store. Epoch numbers
@@ -394,6 +395,48 @@ func (s *Store) CountValid(e Epoch, lo, hi int64) int {
 		}
 	}
 	return n
+}
+
+// OwnedPage is one privately owned CoW page of an epoch's validity map:
+// the unit of the epoch's delta against its parent, and what a checkpoint
+// serializes per epoch.
+type OwnedPage struct {
+	PageIdx int64
+	Words   []uint64
+}
+
+// ExportEpoch returns copies of epoch e's privately owned pages in
+// ascending page order. Inherited pages are not exported — they belong to
+// an ancestor and re-importing every epoch of a tree in topological order
+// reproduces the full inheritance structure.
+func (s *Store) ExportEpoch(e Epoch) []OwnedPage {
+	em := s.get(e)
+	out := make([]OwnedPage, 0, len(em.pages))
+	for idx, pg := range em.pages {
+		out = append(out, OwnedPage{PageIdx: idx, Words: append([]uint64(nil), pg.words...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PageIdx < out[j].PageIdx })
+	return out
+}
+
+// ImportPage installs one privately owned page into epoch e (the
+// checkpoint-restore inverse of ExportEpoch). The words slice is copied.
+// Import happens during recovery, before any cleaner accounting is built
+// on the store; it deliberately does not advance Gen.
+func (s *Store) ImportPage(e Epoch, pageIdx int64, words []uint64) error {
+	em := s.get(e)
+	if int64(len(words)) != s.bitsPerPage/wordBits {
+		return fmt.Errorf("bitmap: import page has %d words, want %d", len(words), s.bitsPerPage/wordBits)
+	}
+	if pageIdx < 0 || pageIdx >= s.totalPages {
+		return fmt.Errorf("bitmap: import page index %d out of [0,%d)", pageIdx, s.totalPages)
+	}
+	if _, dup := em.pages[pageIdx]; dup {
+		return fmt.Errorf("bitmap: epoch %d already owns page %d", e, pageIdx)
+	}
+	em.pages[pageIdx] = &vpage{words: append([]uint64(nil), words...)}
+	s.livePages++
+	return nil
 }
 
 // CoWCopies returns the cumulative count of bitmap-page copies (the solid

@@ -379,3 +379,82 @@ func TestParentMutationDoesNotLeakIntoChild(t *testing.T) {
 		t.Fatal("post-mutation child does not see the parent's current view")
 	}
 }
+
+// TestExportImportRoundTrip: exporting every epoch's owned pages and
+// re-importing them into a fresh store (epochs created in topological
+// order) must reproduce every epoch's full view bit-for-bit — the
+// checkpoint serialize/restore contract.
+func TestExportImportRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	s.Set(1, 5)
+	s.Set(1, 200) // second CoW page
+	s.CreateEpoch(2, 1)
+	s.Set(2, 6)
+	s.Clear(2, 5)
+	s.CreateEpoch(3, 2)
+	s.Set(3, 700)
+	s.DeleteEpoch(2)
+
+	r := NewStore(1024, 128)
+	parents := map[Epoch]Epoch{1: NoParent, 2: 1, 3: 2}
+	for _, e := range []Epoch{1, 2, 3} {
+		if err := r.CreateEpoch(e, parents[e]); err != nil {
+			t.Fatal(err)
+		}
+		for _, pg := range s.ExportEpoch(e) {
+			if err := r.ImportPage(e, pg.PageIdx, pg.Words); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Deleted(e) {
+			if err := r.DeleteEpoch(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range []Epoch{1, 2, 3} {
+		if r.OwnedPages(e) != s.OwnedPages(e) {
+			t.Fatalf("epoch %d owned pages = %d, want %d", e, r.OwnedPages(e), s.OwnedPages(e))
+		}
+		if r.Deleted(e) != s.Deleted(e) {
+			t.Fatalf("epoch %d deleted flag mismatch", e)
+		}
+		for i := int64(0); i < 1024; i++ {
+			if r.Test(e, i) != s.Test(e, i) {
+				t.Fatalf("epoch %d bit %d: restored %v, original %v", e, i, r.Test(e, i), s.Test(e, i))
+			}
+		}
+	}
+}
+
+func TestExportOrderedAndDetached(t *testing.T) {
+	s := newTestStore(t)
+	s.Set(1, 900)
+	s.Set(1, 10)
+	pages := s.ExportEpoch(1)
+	if len(pages) != 2 || pages[0].PageIdx >= pages[1].PageIdx {
+		t.Fatalf("export not in ascending page order: %+v", pages)
+	}
+	// Mutating the export must not touch the store.
+	pages[0].Words[0] = ^uint64(0)
+	if s.Test(1, 0) {
+		t.Fatal("ExportEpoch aliased store memory")
+	}
+}
+
+func TestImportPageValidation(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.ImportPage(1, 0, make([]uint64, 1)); err == nil {
+		t.Fatal("short page accepted")
+	}
+	words := make([]uint64, 2) // 128 bits / 64
+	if err := s.ImportPage(1, 99, words); err == nil {
+		t.Fatal("out-of-range page index accepted")
+	}
+	if err := s.ImportPage(1, 0, words); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ImportPage(1, 0, words); err == nil {
+		t.Fatal("duplicate import accepted")
+	}
+}

@@ -1,0 +1,244 @@
+// Package ckpt is the chunk codec shared by both FTLs' checkpoints.
+//
+// A checkpoint is an opaque byte stream of typed sections, framed with a
+// magic, a version, the checkpoint's identity (ID + the log sequence number
+// it captures), an explicit length, and an FNV-64a checksum, then split
+// into sector-sized chunks for programming onto the log. Every chunk is
+// prefixed with the checkpoint ID so recovery can group chunks by
+// generation: two checkpoints interrupted at the right moments can leave
+// chunks of *different* generations on the device, and an index-set check
+// alone would happily stitch them into a complete-looking, corrupt stream.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Section is one typed region of a checkpoint stream. Kind is
+// FTL-defined; the codec only frames it.
+type Section struct {
+	Kind uint8
+	Data []byte
+}
+
+const (
+	version = 1
+	// ChunkPrefix is the per-chunk generation tag: the checkpoint ID,
+	// little-endian, at offset 0 of every chunk.
+	ChunkPrefix = 8
+
+	headerLen   = 4 + 1 + 8 + 8 + 4 + 4 // magic ver id seq totalLen nsec
+	checksumLen = 8
+)
+
+var magic = [4]byte{'i', 'C', 'k', 'p'}
+
+var (
+	ErrBadMagic    = errors.New("ckpt: bad magic")
+	ErrBadVersion  = errors.New("ckpt: unsupported version")
+	ErrTruncated   = errors.New("ckpt: truncated stream")
+	ErrBadChecksum = errors.New("ckpt: checksum mismatch")
+	ErrBadChunk    = errors.New("ckpt: malformed chunk")
+)
+
+// Encode frames sections into a self-checking stream.
+func Encode(ckptID, ckptSeq uint64, secs []Section) []byte {
+	total := headerLen + checksumLen
+	for _, s := range secs {
+		total += 1 + 4 + len(s.Data)
+	}
+	b := make([]byte, 0, total)
+	b = append(b, magic[:]...)
+	b = append(b, version)
+	b = binary.LittleEndian.AppendUint64(b, ckptID)
+	b = binary.LittleEndian.AppendUint64(b, ckptSeq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(total))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(secs)))
+	for _, s := range secs {
+		b = append(b, s.Kind)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Data)))
+		b = append(b, s.Data...)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return binary.LittleEndian.AppendUint64(b, h.Sum64())
+}
+
+// Decode validates framing and checksum and returns the sections. The
+// input may carry trailing padding (Join concatenates whole chunks).
+func Decode(stream []byte) (ckptID, ckptSeq uint64, secs []Section, err error) {
+	if len(stream) < headerLen+checksumLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	if [4]byte(stream[:4]) != magic {
+		return 0, 0, nil, ErrBadMagic
+	}
+	if stream[4] != version {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, stream[4])
+	}
+	ckptID = binary.LittleEndian.Uint64(stream[5:])
+	ckptSeq = binary.LittleEndian.Uint64(stream[13:])
+	total := int(binary.LittleEndian.Uint32(stream[21:]))
+	nsec := int(binary.LittleEndian.Uint32(stream[25:]))
+	if total < headerLen+checksumLen || total > len(stream) {
+		return 0, 0, nil, ErrTruncated
+	}
+	body, sum := stream[:total-checksumLen], binary.LittleEndian.Uint64(stream[total-checksumLen:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return 0, 0, nil, ErrBadChecksum
+	}
+	off := headerLen
+	secs = make([]Section, 0, nsec)
+	for i := 0; i < nsec; i++ {
+		if off+5 > len(body) {
+			return 0, 0, nil, ErrTruncated
+		}
+		kind := body[off]
+		n := int(binary.LittleEndian.Uint32(body[off+1:]))
+		off += 5
+		if n < 0 || off+n > len(body) {
+			return 0, 0, nil, ErrTruncated
+		}
+		secs = append(secs, Section{Kind: kind, Data: body[off : off+n]})
+		off += n
+	}
+	return ckptID, ckptSeq, secs, nil
+}
+
+// Split cuts a stream into sector-sized chunks, each prefixed with the
+// checkpoint ID. The last chunk is zero-padded; Decode's explicit length
+// makes the padding harmless.
+func Split(ckptID uint64, stream []byte, sectorSize int) ([][]byte, error) {
+	payload := sectorSize - ChunkPrefix
+	if payload <= 0 {
+		return nil, fmt.Errorf("ckpt: sector size %d leaves no chunk payload", sectorSize)
+	}
+	n := (len(stream) + payload - 1) / payload
+	if n == 0 {
+		n = 1
+	}
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		c := make([]byte, sectorSize)
+		binary.LittleEndian.PutUint64(c, ckptID)
+		lo := i * payload
+		hi := min(lo+payload, len(stream))
+		if lo < len(stream) {
+			copy(c[ChunkPrefix:], stream[lo:hi])
+		}
+		chunks[i] = c
+	}
+	return chunks, nil
+}
+
+// Join strips the per-chunk prefixes, verifying every chunk carries the
+// expected checkpoint ID, and returns the concatenated stream (with the
+// final chunk's padding still attached).
+func Join(ckptID uint64, chunks [][]byte) ([]byte, error) {
+	var out []byte
+	for i, c := range chunks {
+		if len(c) <= ChunkPrefix {
+			return nil, fmt.Errorf("%w: chunk %d too short", ErrBadChunk, i)
+		}
+		if id := binary.LittleEndian.Uint64(c); id != ckptID {
+			return nil, fmt.Errorf("%w: chunk %d has id %d, want %d", ErrBadChunk, i, id, ckptID)
+		}
+		out = append(out, c[ChunkPrefix:]...)
+	}
+	if len(out) == 0 {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}
+
+// ChunkID reads the generation tag off a raw chunk.
+func ChunkID(chunk []byte) (uint64, bool) {
+	if len(chunk) < ChunkPrefix {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(chunk), true
+}
+
+// Writer accumulates little-endian fields for a section body.
+type Writer struct{ B []byte }
+
+func (w *Writer) U8(v uint8)   { w.B = append(w.B, v) }
+func (w *Writer) U32(v uint32) { w.B = binary.LittleEndian.AppendUint32(w.B, v) }
+func (w *Writer) U64(v uint64) { w.B = binary.LittleEndian.AppendUint64(w.B, v) }
+func (w *Writer) Bool(v bool)  { w.U8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (w *Writer) Bytes(p []byte) {
+	w.U32(uint32(len(p)))
+	w.B = append(w.B, p...)
+}
+
+// Reader decodes what Writer produced; the first framing violation
+// latches sticky into Err and zero values flow after it.
+type Reader struct {
+	B   []byte
+	off int
+	err error
+}
+
+func (r *Reader) fail() { r.err = ErrTruncated }
+
+func (r *Reader) U8() uint8 {
+	if r.err != nil || r.off+1 > len(r.B) {
+		if r.err == nil {
+			r.fail()
+		}
+		return 0
+	}
+	v := r.B[r.off]
+	r.off++
+	return v
+}
+
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.B) {
+		if r.err == nil {
+			r.fail()
+		}
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.B[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.off+8 > len(r.B) {
+		if r.err == nil {
+			r.fail()
+		}
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.B[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || r.off+n > len(r.B) {
+		if r.err == nil {
+			r.fail()
+		}
+		return nil
+	}
+	v := r.B[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Err reports the first framing violation seen by this reader.
+func (r *Reader) Err() error { return r.err }
+
+// Rest reports how many bytes remain unread.
+func (r *Reader) Rest() int { return len(r.B) - r.off }

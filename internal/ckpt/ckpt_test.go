@@ -1,0 +1,130 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func roundTrip(t *testing.T, id, seq uint64, secs []Section, sectorSize int) []Section {
+	t.Helper()
+	stream := Encode(id, seq, secs)
+	chunks, err := Split(id, stream, sectorSize)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	for _, c := range chunks {
+		if len(c) != sectorSize {
+			t.Fatalf("chunk size %d, want %d", len(c), sectorSize)
+		}
+		got, ok := ChunkID(c)
+		if !ok || got != id {
+			t.Fatalf("ChunkID = %d,%v want %d", got, ok, id)
+		}
+	}
+	joined, err := Join(id, chunks)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	gotID, gotSeq, got, err := Decode(joined)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if gotID != id || gotSeq != seq {
+		t.Fatalf("Decode identity = (%d,%d), want (%d,%d)", gotID, gotSeq, id, seq)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	secs := []Section{
+		{Kind: 1, Data: []byte("forward map payload")},
+		{Kind: 2, Data: nil},
+		{Kind: 3, Data: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	got := roundTrip(t, 42, 1234, secs, 128)
+	if len(got) != len(secs) {
+		t.Fatalf("got %d sections, want %d", len(got), len(secs))
+	}
+	for i, s := range secs {
+		if got[i].Kind != s.Kind || !bytes.Equal(got[i].Data, s.Data) {
+			t.Fatalf("section %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	if got := roundTrip(t, 7, 0, nil, 64); len(got) != 0 {
+		t.Fatalf("got %d sections, want 0", len(got))
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	stream := Encode(9, 9, []Section{{Kind: 5, Data: bytes.Repeat([]byte{7}, 300)}})
+	for _, pos := range []int{0, 4, 10, headerLen + 3, len(stream) - 1} {
+		bad := append([]byte(nil), stream...)
+		bad[pos] ^= 0xFF
+		if _, _, _, err := Decode(bad); err == nil {
+			t.Fatalf("Decode accepted corruption at byte %d", pos)
+		}
+	}
+	if _, _, _, err := Decode(stream[:len(stream)-3]); err == nil {
+		t.Fatal("Decode accepted truncated stream")
+	}
+}
+
+func TestJoinRejectsForeignChunk(t *testing.T) {
+	stream := Encode(1, 1, []Section{{Kind: 1, Data: bytes.Repeat([]byte{3}, 200)}})
+	chunks, err := Split(1, stream, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Split(2, Encode(2, 2, nil), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks[1] = other[0]
+	if _, err := Join(1, chunks); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("Join = %v, want ErrBadChunk", err)
+	}
+}
+
+func TestSplitTinySector(t *testing.T) {
+	if _, err := Split(1, []byte{1}, ChunkPrefix); err == nil {
+		t.Fatal("Split accepted sector with no payload room")
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var w Writer
+	w.U8(3)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte("hello"))
+
+	r := Reader{B: w.B}
+	if v := r.U8(); v != 3 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 1<<60 {
+		t.Fatalf("U64 = %x", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if v := r.Bytes(); string(v) != "hello" {
+		t.Fatalf("Bytes = %q", v)
+	}
+	if r.Err() != nil || r.Rest() != 0 {
+		t.Fatalf("Err=%v Rest=%d", r.Err(), r.Rest())
+	}
+	// Reading past the end latches the sticky error.
+	if r.U64(); r.Err() == nil {
+		t.Fatal("overread not detected")
+	}
+}

@@ -83,8 +83,13 @@ type Rule struct {
 	Op  nand.Op // operation to match; AnyOp matches all
 	Seg int     // segment filter; AnySeg matches all
 
-	// Matching for KindTornOOB (consulted as headers are programmed):
-	HeaderType header.Type // only programs of this header type; 0 = any
+	// Matching for KindTornOOB — and for KindCrash rules that should cut
+	// power right AFTER a specific kind of header lands (both are consulted
+	// as headers are programmed): only programs of this header type match;
+	// 0 = any. A KindCrash rule with HeaderType set lets the program that
+	// triggered it complete intact — the crash is observed by the next
+	// operation — which models power dying between two appends.
+	HeaderType header.Type
 
 	// Trigger: the AfterN-th matching call (1-based), or — when Prob > 0 —
 	// each matching call independently with probability Prob drawn from the
@@ -239,6 +244,9 @@ func (p *Plan) BeforeOp(op nand.Op, addr nand.PageAddr) error {
 		if r.spent || r.Kind == KindTornOOB {
 			continue
 		}
+		if r.Kind == KindCrash && r.HeaderType != 0 {
+			continue // header-matched crashes trigger in MutateOOB
+		}
 		if r.Op != AnyOp && r.Op != op {
 			continue
 		}
@@ -297,8 +305,26 @@ func (p *Plan) transientFault(r *ruleState, op nand.Op, addr nand.PageAddr) erro
 }
 
 // MutateOOB implements nand.FaultHook: KindTornOOB rules corrupt matching
-// headers and cut power.
+// headers and cut power; header-matched KindCrash rules cut power after the
+// matching header lands intact.
 func (p *Plan) MutateOOB(addr nand.PageAddr, oob []byte) []byte {
+	for _, r := range p.rules {
+		if r.spent || r.Kind != KindCrash || r.HeaderType == 0 {
+			continue
+		}
+		if r.Seg != AnySeg && r.Seg != p.segOf(addr) {
+			continue
+		}
+		if h, err := header.Unmarshal(oob); err != nil || h.Type != r.HeaderType {
+			continue
+		}
+		if !p.triggers(r) {
+			continue
+		}
+		p.fired = append(p.fired, Fired{Rule: r.Name, Op: nand.OpProgram, Addr: addr, Count: r.matched})
+		p.crashed = true
+		return oob // this header lands intact; the NEXT operation sees the crash
+	}
 	for _, r := range p.rules {
 		if r.spent || r.Kind != KindTornOOB {
 			continue
@@ -348,6 +374,14 @@ func TornNote(t header.Type, n int64) *Plan {
 // mid-recovery, whichever issues it.
 func CrashAtScan(n int64) *Plan {
 	return NewPlan(0, Rule{Name: "crash-at-scan", Kind: KindCrash, Op: nand.OpScanOOB, Seg: AnySeg, AfterN: n})
+}
+
+// CrashAtChunk cuts power right after the n-th checkpoint chunk of the given
+// header type lands — mid-checkpoint, before the generation commits. The
+// partial generation's chunks are intact but unanchored (or the anchor still
+// names the previous generation), so recovery must not trust them.
+func CrashAtChunk(t header.Type, n int64) *Plan {
+	return NewPlan(0, Rule{Name: "crash-at-chunk", Kind: KindCrash, Seg: AnySeg, HeaderType: t, AfterN: n})
 }
 
 // RandomTransients is a probabilistic retryable-fault plan: each distinct

@@ -1,88 +1,338 @@
 package ftl
 
 import (
-	"encoding/binary"
 	"fmt"
 
+	"iosnap/internal/ckpt"
 	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
 
-// Checkpoint payload layout: 8-byte entry count, then count × (lba, addr)
-// little-endian pairs. The header's LBA field carries the chunk index and
-// the Epoch field the total chunk count, so recovery can tell whether a
-// checkpoint is complete.
+// Checkpoint format (shared codec, internal/ckpt): a stream of sections —
+// the forward map and a segment table — framed with the checkpoint's
+// identity and a checksum, split into sector-sized chunks each tagged with
+// the checkpoint ID. The chunk header carries the chunk index in LBA and
+// the total chunk count in Epoch, so a scan can group a generation's
+// chunks and prove it complete ({0..total-1}, all tagged with the same ID)
+// before decoding anything. The checkpoint's identity doubles as its
+// cut-off: ckptID = ckptSeq = f.seq at serialization, and recovery replays
+// only records with seq > ckptSeq on top of the loaded state.
+//
+// The segment table is what makes a checkpoint safely *skippable* work at
+// recovery: for every used segment it records the erase count, programmed
+// page count, and newest sequence number at serialization time. A segment
+// whose erase count has since changed was reclaimed by the cleaner — its
+// blocks were copy-forwarded with their sequence numbers preserved, i.e.
+// below the cut-off and invisible to tail replay — so the whole checkpoint
+// is stale and recovery falls back to the full scan.
 
-// entriesPerChunk returns how many map entries fit one sector payload.
-func entriesPerChunk(sectorSize int) int {
-	n := (sectorSize - 8) / 16
-	if n < 1 {
-		n = 1
+// Section kinds inside a vanilla checkpoint stream.
+const (
+	ckptSecMap      = 1 // forward map: count, then count × (lba, addr)
+	ckptSecSegTable = 2 // segment table: count, then count × (seg, erases, prog, maxSeq)
+)
+
+// ckptSegRecord is one used segment's identity at serialization time.
+type ckptSegRecord struct {
+	seg    int
+	erases int
+	prog   int
+	maxSeq uint64
+}
+
+// serializeCheckpoint captures the forward map and segment table at one
+// instant and returns the checkpoint identity plus its sector-sized chunks.
+func (f *FTL) serializeCheckpoint() (uint64, [][]byte, error) {
+	ckptID := f.seq
+	var mw ckpt.Writer
+	mw.U64(uint64(f.fmap.Len()))
+	f.fmap.All(func(k, v uint64) bool {
+		mw.U64(k)
+		mw.U64(v)
+		return true
+	})
+	var sw ckpt.Writer
+	sw.U32(uint32(len(f.usedSegs)))
+	for _, s := range f.usedSegs {
+		sw.U32(uint32(s))
+		sw.U32(uint32(f.dev.EraseCount(s)))
+		sw.U32(uint32(f.dev.NextFreeInSegment(s)))
+		sw.U64(f.segLastSeq[s])
+	}
+	stream := ckpt.Encode(ckptID, ckptID, []ckpt.Section{
+		{Kind: ckptSecMap, Data: mw.B},
+		{Kind: ckptSecSegTable, Data: sw.B},
+	})
+	chunks, err := ckpt.Split(ckptID, stream, f.cfg.Nand.SectorSize)
+	if err != nil {
+		return 0, nil, fmt.Errorf("ftl: chunking checkpoint: %w", err)
+	}
+	return ckptID, chunks, nil
+}
+
+// programCkptChunk appends one chunk at the log head and pins it against
+// the cleaner. A failed program is attributed like every other program
+// path: roll back the allocation and, on a permanent media failure, seal
+// the head so future appends move off the failing segment.
+func (f *FTL) programCkptChunk(now sim.Time, chunk []byte, idx, total int) (nand.PageAddr, sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return 0, now, fmt.Errorf("ftl: allocating checkpoint page: %w", err)
+	}
+	f.seq++
+	h := header.Header{Type: header.TypeCheckpoint, LBA: uint64(idx), Epoch: uint64(total), Seq: f.seq}
+	done, err := f.devProgramPage(now, addr, chunk, h.Marshal())
+	if err != nil {
+		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead()
+		}
+		return 0, now, fmt.Errorf("ftl: writing checkpoint chunk %d: %w", idx, err)
+	}
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
+	f.ckptPins[addr] = true
+	return addr, done, nil
+}
+
+// commitCheckpoint atomically publishes a fully-programmed checkpoint: the
+// device anchor flips to the new generation and the superseded
+// generation's pins drop, making its chunks reclaimable.
+func (f *FTL) commitCheckpoint(now sim.Time, ckptID uint64, addrs []nand.PageAddr) {
+	for _, a := range f.anchorAddrs {
+		delete(f.ckptPins, a)
+	}
+	f.anchorID = ckptID
+	f.anchorAddrs = addrs
+	f.dev.SetAnchor(&nand.Anchor{ID: ckptID, Addrs: addrs})
+	f.lastCkpt = now
+	f.stats.Checkpoints++
+	f.stats.CheckpointChunks += int64(len(addrs))
+}
+
+// pinnedInSeg counts checkpoint-chunk pins in seg. Victim scoring treats
+// them as live: a segment full of pinned chunks has zero valid bits yet
+// cleaning it reclaims nothing.
+func (f *FTL) pinnedInSeg(seg int) int {
+	n := 0
+	for a := range f.ckptPins {
+		if f.dev.SegmentOf(a) == seg {
+			n++
+		}
 	}
 	return n
 }
 
-// writeCheckpoint appends the serialized forward map to the log. The device
-// state is then fully captured: a recovering FTL with payload storage can
-// rebuild the map without replaying the whole log.
-func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
-	type entry struct{ lba, addr uint64 }
-	var entries []entry
-	f.fmap.All(func(k, v uint64) bool {
-		entries = append(entries, entry{k, v})
-		return true
-	})
-	per := entriesPerChunk(f.cfg.Nand.SectorSize)
-	chunks := (len(entries) + per - 1) / per
-	if chunks == 0 {
-		chunks = 1 // an empty map still writes one (empty) chunk as the clean-shutdown marker
-	}
-	done := now
-	for c := 0; c < chunks; c++ {
-		lo := c * per
-		hi := lo + per
-		if hi > len(entries) {
-			hi = len(entries)
-		}
-		payload := make([]byte, f.cfg.Nand.SectorSize)
-		binary.LittleEndian.PutUint64(payload, uint64(hi-lo))
-		for i, e := range entries[lo:hi] {
-			binary.LittleEndian.PutUint64(payload[8+i*16:], e.lba)
-			binary.LittleEndian.PutUint64(payload[8+i*16+8:], e.addr)
-		}
-		addr, t, err := f.allocPage(now)
-		if err != nil {
-			return now, fmt.Errorf("ftl: allocating checkpoint page: %w", err)
-		}
-		f.seq++
-		h := header.Header{Type: header.TypeCheckpoint, LBA: uint64(c), Epoch: uint64(chunks), Seq: f.seq}
-		d, err := f.devProgramPage(t, addr, payload, h.Marshal())
-		if err != nil {
-			f.ungetPage(addr)
-			return now, fmt.Errorf("ftl: writing checkpoint chunk %d: %w", c, err)
-		}
-		// Checkpoint pages are consumed at recovery and never re-read after;
-		// they stay invalid in the bitmap so the cleaner reclaims them.
-		if d > done {
-			done = d
+// movePin follows a copy-forwarded checkpoint chunk: the pin moves with
+// the page, and whichever list names it — the committed anchor or the
+// in-flight chunk list — is updated in place. A moved anchor chunk
+// republishes the device anchor so recovery still finds every chunk.
+func (f *FTL) movePin(old, dst nand.PageAddr) {
+	delete(f.ckptPins, old)
+	f.ckptPins[dst] = true
+	for i, a := range f.anchorAddrs {
+		if a == old {
+			f.anchorAddrs[i] = dst
+			f.dev.SetAnchor(&nand.Anchor{ID: f.anchorID, Addrs: f.anchorAddrs})
+			return
 		}
 	}
-	return done, nil
+	for i, a := range f.ckptInflight {
+		if a == old {
+			f.ckptInflight[i] = dst
+			return
+		}
+	}
 }
 
-// decodeCheckpointChunk parses one checkpoint payload into map entries.
-func decodeCheckpointChunk(payload []byte) ([][2]uint64, error) {
-	if len(payload) < 8 {
-		return nil, fmt.Errorf("ftl: checkpoint chunk too short: %d bytes", len(payload))
+// abortCheckpoint unpins a partial generation; the previous anchor stays.
+func (f *FTL) abortCheckpoint(addrs []nand.PageAddr, err error) {
+	for _, a := range addrs {
+		delete(f.ckptPins, a)
 	}
-	count := binary.LittleEndian.Uint64(payload)
-	if int(count) > (len(payload)-8)/16 {
-		return nil, fmt.Errorf("ftl: checkpoint chunk count %d exceeds payload", count)
+	f.stats.CheckpointErrors++
+	f.stats.CheckpointLastErr = err.Error()
+}
+
+// writeCheckpoint synchronously serializes and programs a checkpoint (the
+// Close path).
+func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
+	ckptID, chunks, err := f.serializeCheckpoint()
+	if err != nil {
+		return now, err
 	}
-	out := make([][2]uint64, count)
-	for i := range out {
-		out[i][0] = binary.LittleEndian.Uint64(payload[8+i*16:])
-		out[i][1] = binary.LittleEndian.Uint64(payload[8+i*16+8:])
+	f.ckptActive = true
+	defer func() { f.ckptActive = false }()
+	var addrs []nand.PageAddr
+	for i, c := range chunks {
+		var addr nand.PageAddr
+		addr, now, err = f.programCkptChunk(now, c, i, len(chunks))
+		if err != nil {
+			f.abortCheckpoint(addrs, err)
+			return now, err
+		}
+		addrs = append(addrs, addr)
 	}
-	return out, nil
+	f.commitCheckpoint(now, ckptID, addrs)
+	return now, nil
+}
+
+// maybeScheduleCheckpoint arms the periodic background checkpoint from the
+// head-advance path, the same way the cleaner is armed.
+func (f *FTL) maybeScheduleCheckpoint(now sim.Time) {
+	if f.ckptActive || f.closed || f.cfg.CheckpointInterval <= 0 || !f.cfg.Nand.StoreData {
+		return
+	}
+	if now.Sub(f.lastCkpt) < f.cfg.CheckpointInterval {
+		return
+	}
+	f.startCheckpoint(now)
+}
+
+// StartCheckpoint forces a background checkpoint now (tests and tools).
+// It reports whether a task was scheduled.
+func (f *FTL) StartCheckpoint(now sim.Time) bool {
+	if f.ckptActive || f.closed {
+		return false
+	}
+	return f.startCheckpoint(now)
+}
+
+func (f *FTL) startCheckpoint(now sim.Time) bool {
+	ckptID, chunks, err := f.serializeCheckpoint()
+	if err != nil {
+		f.stats.CheckpointErrors++
+		f.stats.CheckpointLastErr = err.Error()
+		return false
+	}
+	f.ckptActive = true
+	f.ckptInflight = nil
+	f.sched.Schedule(now, &ckptTask{
+		f:      f,
+		id:     ckptID,
+		chunks: chunks,
+		budget: ratelimit.NewBudget(f.cfg.CheckpointLimit),
+	})
+	return true
+}
+
+// ckptTask programs a serialized checkpoint's chunks under the WorkSleep
+// budget. The state was captured at scheduling time, so foreground writes
+// that land between quanta carry seq > ckptSeq and are replayed on top at
+// recovery — the checkpoint stays consistent without stalling writers.
+type ckptTask struct {
+	f      *FTL
+	id     uint64
+	chunks [][]byte
+	next   int
+	budget *ratelimit.Budget
+}
+
+// Name implements sim.Task.
+func (t *ckptTask) Name() string { return fmt.Sprintf("ftl-checkpoint(%d)", t.id) }
+
+// Run implements sim.Task: one budgeted batch of chunk programs.
+func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
+	f := t.f
+	if f.closed {
+		// Close wrote its own synchronous checkpoint, superseding this one.
+		for _, a := range f.ckptInflight {
+			delete(f.ckptPins, a)
+		}
+		f.ckptInflight = nil
+		f.ckptActive = false
+		return 0, true
+	}
+	start := now
+	for programmed := 0; t.next < len(t.chunks) && programmed < f.cfg.GCChunk; programmed++ {
+		addr, done, err := f.programCkptChunk(now, t.chunks[t.next], t.next, len(t.chunks))
+		if err != nil {
+			f.abortCheckpoint(f.ckptInflight, err)
+			f.ckptInflight = nil
+			f.ckptActive = false
+			return 0, true
+		}
+		f.ckptInflight = append(f.ckptInflight, addr)
+		t.next++
+		now = done
+	}
+	if t.next < len(t.chunks) {
+		if sleep, exhausted := t.budget.Charge(now.Sub(start)); exhausted {
+			return now.Add(sleep), false
+		}
+		return now, false
+	}
+	f.commitCheckpoint(now, t.id, f.ckptInflight)
+	f.ckptInflight = nil
+	f.ckptActive = false
+	return 0, true
+}
+
+// decodeCheckpointSections parses a decoded stream's sections into map
+// entries and the segment table.
+func decodeCheckpointSections(secs []ckpt.Section) (entries [][2]uint64, table []ckptSegRecord, err error) {
+	var sawMap, sawTable bool
+	for _, s := range secs {
+		switch s.Kind {
+		case ckptSecMap:
+			sawMap = true
+			r := ckpt.Reader{B: s.Data}
+			n := r.U64()
+			for i := uint64(0); i < n; i++ {
+				lba, addr := r.U64(), r.U64()
+				entries = append(entries, [2]uint64{lba, addr})
+			}
+			if r.Err() != nil {
+				return nil, nil, fmt.Errorf("ftl: checkpoint map section: %w", r.Err())
+			}
+		case ckptSecSegTable:
+			sawTable = true
+			r := ckpt.Reader{B: s.Data}
+			n := r.U32()
+			for i := uint32(0); i < n; i++ {
+				rec := ckptSegRecord{
+					seg:    int(r.U32()),
+					erases: int(r.U32()),
+					prog:   int(r.U32()),
+					maxSeq: r.U64(),
+				}
+				table = append(table, rec)
+			}
+			if r.Err() != nil {
+				return nil, nil, fmt.Errorf("ftl: checkpoint segment table: %w", r.Err())
+			}
+		}
+	}
+	if !sawMap || !sawTable {
+		return nil, nil, fmt.Errorf("ftl: checkpoint missing required sections")
+	}
+	return entries, table, nil
+}
+
+// checkSegTable decides whether a checkpoint's segment table still
+// describes the device. It returns the set of segments recovery may skip
+// (recorded used, unchanged, nothing newer) — and ok=false when any
+// recorded segment was erased, retired, or rewound since serialization,
+// which means the cleaner moved pre-cut-off blocks and the checkpoint can
+// no longer be trusted.
+func checkSegTable(dev *nand.Device, table []ckptSegRecord) (recorded map[int]ckptSegRecord, ok bool) {
+	recorded = make(map[int]ckptSegRecord, len(table))
+	for _, rec := range table {
+		if rec.seg < 0 || rec.seg >= dev.Config().Segments {
+			return nil, false
+		}
+		if dev.SegmentHealth(rec.seg) == nand.Retired {
+			return nil, false
+		}
+		if dev.EraseCount(rec.seg) != rec.erases {
+			return nil, false
+		}
+		if dev.NextFreeInSegment(rec.seg) < rec.prog {
+			return nil, false
+		}
+		recorded[rec.seg] = rec
+	}
+	return recorded, true
 }

@@ -18,6 +18,7 @@ import (
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
 	"iosnap/internal/sim"
 )
@@ -81,6 +82,21 @@ type Config struct {
 	// would dip into the reserve (and cannot force-clean their way out) are
 	// shed with ErrOutOfSpace. 0 behaves like the historical floor of 1.
 	RescueReserve int
+
+	// CheckpointInterval arms periodic background checkpointing: once at
+	// least this much virtual time has passed since the last checkpoint, the
+	// next head advance starts a paced checkpoint task. 0 disables the
+	// periodic mode (Close still writes a synchronous checkpoint). Periodic
+	// checkpoints only run when the NAND stores payloads
+	// (nand.Config.StoreData) — without payloads a checkpoint can never be
+	// read back.
+	CheckpointInterval sim.Duration
+
+	// CheckpointLimit paces the background checkpoint task's chunk
+	// programs, like the scrubber's budget: after Work time spent
+	// programming chunks, the task sleeps Sleep. The zero value is
+	// unlimited.
+	CheckpointLimit ratelimit.WorkSleep
 }
 
 // DefaultConfig returns a config over the given NAND geometry with the
@@ -169,6 +185,18 @@ type Stats struct {
 	SegmentsRetired  int   // refreshed on Stats()
 	OutOfSpaceWrites int64 // writes shed with ErrOutOfSpace
 	Degraded         bool  // write path currently shedding load, refreshed on Stats()
+
+	TornPagesSkipped int64 // unparseable headers dropped during recovery scans
+
+	Checkpoints       int64  // checkpoints committed (anchor updated)
+	CheckpointChunks  int64  // chunk pages programmed by committed checkpoints
+	CheckpointErrors  int64  // checkpoint attempts aborted by device errors
+	CheckpointLastErr string // most recent aborting error ("" when none)
+
+	RecoveryTailBounded bool  // this FTL came up via the checkpoint fast path
+	RecoveryFallbacks   int64 // tail-bounded attempts that fell back to a full scan
+	RecoverySegsScanned int64 // segments whose OOB headers recovery scanned
+	RecoveryHeaderPages int64 // header pages recovery scanned
 }
 
 // FTL is the vanilla log-structured translation layer. It is not safe for
@@ -195,6 +223,20 @@ type FTL struct {
 	stats    Stats
 
 	acct *gcAcct // incremental per-segment valid counters (gcacct.go)
+
+	// Checkpoint state. Chunk pages are never valid in the bitmap — they are
+	// consumed at recovery, not translated — so the pin set is what keeps the
+	// cleaner from erasing the newest durable checkpoint (and one in flight)
+	// out from under a future recovery; pinned pages are copy-forwarded like
+	// valid ones and the anchor follows them. anchorID/anchorAddrs mirror the
+	// device anchor; ckptInflight is the partial chunk list of a running
+	// background checkpoint task.
+	ckptActive   bool
+	lastCkpt     sim.Time
+	ckptPins     map[nand.PageAddr]bool
+	anchorID     uint64
+	anchorAddrs  []nand.PageAddr
+	ckptInflight []nand.PageAddr
 }
 
 // markValid sets a validity bit and keeps the per-segment counters exact.
@@ -234,6 +276,7 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 		validity:   bitmap.New(cfg.Nand.TotalPages()),
 		gcVictim:   -1,
 		segLastSeq: make([]uint64, cfg.Nand.Segments),
+		ckptPins:   make(map[nand.PageAddr]bool),
 	}
 	for s := cfg.Nand.Segments - 1; s >= 1; s-- {
 		f.freeSegs = append(f.freeSegs, s)
@@ -436,6 +479,7 @@ func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
 	f.usedSegs = append(f.usedSegs, f.headSeg)
 	f.acct.track(f.headSeg)
 	f.maybeScheduleGC(now)
+	f.maybeScheduleCheckpoint(now)
 	return now, nil
 }
 

@@ -188,7 +188,12 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		idx := cursor
 		cursor++
 		old := f.dev.Addr(victim, idx)
-		if !f.validity.Test(int64(old)) {
+		// Checkpoint chunks are never valid in the bitmap (they are consumed
+		// at recovery, not translated) but the pinned generation must survive
+		// cleaning: pinned pages are copied like valid ones and the anchor
+		// follows them.
+		pinned := f.ckptPins[old]
+		if !f.validity.Test(int64(old)) && !pinned {
 			continue
 		}
 		dst, _, err := f.allocPageGC(submit)
@@ -218,12 +223,18 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		if dseg := f.dev.SegmentOf(dst); h.Seq > f.segLastSeq[dseg] {
 			f.segLastSeq[dseg] = h.Seq
 		}
-		// Re-point the translation and move the validity bit.
-		if h.Type == header.TypeData {
-			f.fmap.Insert(h.LBA, uint64(dst))
+		if pinned {
+			// The pin and the anchor (or in-flight chunk list) follow the
+			// page; no translation or validity bit exists to move.
+			f.movePin(old, dst)
+		} else {
+			// Re-point the translation and move the validity bit.
+			if h.Type == header.TypeData {
+				f.fmap.Insert(h.LBA, uint64(dst))
+			}
+			f.markInvalid(int64(old))
+			f.markValid(int64(dst))
 		}
-		f.markInvalid(int64(old))
-		f.markValid(int64(dst))
 		f.stats.GCCopied++
 		copied++
 	}

@@ -91,16 +91,18 @@ func (a *gcAcct) bestGreedy() *segCounter {
 	var best *segCounter
 	for len(a.heap) > 0 {
 		top := a.heap[0]
-		if top.seg == f.headSeg || top.seg == f.gcVictim {
+		// A victim must itself hold reclaimable pages: cleaning a segment
+		// that is fully valid — counting pinned checkpoint chunks, which the
+		// cleaner copies but can never invalidate — reclaims nothing, burns
+		// an erase, and (picked repeatedly) would wedge the emergency-clean
+		// loop shuffling pins from segment to segment.
+		if top.seg == f.headSeg || top.seg == f.gcVictim ||
+			f.cfg.Nand.PagesPerSegment-a.valid[top.seg]-f.pinnedInSeg(top.seg) <= 0 {
 			a.heapRemove(top)
 			parked = append(parked, top)
 			continue
 		}
-		// A victim must itself hold invalid pages: cleaning a fully-valid
-		// segment reclaims nothing and burns an erase.
-		if f.cfg.Nand.PagesPerSegment-a.valid[top.seg] > 0 {
-			best = top
-		}
+		best = top
 		break
 	}
 	for _, e := range parked {
@@ -121,8 +123,8 @@ func (a *gcAcct) bestCostBenefit() *segCounter {
 			continue
 		}
 		valid := a.valid[seg]
-		invalid := pps - valid
-		if invalid == 0 {
+		invalid := pps - valid - f.pinnedInSeg(seg)
+		if invalid <= 0 {
 			continue
 		}
 		score := victimScore(VictimCostBenefit, invalid, valid, f.seq, f.segLastSeq[seg])

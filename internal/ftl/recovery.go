@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"iosnap/internal/bitmap"
+	"iosnap/internal/ckpt"
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
@@ -26,13 +27,26 @@ type ckptChunk struct {
 	addr  nand.PageAddr
 }
 
-// Recover reconstructs an FTL from an existing device by scanning every
-// segment's page headers. If the tail of the log holds a complete
-// checkpoint and the device stores payloads, the forward map is decoded
-// from it; otherwise the map is rebuilt by replaying translations with
-// last-write-wins ordering and bulk-loading the sorted result — the
-// paper's bottom-up reconstruction (§5.5.1).
+// Recover reconstructs an FTL from an existing device. If the device
+// anchor names a complete, still-trustworthy checkpoint, recovery is
+// tail-bounded: the forward map is bulk-loaded from the checkpoint and
+// only segments written since (per the checkpoint's segment table) have
+// their headers scanned. Anything wrong with the checkpoint — torn,
+// incomplete, or invalidated by cleaning since it was written — falls
+// back to the full header scan of every segment, the paper's bottom-up
+// reconstruction (§5.5.1).
 func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	return recoverFTL(cfg, dev, sched, now, false)
+}
+
+// RecoverFullScan reconstructs an FTL by the full header scan, ignoring
+// the checkpoint anchor. It is the reference path: tests and benchmarks
+// compare its result against tail-bounded recovery.
+func RecoverFullScan(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	return recoverFTL(cfg, dev, sched, now, true)
+}
+
+func recoverFTL(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time, forceFull bool) (*FTL, sim.Time, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, now, err
 	}
@@ -42,6 +56,27 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	if sched == nil {
 		sched = sim.NewScheduler()
 	}
+	tailAttempted := false
+	if !forceFull && dev.Anchor() != nil && cfg.Nand.StoreData {
+		tailAttempted = true
+		f, t, ok := tryTailRecover(cfg, dev, sched, now)
+		if ok {
+			return f, t, nil
+		}
+		now = t // virtual time spent probing the checkpoint is real
+	}
+	f, now, err := fullScanRecover(cfg, dev, sched, now)
+	if err != nil {
+		return nil, now, err
+	}
+	if tailAttempted {
+		f.stats.RecoveryFallbacks++
+	}
+	return f, now, nil
+}
+
+// recoverShell builds the empty FTL both recovery paths fill in.
+func recoverShell(cfg Config, dev *nand.Device, sched *sim.Scheduler) *FTL {
 	f := &FTL{
 		cfg:        cfg,
 		dev:        dev,
@@ -50,8 +85,59 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		validity:   bitmap.New(cfg.Nand.TotalPages()),
 		gcVictim:   -1,
 		segLastSeq: make([]uint64, cfg.Nand.Segments),
+		ckptPins:   make(map[nand.PageAddr]bool),
 	}
 	f.acct = newGCAcct(f)
+	return f
+}
+
+// scanSegment reads one segment's OOB headers into the recovery
+// accumulators, counting torn pages instead of silently dropping them.
+func (f *FTL) scanSegment(now sim.Time, seg int, entries *[]scanEntry, chunks *[]ckptChunk,
+	segUsed []bool, segMaxSeq []uint64, maxSeq *uint64) (sim.Time, error) {
+	oobs, done, err := f.devScanSegmentOOB(now, seg)
+	if err != nil {
+		return now, fmt.Errorf("ftl: scanning segment %d: %w", seg, err)
+	}
+	f.stats.RecoverySegsScanned++
+	f.stats.RecoveryHeaderPages += int64(f.cfg.Nand.PagesPerSegment)
+	for idx, oob := range oobs {
+		if oob == nil {
+			continue
+		}
+		segUsed[seg] = true
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			// Torn write at the crashed log tail: never acknowledged, so
+			// skipping it loses nothing; the cleaner reclaims the page. It
+			// is still evidence worth counting.
+			f.stats.TornPagesSkipped++
+			continue
+		}
+		if h.Seq > segMaxSeq[seg] {
+			segMaxSeq[seg] = h.Seq
+		}
+		if h.Seq > *maxSeq {
+			*maxSeq = h.Seq
+		}
+		addr := f.dev.Addr(seg, idx)
+		switch h.Type {
+		case header.TypeData:
+			*entries = append(*entries, scanEntry{lba: h.LBA, addr: addr, seq: h.Seq})
+		case header.TypeCheckpoint:
+			if chunks != nil {
+				*chunks = append(*chunks, ckptChunk{idx: h.LBA, total: h.Epoch, seq: h.Seq, addr: addr})
+			}
+		}
+	}
+	return done, nil
+}
+
+// fullScanRecover is the historical path: scan every live segment's
+// headers, prefer the newest complete checkpoint found on the log, and
+// replay translations on top.
+func fullScanRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	f := recoverShell(cfg, dev, sched)
 
 	var (
 		entries   []scanEntry
@@ -59,7 +145,6 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		segMaxSeq = make([]uint64, cfg.Nand.Segments)
 		segUsed   = make([]bool, cfg.Nand.Segments)
 		maxSeq    uint64
-		anyData   bool
 	)
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
 		if dev.SegmentHealth(seg) == nand.Retired {
@@ -68,39 +153,13 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			// last-write-wins replay over the rescued ones.
 			continue
 		}
-		oobs, done, err := f.devScanSegmentOOB(now, seg)
+		var err error
+		now, err = f.scanSegment(now, seg, &entries, &chunks, segUsed, segMaxSeq, &maxSeq)
 		if err != nil {
-			return nil, now, fmt.Errorf("ftl: scanning segment %d: %w", seg, err)
-		}
-		now = done
-		for idx, oob := range oobs {
-			if oob == nil {
-				continue
-			}
-			segUsed[seg] = true
-			h, err := header.Unmarshal(oob)
-			if err != nil {
-				// Torn write at the crashed log tail: never acknowledged, so
-				// skipping it loses nothing; the cleaner reclaims the page.
-				continue
-			}
-			if h.Seq > segMaxSeq[seg] {
-				segMaxSeq[seg] = h.Seq
-			}
-			if h.Seq > maxSeq {
-				maxSeq = h.Seq
-			}
-			addr := dev.Addr(seg, idx)
-			switch h.Type {
-			case header.TypeData:
-				anyData = true
-				entries = append(entries, scanEntry{lba: h.LBA, addr: addr, seq: h.Seq})
-			case header.TypeCheckpoint:
-				chunks = append(chunks, ckptChunk{idx: h.LBA, total: h.Epoch, seq: h.Seq, addr: addr})
-			}
+			return nil, now, err
 		}
 	}
-	if !anyData && len(chunks) == 0 && maxSeq == 0 {
+	if len(entries) == 0 && len(chunks) == 0 && maxSeq == 0 {
 		// Fresh device: recovery degenerates to formatting.
 		usedAny := false
 		for _, u := range segUsed {
@@ -133,10 +192,128 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		}
 		f.applyNewerEntries(newer)
 	} else {
+		// No usable checkpoint on the log: whatever the anchor pointed at
+		// is gone or untrustworthy, so drop it.
+		dev.SetAnchor(nil)
 		f.replayEntries(entries)
 	}
 
-	// Rebuild the log-order segment list (ascending max seq) and free pool.
+	now, err = f.rebuildGeometry(now, segUsed, segMaxSeq)
+	if err != nil {
+		return nil, now, err
+	}
+	return f, now, nil
+}
+
+// tryTailRecover attempts checkpoint-based recovery via the device anchor.
+// It mutates only the candidate FTL, never the device, so a failure at any
+// point simply discards the partial state and reports ok=false.
+func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, bool) {
+	anchor := dev.Anchor()
+	f := recoverShell(cfg, dev, sched)
+
+	// Read and validate every chunk the anchor names.
+	payloads := make([][]byte, 0, len(anchor.Addrs))
+	for _, addr := range anchor.Addrs {
+		oob, err := dev.PageOOB(addr)
+		if err != nil {
+			return nil, now, false
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil || h.Type != header.TypeCheckpoint {
+			return nil, now, false
+		}
+		payload, _, done, err := f.devReadPage(now, addr)
+		if err != nil {
+			return nil, now, false
+		}
+		now = done
+		payloads = append(payloads, payload)
+	}
+	stream, err := ckpt.Join(anchor.ID, payloads)
+	if err != nil {
+		return nil, now, false
+	}
+	id, ckptSeq, secs, err := ckpt.Decode(stream)
+	if err != nil || id != anchor.ID {
+		return nil, now, false
+	}
+	mapEntries, table, err := decodeCheckpointSections(secs)
+	if err != nil {
+		return nil, now, false
+	}
+	recorded, ok := checkSegTable(dev, table)
+	if !ok {
+		return nil, now, false
+	}
+
+	// Scan only segments that changed since the checkpoint; trust the
+	// table for the rest.
+	var (
+		entries   []scanEntry
+		segMaxSeq = make([]uint64, cfg.Nand.Segments)
+		segUsed   = make([]bool, cfg.Nand.Segments)
+		maxSeq    = ckptSeq
+	)
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		if dev.SegmentHealth(seg) == nand.Retired {
+			continue
+		}
+		rec, isRecorded := recorded[seg]
+		if isRecorded && dev.NextFreeInSegment(seg) == rec.prog {
+			// Unchanged since serialization: the table speaks for it.
+			segUsed[seg] = rec.prog > 0
+			segMaxSeq[seg] = rec.maxSeq
+			if rec.maxSeq > maxSeq {
+				maxSeq = rec.maxSeq
+			}
+			continue
+		}
+		if !isRecorded && dev.ProgrammedInSegment(seg) == 0 {
+			continue // still free
+		}
+		var err error
+		now, err = f.scanSegment(now, seg, &entries, nil, segUsed, segMaxSeq, &maxSeq)
+		if err != nil {
+			return nil, now, false
+		}
+		if isRecorded {
+			segUsed[seg] = segUsed[seg] || rec.prog > 0
+			if rec.maxSeq > segMaxSeq[seg] {
+				segMaxSeq[seg] = rec.maxSeq
+			}
+		}
+	}
+	f.seq = maxSeq
+
+	f.loadMapEntries(mapEntries)
+	newer := entries[:0]
+	for _, e := range entries {
+		if e.seq > ckptSeq {
+			newer = append(newer, e)
+		}
+	}
+	f.applyNewerEntries(newer)
+
+	// The anchor's chunks are live recovery state until superseded.
+	f.anchorID = anchor.ID
+	f.anchorAddrs = anchor.Addrs
+	for _, a := range anchor.Addrs {
+		f.ckptPins[a] = true
+	}
+
+	now, err = f.rebuildGeometry(now, segUsed, segMaxSeq)
+	if err != nil {
+		return nil, now, false
+	}
+	f.stats.RecoveryTailBounded = true
+	return f, now, true
+}
+
+// rebuildGeometry reconstructs the segment pools and log head from the
+// per-segment summaries either recovery path produced.
+func (f *FTL) rebuildGeometry(now sim.Time, segUsed []bool, segMaxSeq []uint64) (sim.Time, error) {
+	cfg, dev := f.cfg, f.dev
 	type segOrder struct {
 		seg int
 		seq uint64
@@ -152,7 +329,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			f.freeSegs = append(f.freeSegs, seg)
 		}
 	}
-	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
+	sort.SliceStable(used, func(i, j int) bool { return used[i].seq < used[j].seq })
 	for _, u := range used {
 		f.usedSegs = append(f.usedSegs, u.seg)
 	}
@@ -168,7 +345,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			f.headSeg, f.headIdx = last, next
 		} else {
 			if len(f.freeSegs) == 0 {
-				return nil, now, ErrDeviceFull
+				return now, ErrDeviceFull
 			}
 			f.headSeg = f.freeSegs[0]
 			f.freeSegs = f.freeSegs[1:]
@@ -177,7 +354,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		}
 	} else {
 		if len(f.freeSegs) == 0 {
-			return nil, now, ErrUnformatted
+			return now, ErrUnformatted
 		}
 		f.headSeg = f.freeSegs[0]
 		f.freeSegs = f.freeSegs[1:]
@@ -190,59 +367,112 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		f.acct.track(s)
 	}
 	f.maybeScheduleGC(now)
-	return f, now, nil
+	return now, nil
 }
 
-// loadCheckpoint tries to decode the newest complete checkpoint. It returns
-// loaded=false (and no error) when none is usable — including on devices
-// that do not store payloads. maxSeq is the newest sequence number covered
-// by the checkpoint; data entries beyond it must be replayed on top.
-func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, sim.Time, error) {
-	if len(chunks) == 0 || !f.cfg.Nand.StoreData {
-		return false, 0, now, nil
-	}
-	// Group by total+contiguous seq run: the newest checkpoint is the set of
-	// chunks with the highest seq numbers. Sort descending by seq and take
-	// the first `total` chunks; verify indices cover 0..total-1.
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i].seq > chunks[j].seq })
-	total := chunks[0].total
-	maxSeq := chunks[0].seq
-	if total == 0 || uint64(len(chunks)) < total {
-		return false, 0, now, nil
-	}
-	sel := chunks[:total]
-	seen := make(map[uint64]ckptChunk, total)
-	for _, c := range sel {
-		if c.total != total {
-			return false, 0, now, nil // mixed generations: incomplete tail
-		}
-		seen[c.idx] = c
-	}
-	if uint64(len(seen)) != total {
-		return false, 0, now, nil
-	}
-	var entries []ftlmap.Entry
-	for i := uint64(0); i < total; i++ {
-		c := seen[i]
-		payload, _, done, err := f.devReadPage(now, c.addr)
-		if err != nil {
-			return false, 0, now, fmt.Errorf("ftl: reading checkpoint chunk %d: %w", i, err)
-		}
-		now = done
-		pairs, err := decodeCheckpointChunk(payload)
-		if err != nil {
-			return false, 0, now, err
-		}
-		for _, p := range pairs {
-			entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
-		}
+// loadMapEntries bulk-loads checkpointed translations and marks their
+// backing pages valid.
+func (f *FTL) loadMapEntries(pairs [][2]uint64) {
+	entries := make([]ftlmap.Entry, 0, len(pairs))
+	for _, p := range pairs {
+		entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	f.fmap = ftlmap.BulkLoad(entries, 1.0)
 	for _, e := range entries {
 		f.markValid(int64(e.Val))
 	}
-	return true, maxSeq, now, nil
+}
+
+// loadCheckpoint tries to decode the newest complete checkpoint found by
+// the full scan. Chunks are grouped by the generation tag each chunk
+// carries — an index-set check alone would accept a "complete-looking"
+// interleaving of two generations — and a group is used only if its index
+// set covers {0..total-1}, its stream checksum verifies, and its segment
+// table still describes the device. It returns loaded=false (and no
+// error) when no group qualifies — including on devices that do not store
+// payloads.
+func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, sim.Time, error) {
+	if len(chunks) == 0 || !f.cfg.Nand.StoreData {
+		return false, 0, now, nil
+	}
+	// Group chunk payloads by generation tag.
+	type chunkPage struct {
+		ckptChunk
+		payload []byte
+	}
+	groups := make(map[uint64][]chunkPage)
+	for _, c := range chunks {
+		payload, _, done, err := f.devReadPage(now, c.addr)
+		if err != nil {
+			// A vanishing chunk disqualifies only its generation.
+			continue
+		}
+		now = done
+		id, ok := ckpt.ChunkID(payload)
+		if !ok {
+			continue
+		}
+		groups[id] = append(groups[id], chunkPage{c, payload})
+	}
+	// Try generations newest-first.
+	ids := make([]uint64, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	for _, id := range ids {
+		group := groups[id]
+		total := group[0].total
+		if total == 0 || uint64(len(group)) < total {
+			continue
+		}
+		byIdx := make(map[uint64]chunkPage, total)
+		consistent := true
+		for _, c := range group {
+			if c.total != total || c.idx >= total {
+				consistent = false
+				break
+			}
+			byIdx[c.idx] = c
+		}
+		if !consistent || uint64(len(byIdx)) != total {
+			continue // incomplete: some chunks were reclaimed or never written
+		}
+		ordered := make([][]byte, total)
+		for i := uint64(0); i < total; i++ {
+			ordered[i] = byIdx[i].payload
+		}
+		stream, err := ckpt.Join(id, ordered)
+		if err != nil {
+			continue
+		}
+		decID, ckptSeq, secs, err := ckpt.Decode(stream)
+		if err != nil || decID != id {
+			continue
+		}
+		mapEntries, table, err := decodeCheckpointSections(secs)
+		if err != nil {
+			continue
+		}
+		if _, ok := checkSegTable(f.dev, table); !ok {
+			continue // the cleaner moved pre-cut-off blocks since; stale
+		}
+		f.loadMapEntries(mapEntries)
+		// Re-pin and re-anchor the winning generation so the cleaner keeps
+		// honoring it after this reopen.
+		f.anchorID = id
+		f.anchorAddrs = nil
+		for i := uint64(0); i < total; i++ {
+			f.anchorAddrs = append(f.anchorAddrs, byIdx[i].addr)
+		}
+		for _, a := range f.anchorAddrs {
+			f.ckptPins[a] = true
+		}
+		f.dev.SetAnchor(&nand.Anchor{ID: id, Addrs: f.anchorAddrs})
+		return true, ckptSeq, now, nil
+	}
+	return false, 0, now, nil
 }
 
 // applyNewerEntries overlays post-checkpoint translations (last write wins)
@@ -272,13 +502,9 @@ func (f *FTL) replayEntries(entries []scanEntry) {
 			winners[e.lba] = e
 		}
 	}
-	sorted := make([]ftlmap.Entry, 0, len(winners))
+	pairs := make([][2]uint64, 0, len(winners))
 	for lba, e := range winners {
-		sorted = append(sorted, ftlmap.Entry{Key: lba, Val: uint64(e.addr)})
+		pairs = append(pairs, [2]uint64{lba, uint64(e.addr)})
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
-	f.fmap = ftlmap.BulkLoad(sorted, 1.0)
-	for _, e := range sorted {
-		f.markValid(int64(e.Val))
-	}
+	f.loadMapEntries(pairs)
 }

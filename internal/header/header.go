@@ -25,8 +25,27 @@ const (
 	TypeSnapDelete
 	TypeSnapActivate
 	TypeSnapDeactivate
-	TypeCheckpoint // serialized forward-map chunk written at clean shutdown
+	TypeCheckpoint // vanilla-FTL checkpoint chunk (map + segment table)
+
+	// ioSnap checkpoint chunk streams: each section kind is its own chunk
+	// sequence, with chunk index in LBA and chunk total in Epoch (the same
+	// convention TypeCheckpoint uses). Note that for all four checkpoint
+	// types LBA/Epoch are NOT a logical address / epoch number.
+	TypeCkptMap   // active forward map
+	TypeCkptTree  // snapshot tree, epoch graph, counters, segment table
+	TypeCkptValid // per-epoch CoW validity pages
 )
+
+// IsCheckpoint reports whether t tags a checkpoint chunk of either FTL —
+// pages whose LBA/Epoch fields are chunk coordinates, which recovery
+// replay and the cleaner's presence/remap bookkeeping must skip.
+func (t Type) IsCheckpoint() bool {
+	switch t {
+	case TypeCheckpoint, TypeCkptMap, TypeCkptTree, TypeCkptValid:
+		return true
+	}
+	return false
+}
 
 func (t Type) String() string {
 	switch t {
@@ -42,6 +61,12 @@ func (t Type) String() string {
 		return "snap-deactivate"
 	case TypeCheckpoint:
 		return "checkpoint"
+	case TypeCkptMap:
+		return "ckpt-map"
+	case TypeCkptTree:
+		return "ckpt-tree"
+	case TypeCkptValid:
+		return "ckpt-valid"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

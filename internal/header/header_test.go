@@ -57,9 +57,25 @@ func TestTypeString(t *testing.T) {
 		TypeSnapActivate:   "snap-activate",
 		TypeSnapDeactivate: "snap-deactivate",
 		TypeCheckpoint:     "checkpoint",
+		TypeCkptMap:        "ckpt-map",
+		TypeCkptTree:       "ckpt-tree",
+		TypeCkptValid:      "ckpt-valid",
 	} {
 		if typ.String() != want {
 			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestIsCheckpoint(t *testing.T) {
+	for _, typ := range []Type{TypeCheckpoint, TypeCkptMap, TypeCkptTree, TypeCkptValid} {
+		if !typ.IsCheckpoint() {
+			t.Errorf("%v.IsCheckpoint() = false", typ)
+		}
+	}
+	for _, typ := range []Type{TypeInvalid, TypeData, TypeSnapCreate, TypeSnapDelete, TypeSnapActivate, TypeSnapDeactivate} {
+		if typ.IsCheckpoint() {
+			t.Errorf("%v.IsCheckpoint() = true", typ)
 		}
 	}
 }

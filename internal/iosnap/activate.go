@@ -354,7 +354,7 @@ func (a *Activation) Run(now sim.Time) (sim.Time, bool) {
 
 	// Build the compact (bulk-loaded) tree and publish the view.
 	fm := ftlmap.BulkLoad(a.sorted, 1.0)
-	v := &view{fmap: fm, epoch: a.epoch, writable: a.writable, parent: a.snap}
+	v := &view{fmap: fm, epoch: a.epoch, writable: a.writable, parent: a.snap, fromActivation: true}
 	f.views = append(f.views, v)
 	// The view's epoch just moved from the "frozen" to the "backs a view"
 	// class without the epoch set changing; invalidate the merge caches.

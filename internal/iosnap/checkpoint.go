@@ -1,0 +1,550 @@
+package iosnap
+
+import (
+	"fmt"
+	"sort"
+
+	"iosnap/internal/bitmap"
+	"iosnap/internal/ckpt"
+	"iosnap/internal/header"
+	"iosnap/internal/nand"
+	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
+	"iosnap/internal/sim"
+)
+
+// Snapshot-aware checkpointing. A checkpoint captures, at one serialization
+// instant, everything ioSnap's full-scan recovery would otherwise rebuild
+// from the whole log:
+//
+//   - the active forward map (TypeCkptMap chunks);
+//   - the snapshot tree, the epoch counter, and a segment table with each
+//     used segment's erase count, programmed-page count, newest sequence
+//     number, and epoch-presence summary (TypeCkptTree chunks);
+//   - every epoch's validity delta — its CoW-owned bitmap pages plus its
+//     parent link and deleted mark (TypeCkptValid chunks).
+//
+// Each of the three streams is framed and checksummed by the shared codec
+// (internal/ckpt) and split into sector-sized chunks; a chunk's OOB header
+// carries its stream type, its index (LBA field), and the stream's total
+// chunk count (Epoch field). The device anchor — updated atomically only at
+// commit, like a checkpoint pack — names every chunk of the committed
+// generation, and those pages are pinned so the cleaner copies them forward
+// instead of reclaiming them. ckptID = ckptSeq = f.seq at serialization:
+// recovery bulk-loads the checkpoint and replays only records newer than
+// the cut-off, falling back to the full scan whenever anything about the
+// generation cannot be proven intact.
+//
+// Epochs that provably die at crash recovery — the epoch of an in-flight
+// activation, or a view epoch still on its activation note — are serialized
+// as already-deleted ("dead-epoch normalization"), so a tail-bounded
+// recovery reproduces the same epoch liveness the full scan derives from
+// the note history.
+
+// Section kinds inside the three ioSnap checkpoint streams.
+const (
+	ckptSecMap   = 1 // active map: count, then count × (lba, addr)
+	ckptSecTree  = 2 // counter, active epoch, snapshots, segment table
+	ckptSecValid = 3 // per-epoch parent/deleted/owned validity pages
+)
+
+// ckptSnapRec is one serialized snapshot-tree node.
+type ckptSnapRec struct {
+	id       SnapshotID
+	epoch    bitmap.Epoch
+	parentID SnapshotID // 0 = no parent
+	deleted  bool
+	noteAddr nand.PageAddr
+}
+
+// ckptSegRec is one used segment's identity at serialization time.
+type ckptSegRec struct {
+	seg      int
+	erases   int
+	prog     int
+	maxSeq   uint64
+	presence []bitmap.Epoch // epoch-presence summary, ascending
+}
+
+// ckptEpochRec is one epoch's serialized validity delta.
+type ckptEpochRec struct {
+	epoch   bitmap.Epoch
+	parent  bitmap.Epoch // bitmap.NoParent for the root
+	deleted bool         // normalized: includes epochs that die at recovery
+	pages   []bitmap.OwnedPage
+}
+
+// ckptTreeState is the decoded tree stream.
+type ckptTreeState struct {
+	counter bitmap.Epoch
+	active  bitmap.Epoch
+	snaps   []ckptSnapRec
+	table   []ckptSegRec
+}
+
+// ckptChunkJob is one chunk awaiting its program, with the stream identity
+// its OOB header must carry.
+type ckptChunkJob struct {
+	typ   header.Type
+	data  []byte
+	idx   int
+	total int
+}
+
+// ckptEpochDies reports whether epoch e, live right now, would be dead
+// after a crash: full-scan recovery deletes the epoch of every activation
+// that never froze into a snapshot. Serializing such epochs as deleted
+// keeps tail-bounded recovery byte-compatible with the scan.
+func (f *FTL) ckptEpochDies(e bitmap.Epoch) bool {
+	for _, v := range f.views {
+		if v != f.active && v.epoch == e && v.fromActivation {
+			return true
+		}
+	}
+	for _, a := range f.activations {
+		if a.epoch == e {
+			return true
+		}
+	}
+	return false
+}
+
+// serializeCheckpoint captures the three streams at one instant and returns
+// the checkpoint identity plus every chunk to program.
+func (f *FTL) serializeCheckpoint() (uint64, []ckptChunkJob, error) {
+	ckptID := f.seq
+
+	// Stream 1: the active forward map.
+	var mw ckpt.Writer
+	mw.U64(uint64(f.active.fmap.Len()))
+	f.active.fmap.All(func(lba, addr uint64) bool {
+		mw.U64(lba)
+		mw.U64(addr)
+		return true
+	})
+
+	// Stream 2: epoch counter, active epoch, snapshot tree, segment table.
+	var tw ckpt.Writer
+	tw.U64(uint64(f.epochCounter))
+	tw.U64(uint64(f.active.epoch))
+	ids := f.tree.IDs()
+	tw.U32(uint32(len(ids)))
+	for _, id := range ids {
+		s, _ := f.tree.Lookup(id)
+		tw.U64(uint64(s.ID))
+		tw.U64(uint64(s.Epoch))
+		if s.Parent != nil {
+			tw.U64(uint64(s.Parent.ID))
+		} else {
+			tw.U64(0)
+		}
+		tw.Bool(s.Deleted)
+		tw.U64(uint64(s.noteAddr))
+	}
+	tw.U32(uint32(len(f.usedSegs)))
+	for _, s := range f.usedSegs {
+		tw.U32(uint32(s))
+		tw.U32(uint32(f.dev.EraseCount(s)))
+		tw.U32(uint32(f.dev.NextFreeInSegment(s)))
+		tw.U64(f.segLastSeq[s])
+		eps := make([]bitmap.Epoch, 0, f.presence.count(s))
+		for e := range f.presence.segs[s] {
+			eps = append(eps, e)
+		}
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+		tw.U32(uint32(len(eps)))
+		for _, e := range eps {
+			tw.U64(uint64(e))
+		}
+	}
+
+	// Stream 3: per-epoch validity deltas, ascending (parents first: epoch
+	// numbers grow downward through the inheritance graph).
+	var vw ckpt.Writer
+	vw.U64(uint64(f.vstore.BitsPerPage()))
+	epochs := f.vstore.Epochs()
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	vw.U32(uint32(len(epochs)))
+	for _, e := range epochs {
+		vw.U64(uint64(e))
+		if p, ok := f.epochParent[e]; ok {
+			vw.U64(uint64(p))
+		} else {
+			vw.U64(uint64(bitmap.NoParent))
+		}
+		vw.Bool(f.vstore.Deleted(e) || f.ckptEpochDies(e))
+		pages := f.vstore.ExportEpoch(e)
+		vw.U32(uint32(len(pages)))
+		for _, pg := range pages {
+			vw.U64(uint64(pg.PageIdx))
+			for _, w := range pg.Words {
+				vw.U64(w)
+			}
+		}
+	}
+
+	var jobs []ckptChunkJob
+	for _, st := range []struct {
+		typ  header.Type
+		kind uint8
+		data []byte
+	}{
+		{header.TypeCkptMap, ckptSecMap, mw.B},
+		{header.TypeCkptTree, ckptSecTree, tw.B},
+		{header.TypeCkptValid, ckptSecValid, vw.B},
+	} {
+		stream := ckpt.Encode(ckptID, ckptID, []ckpt.Section{{Kind: st.kind, Data: st.data}})
+		chunks, err := ckpt.Split(ckptID, stream, f.cfg.Nand.SectorSize)
+		if err != nil {
+			return 0, nil, fmt.Errorf("iosnap: chunking %v stream: %w", st.typ, err)
+		}
+		for i, c := range chunks {
+			jobs = append(jobs, ckptChunkJob{typ: st.typ, data: c, idx: i, total: len(chunks)})
+		}
+	}
+	return ckptID, jobs, nil
+}
+
+// programCkptChunk appends one chunk at the log head and pins it against
+// the cleaner. Chunk pages are never validity-marked — they are consumed at
+// recovery, not translated — so the pin is their only protection. A failed
+// program rolls back the allocation and seals the head on permanent media
+// failure, like every other program path.
+func (f *FTL) programCkptChunk(now sim.Time, job ckptChunkJob) (nand.PageAddr, sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return 0, now, fmt.Errorf("iosnap: allocating checkpoint page: %w", err)
+	}
+	f.seq++
+	h := header.Header{Type: job.typ, LBA: uint64(job.idx), Epoch: uint64(job.total), Seq: f.seq}
+	done, err := f.devProgramPage(now, addr, job.data, h.Marshal())
+	if err != nil {
+		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead()
+		}
+		return 0, now, fmt.Errorf("iosnap: writing %v chunk %d: %w", job.typ, job.idx, err)
+	}
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
+	f.ckptPins[addr] = true
+	return addr, done, nil
+}
+
+// commitCheckpoint atomically publishes a fully-programmed generation: the
+// device anchor flips and the superseded generation's pins drop.
+func (f *FTL) commitCheckpoint(now sim.Time, ckptID uint64, addrs []nand.PageAddr) {
+	for _, a := range f.anchorAddrs {
+		delete(f.ckptPins, a)
+	}
+	f.anchorID = ckptID
+	f.anchorAddrs = addrs
+	f.dev.SetAnchor(&nand.Anchor{ID: ckptID, Addrs: addrs})
+	f.lastCkpt = now
+	f.stats.Checkpoints++
+	f.stats.CheckpointChunks += int64(len(addrs))
+}
+
+// movePin follows a copy-forwarded chunk: the pin moves with the page and
+// whichever list names it — the committed anchor or the in-flight chunk
+// list — is updated in place. A moved anchor chunk republishes the device
+// anchor so recovery still finds every chunk.
+func (f *FTL) movePin(old, dst nand.PageAddr) {
+	delete(f.ckptPins, old)
+	f.ckptPins[dst] = true
+	for i, a := range f.anchorAddrs {
+		if a == old {
+			f.anchorAddrs[i] = dst
+			f.dev.SetAnchor(&nand.Anchor{ID: f.anchorID, Addrs: f.anchorAddrs})
+			return
+		}
+	}
+	for i, a := range f.ckptInflight {
+		if a == old {
+			f.ckptInflight[i] = dst
+			return
+		}
+	}
+}
+
+// abortCheckpoint unpins a partial generation; the previous anchor stays.
+func (f *FTL) abortCheckpoint(addrs []nand.PageAddr, err error) {
+	for _, a := range addrs {
+		delete(f.ckptPins, a)
+	}
+	f.stats.CheckpointErrors++
+	f.stats.CheckpointLastErr = err.Error()
+}
+
+// writeCheckpoint synchronously serializes and programs a checkpoint (the
+// Close path).
+func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
+	ckptID, jobs, err := f.serializeCheckpoint()
+	if err != nil {
+		f.stats.CheckpointErrors++
+		f.stats.CheckpointLastErr = err.Error()
+		return now, err
+	}
+	f.ckptActive = true
+	defer func() { f.ckptActive = false }()
+	var addrs []nand.PageAddr
+	for _, job := range jobs {
+		var addr nand.PageAddr
+		addr, now, err = f.programCkptChunk(now, job)
+		if err != nil {
+			f.abortCheckpoint(addrs, err)
+			return now, err
+		}
+		addrs = append(addrs, addr)
+	}
+	f.commitCheckpoint(now, ckptID, addrs)
+	return now, nil
+}
+
+// maybeScheduleCheckpoint arms the periodic background checkpoint from the
+// head-advance path, the same way the cleaner and scrubber are armed.
+func (f *FTL) maybeScheduleCheckpoint(now sim.Time) {
+	if f.ckptActive || f.closed || f.cfg.CheckpointInterval <= 0 || !f.cfg.Nand.StoreData {
+		return
+	}
+	if now.Sub(f.lastCkpt) < f.cfg.CheckpointInterval {
+		return
+	}
+	f.startCheckpoint(now)
+}
+
+// StartCheckpoint forces a background checkpoint now (tests and tools). It
+// reports whether a task was scheduled.
+func (f *FTL) StartCheckpoint(now sim.Time) bool {
+	if f.ckptActive || f.closed || !f.cfg.Nand.StoreData {
+		return false
+	}
+	return f.startCheckpoint(now)
+}
+
+// CheckpointActive reports whether a checkpoint is being written.
+func (f *FTL) CheckpointActive() bool { return f.ckptActive }
+
+func (f *FTL) startCheckpoint(now sim.Time) bool {
+	ckptID, jobs, err := f.serializeCheckpoint()
+	if err != nil {
+		f.stats.CheckpointErrors++
+		f.stats.CheckpointLastErr = err.Error()
+		return false
+	}
+	f.ckptActive = true
+	f.ckptInflight = nil
+	f.sched.Schedule(now, &ckptTask{
+		f:      f,
+		id:     ckptID,
+		jobs:   jobs,
+		budget: ratelimit.NewBudget(f.cfg.CheckpointLimit),
+	})
+	return true
+}
+
+// ckptTask programs a serialized generation's chunks under the WorkSleep
+// budget. The streams were captured at scheduling time, so foreground
+// writes that land between quanta carry seq > ckptSeq and are replayed on
+// top at recovery — the checkpoint stays consistent without stalling
+// writers.
+type ckptTask struct {
+	f      *FTL
+	id     uint64
+	jobs   []ckptChunkJob
+	next   int
+	budget *ratelimit.Budget
+}
+
+// Name implements sim.Task.
+func (t *ckptTask) Name() string { return fmt.Sprintf("iosnap-checkpoint(%d)", t.id) }
+
+// Run implements sim.Task: one budgeted batch of chunk programs.
+func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
+	f := t.f
+	if f.closed {
+		// Close wrote its own synchronous checkpoint, superseding this one.
+		for _, a := range f.ckptInflight {
+			delete(f.ckptPins, a)
+		}
+		f.ckptInflight = nil
+		f.ckptActive = false
+		return 0, true
+	}
+	start := now
+	for programmed := 0; t.next < len(t.jobs) && programmed < f.cfg.GCChunk; programmed++ {
+		addr, done, err := f.programCkptChunk(now, t.jobs[t.next])
+		if err != nil {
+			f.abortCheckpoint(f.ckptInflight, err)
+			f.ckptInflight = nil
+			f.ckptActive = false
+			return 0, true
+		}
+		f.ckptInflight = append(f.ckptInflight, addr)
+		t.next++
+		now = done
+	}
+	if t.next < len(t.jobs) {
+		if sleep, exhausted := t.budget.Charge(now.Sub(start)); exhausted {
+			return now.Add(sleep), false
+		}
+		return now, false
+	}
+	f.commitCheckpoint(now, t.id, f.ckptInflight)
+	f.ckptInflight = nil
+	f.ckptActive = false
+	return 0, true
+}
+
+// orPinsInto overlays the victim's pinned chunk pages onto its merged
+// validity clone so the cleaner's copy order visits them: chunks are valid
+// in no epoch, but the committed (or in-flight) generation must survive
+// cleaning.
+func (f *FTL) orPinsInto(victim int, merged *bitmap.Bitmap) {
+	for a := range f.ckptPins {
+		if f.dev.SegmentOf(a) == victim {
+			merged.Set(int64(f.dev.PageIndexOf(a)))
+		}
+	}
+}
+
+// pinnedInSeg counts checkpoint-chunk pins in seg. Victim scoring must
+// treat them as live: a segment full of pinned chunks has zero valid bits
+// yet cleaning it reclaims nothing — picking it anyway would let the
+// emergency-clean loop churn forever moving pins from segment to segment.
+func (f *FTL) pinnedInSeg(seg int) int {
+	n := 0
+	for a := range f.ckptPins {
+		if f.dev.SegmentOf(a) == seg {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- Decode helpers (recovery side). ----
+
+func decodeCkptMap(secs []ckpt.Section) ([][2]uint64, error) {
+	for _, s := range secs {
+		if s.Kind != ckptSecMap {
+			continue
+		}
+		r := ckpt.Reader{B: s.Data}
+		n := r.U64()
+		entries := make([][2]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			lba, addr := r.U64(), r.U64()
+			entries = append(entries, [2]uint64{lba, addr})
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("iosnap: checkpoint map section: %w", r.Err())
+		}
+		return entries, nil
+	}
+	return nil, fmt.Errorf("iosnap: checkpoint map section missing")
+}
+
+func decodeCkptTree(secs []ckpt.Section) (*ckptTreeState, error) {
+	for _, s := range secs {
+		if s.Kind != ckptSecTree {
+			continue
+		}
+		r := ckpt.Reader{B: s.Data}
+		st := &ckptTreeState{
+			counter: bitmap.Epoch(r.U64()),
+			active:  bitmap.Epoch(r.U64()),
+		}
+		nSnaps := r.U32()
+		for i := uint32(0); i < nSnaps; i++ {
+			st.snaps = append(st.snaps, ckptSnapRec{
+				id:       SnapshotID(r.U64()),
+				epoch:    bitmap.Epoch(r.U64()),
+				parentID: SnapshotID(r.U64()),
+				deleted:  r.Bool(),
+				noteAddr: nand.PageAddr(r.U64()),
+			})
+		}
+		nSegs := r.U32()
+		for i := uint32(0); i < nSegs; i++ {
+			rec := ckptSegRec{
+				seg:    int(r.U32()),
+				erases: int(r.U32()),
+				prog:   int(r.U32()),
+				maxSeq: r.U64(),
+			}
+			nEps := r.U32()
+			for j := uint32(0); j < nEps; j++ {
+				rec.presence = append(rec.presence, bitmap.Epoch(r.U64()))
+			}
+			st.table = append(st.table, rec)
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("iosnap: checkpoint tree section: %w", r.Err())
+		}
+		return st, nil
+	}
+	return nil, fmt.Errorf("iosnap: checkpoint tree section missing")
+}
+
+func decodeCkptValid(secs []ckpt.Section, bitsPerPage int64) ([]ckptEpochRec, error) {
+	for _, s := range secs {
+		if s.Kind != ckptSecValid {
+			continue
+		}
+		r := ckpt.Reader{B: s.Data}
+		if got := int64(r.U64()); got != bitsPerPage {
+			return nil, fmt.Errorf("iosnap: checkpoint bitmap granularity %d, store uses %d", got, bitsPerPage)
+		}
+		words := int(bitsPerPage / 64)
+		nEpochs := r.U32()
+		var out []ckptEpochRec
+		for i := uint32(0); i < nEpochs; i++ {
+			er := ckptEpochRec{
+				epoch:   bitmap.Epoch(r.U64()),
+				parent:  bitmap.Epoch(r.U64()),
+				deleted: r.Bool(),
+			}
+			nPages := r.U32()
+			for j := uint32(0); j < nPages; j++ {
+				pg := bitmap.OwnedPage{PageIdx: int64(r.U64()), Words: make([]uint64, words)}
+				for w := 0; w < words; w++ {
+					pg.Words[w] = r.U64()
+				}
+				er.pages = append(er.pages, pg)
+			}
+			out = append(out, er)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("iosnap: checkpoint validity section: %w", r.Err())
+			}
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("iosnap: checkpoint validity section: %w", r.Err())
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("iosnap: checkpoint validity section missing")
+}
+
+// checkSegTable decides whether a checkpoint's segment table still
+// describes the device, returning the recorded-segment index. ok=false
+// means a recorded segment was erased, retired, or rewound since
+// serialization — the cleaner moved pre-cut-off blocks, so the generation
+// is stale and recovery must fall back to the full scan.
+func checkSegTable(dev *nand.Device, table []ckptSegRec) (recorded map[int]ckptSegRec, ok bool) {
+	recorded = make(map[int]ckptSegRec, len(table))
+	for _, rec := range table {
+		if rec.seg < 0 || rec.seg >= dev.Config().Segments {
+			return nil, false
+		}
+		if dev.SegmentHealth(rec.seg) == nand.Retired {
+			return nil, false
+		}
+		if dev.EraseCount(rec.seg) != rec.erases {
+			return nil, false
+		}
+		if dev.NextFreeInSegment(rec.seg) < rec.prog {
+			return nil, false
+		}
+		recorded[rec.seg] = rec
+	}
+	return recorded, true
+}

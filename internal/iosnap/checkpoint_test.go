@@ -1,0 +1,532 @@
+package iosnap
+
+import (
+	"bytes"
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// duplicateDevice clones the scenario's device twice via the image
+// round-trip, so tail-bounded and full-scan recovery can each run against
+// an identical copy of the crashed media (full-scan recovery clears the
+// anchor, so the two legs must not share a device).
+func duplicateDevice(t *testing.T, dev *nand.Device) (*nand.Device, *nand.Device) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dev.SaveImage(&buf); err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+	a, err := nand.LoadImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	b, err := nand.LoadImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadImage: %v", err)
+	}
+	return a, b
+}
+
+// ckptConfig: testConfig on a 64-segment device. A post-checkpoint erase
+// legitimately invalidates the generation (its segment table and forward map
+// describe pre-erase media), so the tail-path tests need enough headroom
+// that the tail written after the checkpoint never triggers cleaning; the
+// fallback tests cover the opposite case.
+func ckptConfig() Config {
+	cfg := testConfig()
+	cfg.Nand.Segments = 64
+	return cfg
+}
+
+func ckptScenario(t *testing.T, seed uint64, steps int) *crashScenario {
+	t.Helper()
+	f, err := New(ckptConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return driveScenario(t, f, seed, steps)
+}
+
+// tailChurn appends post-checkpoint activity — writes, one snapshot create,
+// one snapshot delete — so recovery has a real tail to replay on top of the
+// checkpointed state.
+func tailChurn(t *testing.T, s *crashScenario, seed uint64) {
+	t.Helper()
+	f := s.f
+	ss := f.SectorSize()
+	rng := sim.NewRNG(seed)
+	write := func(i int) {
+		f.sched.RunUntil(s.now)
+		lba := rng.Int63n(70)
+		v := byte(200 + i%50)
+		d, err := f.Write(s.now, lba, sectorPattern(ss, lba, v))
+		if err != nil {
+			t.Fatalf("tail write: %v", err)
+		}
+		s.model[lba] = v
+		s.now = d
+	}
+	for i := 0; i < 8; i++ {
+		write(i)
+	}
+	snap, d, err := f.CreateSnapshot(s.now)
+	if err != nil {
+		t.Fatalf("tail create: %v", err)
+	}
+	s.now = d
+	frozen := make(map[int64]byte, len(s.model))
+	for k, v := range s.model {
+		frozen[k] = v
+	}
+	s.snapState[snap.ID] = frozen
+	for i := 8; i < 16; i++ {
+		write(i)
+	}
+	// Delete a pre-checkpoint snapshot if one is still live, exercising
+	// delete-note replay against checkpointed tree state; otherwise delete
+	// the one just created.
+	victim := snap.ID
+	for _, sn := range f.Snapshots() {
+		if sn.ID != snap.ID {
+			victim = sn.ID
+			break
+		}
+	}
+	if d, err := f.DeleteSnapshot(s.now, victim); err == nil {
+		s.now = d
+		s.deleted[victim] = true
+	}
+	for i := 16; i < 24; i++ {
+		write(i)
+	}
+	s.now = f.sched.Drain(s.now)
+}
+
+func verifyModel(t *testing.T, f *FTL, now sim.Time, model map[int64]byte) {
+	t.Helper()
+	buf := make([]byte, f.SectorSize())
+	for lba, v := range model {
+		if _, err := f.Read(now, lba, buf); err != nil {
+			t.Fatalf("read LBA %d: %v", lba, err)
+		}
+		if !bytes.Equal(buf, sectorPattern(f.SectorSize(), lba, v)) {
+			t.Fatalf("LBA %d wrong after recovery", lba)
+		}
+	}
+}
+
+// TestCloseWritesCheckpoint: a clean shutdown leaves an anchored checkpoint
+// generation behind, and the next mount takes the tail-bounded path.
+func TestCloseWritesCheckpoint(t *testing.T) {
+	s := runScenario(t, 7, 250)
+	f := s.f
+	now, err := f.Close(s.now)
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := f.Stats()
+	if st.Checkpoints < 1 || st.CheckpointChunks < 3 {
+		t.Fatalf("Close wrote no checkpoint: %+v", st)
+	}
+	if f.Device().Anchor() == nil {
+		t.Fatal("no anchor after Close")
+	}
+	r, now, err := Recover(f.Config(), f.Device(), nil, now)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !r.Stats().RecoveryTailBounded {
+		t.Fatal("recovery after clean Close did not take the tail-bounded path")
+	}
+	if r.Stats().RecoveryFallbacks != 0 {
+		t.Fatal("clean Close recovery fell back")
+	}
+	verifyModel(t, r, now, s.model)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after tail recovery: %v", err)
+	}
+}
+
+// TestTailRecoveryMatchesFullScan: the property at the heart of the tail
+// path — for the same crashed device, tail-bounded recovery and full-scan
+// recovery must reconstruct byte-identical FTL state, and the tail path
+// must read strictly fewer header pages.
+func TestTailRecoveryMatchesFullScan(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		s := ckptScenario(t, seed, 300)
+		f := s.f
+		if !f.StartCheckpoint(s.now) {
+			t.Fatalf("seed %d: StartCheckpoint refused", seed)
+		}
+		s.now = f.sched.Drain(s.now)
+		if f.Stats().Checkpoints < 1 {
+			t.Fatalf("seed %d: checkpoint did not commit", seed)
+		}
+		tailChurn(t, s, seed+100)
+		// Crash here: no Close. Recover two identical copies both ways.
+		devA, devB := duplicateDevice(t, f.Device())
+		a, nowA, err := Recover(f.Config(), devA, nil, s.now)
+		if err != nil {
+			t.Fatalf("seed %d: tail recover: %v", seed, err)
+		}
+		b, _, err := RecoverFullScan(f.Config(), devB, nil, s.now)
+		if err != nil {
+			t.Fatalf("seed %d: full-scan recover: %v", seed, err)
+		}
+		if !a.Stats().RecoveryTailBounded {
+			t.Fatalf("seed %d: anchored device did not take the tail path", seed)
+		}
+		if b.Stats().RecoveryTailBounded {
+			t.Fatalf("seed %d: full-scan leg claims tail-bounded", seed)
+		}
+		if err := CompareRecovered(a, b); err != nil {
+			t.Fatalf("seed %d: tail vs full-scan divergence: %v", seed, err)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: tail invariants: %v", seed, err)
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: full-scan invariants: %v", seed, err)
+		}
+		if ap, bp := a.Stats().RecoveryHeaderPages, b.Stats().RecoveryHeaderPages; ap >= bp {
+			t.Fatalf("seed %d: tail path scanned %d header pages, full scan %d", seed, ap, bp)
+		}
+		verifyModel(t, a, nowA, s.model)
+	}
+}
+
+// TestTailRecoveryFallsBack: a checkpoint generation that cannot be loaded
+// whole — a missing chunk, or an anchor naming the wrong generation — must
+// be rejected in favour of the full scan, losing nothing.
+func TestTailRecoveryFallsBack(t *testing.T) {
+	tamper := map[string]func(a *nand.Anchor) *nand.Anchor{
+		"missing-chunk": func(a *nand.Anchor) *nand.Anchor {
+			a.Addrs = a.Addrs[:len(a.Addrs)-1]
+			return a
+		},
+		"wrong-generation": func(a *nand.Anchor) *nand.Anchor {
+			a.ID++
+			return a
+		},
+		"empty-anchor": func(a *nand.Anchor) *nand.Anchor {
+			a.Addrs = nil
+			return a
+		},
+	}
+	for name, mutate := range tamper {
+		t.Run(name, func(t *testing.T) {
+			s := runScenario(t, 11, 250)
+			now, err := s.f.Close(s.now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := s.f.Device()
+			anchor := dev.Anchor()
+			if anchor == nil || len(anchor.Addrs) < 2 {
+				t.Fatalf("unexpectedly small checkpoint: %+v", anchor)
+			}
+			dev.SetAnchor(mutate(anchor))
+			r, now, err := Recover(s.f.Config(), dev, nil, now)
+			if err != nil {
+				t.Fatalf("recovery with tampered anchor: %v", err)
+			}
+			st := r.Stats()
+			if st.RecoveryTailBounded {
+				t.Fatal("tampered anchor accepted by the tail path")
+			}
+			if st.RecoveryFallbacks != 1 {
+				t.Fatalf("RecoveryFallbacks = %d, want 1", st.RecoveryFallbacks)
+			}
+			verifyModel(t, r, now, s.model)
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after fallback: %v", err)
+			}
+		})
+	}
+}
+
+// TestTornChunkFallsBack: a chunk page whose header was torn mid-program is
+// unreadable at mount; the tail path must reject the generation, not trust
+// a partially-written checkpoint.
+func TestTornChunkFallsBack(t *testing.T) {
+	s := runScenario(t, 13, 250)
+	now, err := s.f.Close(s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := s.f.Device()
+	anchor := dev.Anchor()
+	if anchor == nil || len(anchor.Addrs) == 0 {
+		t.Fatal("no checkpoint")
+	}
+	// Simulate the torn OOB by re-anchoring one chunk slot at a blank page:
+	// the header there is unparseable, exactly as a torn program reads back.
+	free := -1
+	for seg := 0; seg < s.f.Config().Nand.Segments; seg++ {
+		if dev.ProgrammedInSegment(seg) == 0 && dev.SegmentHealth(seg) == nand.Healthy {
+			free = seg
+			break
+		}
+	}
+	if free < 0 {
+		t.Fatal("no free segment to fake a torn chunk")
+	}
+	anchor.Addrs[0] = dev.Addr(free, 0)
+	dev.SetAnchor(anchor)
+	r, now, err := Recover(s.f.Config(), dev, nil, now)
+	if err != nil {
+		t.Fatalf("recovery with torn chunk: %v", err)
+	}
+	if r.Stats().RecoveryTailBounded || r.Stats().RecoveryFallbacks != 1 {
+		t.Fatalf("torn chunk not rejected: %+v", r.Stats())
+	}
+	verifyModel(t, r, now, s.model)
+}
+
+// TestCheckpointChunksSurviveGC: the cleaner may relocate pinned checkpoint
+// chunks; the anchor must follow them so a later mount still finds the
+// generation intact.
+func TestCheckpointChunksSurviveGC(t *testing.T) {
+	s := runScenario(t, 17, 300)
+	f := s.f
+	if !f.StartCheckpoint(s.now) {
+		t.Fatal("StartCheckpoint refused")
+	}
+	s.now = f.sched.Drain(s.now)
+	before := append([]nand.PageAddr(nil), f.anchorAddrs...)
+	if len(before) == 0 {
+		t.Fatal("no committed checkpoint")
+	}
+	// Force-clean every non-head segment that holds a chunk. Pins follow the
+	// relocated pages, so re-read the anchor addresses each round; each
+	// segment is cleaned at most once, bounding the loop.
+	moved := false
+	cleaned := make(map[int]bool)
+	for {
+		target := -1
+		for _, addr := range f.anchorAddrs {
+			seg := f.dev.SegmentOf(addr)
+			if seg != f.headSeg && !cleaned[seg] {
+				target = seg
+				break
+			}
+		}
+		if target < 0 {
+			break
+		}
+		cleaned[target] = true
+		if err := f.ForceClean(s.now, target); err != nil {
+			t.Fatalf("ForceClean(%d): %v", target, err)
+		}
+		s.now = f.sched.Drain(s.now)
+		moved = true
+	}
+	if !moved {
+		t.Skip("all chunks landed on the head segment; nothing to relocate")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after relocating chunks: %v", err)
+	}
+	anchor := f.Device().Anchor()
+	if anchor == nil || len(anchor.Addrs) != len(before) {
+		t.Fatalf("anchor lost chunks across GC: %+v", anchor)
+	}
+	changed := false
+	for i, a := range anchor.Addrs {
+		if a != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("force-clean moved nothing; test proves nothing")
+	}
+	// The generation is now stale (its segment table describes pre-erase
+	// media), but because its chunks were relocated rather than reclaimed,
+	// recovery reads them cleanly, detects the staleness, and falls back —
+	// it must never mount garbage or fail outright.
+	devStale, _ := duplicateDevice(t, f.Device())
+	r, now, err := Recover(f.Config(), devStale, nil, s.now)
+	if err != nil {
+		t.Fatalf("recover after chunk relocation: %v", err)
+	}
+	if r.Stats().RecoveryTailBounded || r.Stats().RecoveryFallbacks != 1 {
+		t.Fatalf("stale relocated generation not detected: %+v", r.Stats())
+	}
+	verifyModel(t, r, now, s.model)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh checkpoint on the live FTL re-anchors against current media;
+	// the next mount takes the tail path again.
+	if !f.StartCheckpoint(s.now) {
+		t.Fatal("re-checkpoint refused")
+	}
+	s.now = f.sched.Drain(s.now)
+	r2, now2, err := Recover(f.Config(), f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Stats().RecoveryTailBounded {
+		t.Fatal("fresh checkpoint after GC not tail-mountable")
+	}
+	verifyModel(t, r2, now2, s.model)
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodicCheckpoint: with CheckpointInterval armed, checkpoints commit
+// in the background as the log head rolls — no Close required — and a crash
+// afterwards still mounts tail-bounded.
+func TestPeriodicCheckpoint(t *testing.T) {
+	cfg := ckptConfig()
+	cfg.CheckpointInterval = 1 * sim.Millisecond
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := f.SectorSize()
+	model := make(map[int64]byte)
+	now := sim.Time(0)
+	for i := 0; i < 400; i++ {
+		f.sched.RunUntil(now)
+		lba := int64(i % 60)
+		v := byte(i%250 + 1)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, v))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		model[lba] = v
+		now = d
+		// Idle gaps let virtual time cross the interval between head rolls.
+		now = now.Add(100 * sim.Microsecond)
+	}
+	now = f.sched.Drain(now)
+	st := f.Stats()
+	if st.Checkpoints < 2 {
+		t.Fatalf("periodic checkpointing committed %d generations, want >= 2", st.Checkpoints)
+	}
+	if f.Device().Anchor() == nil {
+		t.Fatal("no anchor from periodic checkpoints")
+	}
+	// Crash without Close.
+	r, now, err := Recover(cfg, f.Device(), nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats().RecoveryTailBounded {
+		t.Fatal("periodic checkpoint not used by recovery")
+	}
+	verifyModel(t, r, now, model)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointChunkFailureSealsHead: a permanent media failure while
+// programming a chunk must abort the checkpoint, seal the log head off the
+// failing segment, and leave the FTL fully writable — the regression the
+// vanilla FTL shipped.
+func TestCheckpointChunkFailureSealsHead(t *testing.T) {
+	s := runScenario(t, 19, 200)
+	f := s.f
+	oldHead := f.headSeg
+	plan := faultinject.NewPlan(0, faultinject.Rule{
+		Kind: faultinject.KindTransient, Op: nand.OpProgram, Seg: faultinject.AnySeg,
+		AfterN: 1, Times: 10, // outlasts the retry budget: a permanent failure
+	})
+	plan.Arm(f.Device())
+	if !f.StartCheckpoint(s.now) {
+		t.Fatal("StartCheckpoint refused")
+	}
+	s.now = f.sched.Drain(s.now)
+	plan.Disarm(f.Device())
+	st := f.Stats()
+	if st.CheckpointErrors < 1 {
+		t.Fatalf("failed checkpoint not counted: %+v", st)
+	}
+	if st.Checkpoints != 0 {
+		t.Fatal("failed checkpoint claims to have committed")
+	}
+	if f.Device().Anchor() != nil {
+		t.Fatal("aborted checkpoint left an anchor")
+	}
+	if f.headSeg == oldHead {
+		t.Fatal("head not sealed off the failing segment")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after aborted checkpoint: %v", err)
+	}
+	// The device keeps working, and a retried checkpoint commits.
+	d, err := f.Write(s.now, 1, sectorPattern(f.SectorSize(), 1, 77))
+	if err != nil {
+		t.Fatalf("write after sealed head: %v", err)
+	}
+	s.model[1] = 77
+	s.now = d
+	if !f.StartCheckpoint(s.now) {
+		t.Fatal("retry StartCheckpoint refused")
+	}
+	s.now = f.sched.Drain(s.now)
+	if f.Stats().Checkpoints != 1 {
+		t.Fatalf("retried checkpoint did not commit: %+v", f.Stats())
+	}
+	r, now, err := Recover(f.Config(), f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats().RecoveryTailBounded {
+		t.Fatal("retried checkpoint not tail-mountable")
+	}
+	verifyModel(t, r, now, s.model)
+}
+
+// TestSnapshotsSurviveTailRecovery: snapshot content frozen before the
+// checkpoint — and before the crash — reads back exactly through an
+// activation on the tail-recovered FTL.
+func TestSnapshotsSurviveTailRecovery(t *testing.T) {
+	s := ckptScenario(t, 23, 350)
+	f := s.f
+	if !f.StartCheckpoint(s.now) {
+		t.Fatal("StartCheckpoint refused")
+	}
+	s.now = f.sched.Drain(s.now)
+	tailChurn(t, s, 999)
+	r, now, err := Recover(f.Config(), f.Device(), nil, s.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats().RecoveryTailBounded {
+		t.Fatal("expected tail-bounded recovery")
+	}
+	checked := 0
+	for id, frozen := range s.snapState {
+		if s.deleted[id] {
+			continue
+		}
+		view, d, err := r.ActivateSync(now, id, noLimit, false)
+		if err != nil {
+			t.Fatalf("activating snapshot %d after tail recovery: %v", id, err)
+		}
+		now = d
+		buf := make([]byte, r.SectorSize())
+		for lba, v := range frozen {
+			if _, err := view.Read(now, lba, buf); err != nil {
+				t.Fatalf("snapshot %d LBA %d: %v", id, lba, err)
+			}
+			if !bytes.Equal(buf, sectorPattern(r.SectorSize(), lba, v)) {
+				t.Fatalf("snapshot %d LBA %d content mismatch", id, lba)
+			}
+		}
+		if _, err := view.Deactivate(now); err != nil {
+			t.Fatal(err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("scenario left no live snapshots to verify")
+	}
+}

@@ -44,6 +44,7 @@ func (f *FTL) ForceClean(now sim.Time, seg int) error {
 	f.gcActive = true
 	f.gcVictim = seg
 	merged := f.acct.mergedClone(seg)
+	f.orPinsInto(seg, merged)
 	f.sched.Schedule(now, &gcTask{
 		f:       f,
 		victim:  seg,

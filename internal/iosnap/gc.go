@@ -87,8 +87,8 @@ func (f *FTL) selectVictimScratch() (victim, mergedValid int) {
 		}
 		merged, _ := f.mergeSegment(seg)
 		mv := merged.Count()
-		invalid := int(pps) - mv
-		if invalid == 0 {
+		invalid := int(pps) - mv - f.pinnedInSeg(seg)
+		if invalid <= 0 {
 			continue
 		}
 		score := victimScore(f.cfg.VictimPolicy, invalid, mv, f.seq, f.segLastSeq[seg])
@@ -153,6 +153,7 @@ func (f *FTL) maybeScheduleGC(now sim.Time) {
 	// Hand the selection-time merged map to the task: re-merging it in the
 	// task's first quantum would charge GCMergeTime twice for one clean.
 	merged := f.acct.mergedClone(victim)
+	f.orPinsInto(victim, merged)
 	task := &gcTask{
 		f:       f,
 		victim:  victim,
@@ -273,6 +274,7 @@ func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
 		return now, ErrDeviceFull
 	}
 	merged := f.acct.mergedClone(victim)
+	f.orPinsInto(victim, merged)
 	order := f.copyOrder(victim, merged)
 	start := now
 	cursor := 0
@@ -324,6 +326,7 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: cleaner decoding header: %w", err)
 		}
+		pinned := f.ckptPins[old]
 		done, err := f.devCopyPage(submit, old, dst)
 		if err != nil {
 			f.ungetPage(dst)
@@ -338,7 +341,15 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 		if h.Seq > f.segLastSeq[dseg] {
 			f.segLastSeq[dseg] = h.Seq
 		}
-		f.presence.add(dseg, bitmap.Epoch(h.Epoch))
+		// Checkpoint chunks carry chunk geometry in the Epoch field, not an
+		// epoch: they contribute nothing to presence, and their pin follows
+		// the page instead of validity bits.
+		if !h.Type.IsCheckpoint() {
+			f.presence.add(dseg, bitmap.Epoch(h.Epoch))
+		}
+		if pinned {
+			f.movePin(old, dst)
+		}
 
 		// Step 3: re-point every live epoch that saw the old block. In the
 		// worst case this flips bits in as many maps as there are epochs.

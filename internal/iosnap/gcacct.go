@@ -258,14 +258,15 @@ func (a *gcAcct) bestGreedy() *segAcct {
 	var best *segAcct
 	for len(a.heap) > 0 {
 		top := a.heap[0]
-		if top.seg == f.headSeg || top.seg == f.gcVictim {
+		// Skip the head, an in-flight victim, and segments with nothing
+		// reclaimable once pinned checkpoint chunks count as live.
+		if top.seg == f.headSeg || top.seg == f.gcVictim ||
+			pps-top.valid-f.pinnedInSeg(top.seg) <= 0 {
 			a.heapRemove(top)
 			parked = append(parked, top)
 			continue
 		}
-		if pps-top.valid > 0 {
-			best = top
-		}
+		best = top
 		break
 	}
 	for _, e := range parked {
@@ -287,8 +288,8 @@ func (a *gcAcct) bestCostBenefit() *segAcct {
 			continue
 		}
 		e := a.bySeg[seg]
-		invalid := pps - e.valid
-		if invalid == 0 {
+		invalid := pps - e.valid - f.pinnedInSeg(seg)
+		if invalid <= 0 {
 			continue
 		}
 		score := victimScore(VictimCostBenefit, invalid, e.valid, f.seq, f.segLastSeq[seg])

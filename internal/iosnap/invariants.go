@@ -31,7 +31,11 @@ import (
 //     summary, and the log head lives in a used segment;
 //  5. retired segments are fully out of service: in neither pool, never the
 //     log head, with no block valid in any live epoch (their data was
-//     rescued before retirement) and no presence summary.
+//     rescued before retirement) and no presence summary;
+//  6. checkpoint pins are exactly the committed anchor's chunks plus the
+//     in-flight generation's, each pinning a programmed page whose header
+//     is a checkpoint-chunk type, and the device anchor mirrors the
+//     committed generation.
 //
 // The checker inspects RAM state and raw page contents only (no timed device
 // operations), so it is safe to run at any quiesced point — after
@@ -49,7 +53,62 @@ func (f *FTL) CheckInvariants() error {
 	if err := f.checkPools(); err != nil {
 		return err
 	}
+	if err := f.checkCheckpointPins(); err != nil {
+		return err
+	}
 	return f.checkGCAccounting()
+}
+
+// checkCheckpointPins validates the cleaner-protection state of checkpoint
+// chunks: pins and the anchor/in-flight chunk lists must name the same
+// pages, every pinned page must hold a parseable checkpoint-chunk header,
+// and the device anchor must mirror the committed generation.
+func (f *FTL) checkCheckpointPins() error {
+	named := make(map[nand.PageAddr]bool, len(f.anchorAddrs)+len(f.ckptInflight))
+	for _, a := range f.anchorAddrs {
+		named[a] = true
+		if !f.ckptPins[a] {
+			return fmt.Errorf("invariant: anchor chunk %d not pinned", a)
+		}
+	}
+	for _, a := range f.ckptInflight {
+		named[a] = true
+		if !f.ckptPins[a] {
+			return fmt.Errorf("invariant: in-flight checkpoint chunk %d not pinned", a)
+		}
+	}
+	for a := range f.ckptPins {
+		if !named[a] {
+			return fmt.Errorf("invariant: pinned page %d named by neither the anchor nor the in-flight generation", a)
+		}
+		oob, err := f.dev.PageOOB(a)
+		if err != nil {
+			return fmt.Errorf("invariant: pinned page %d not programmed: %v", a, err)
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			return fmt.Errorf("invariant: pinned page %d header: %v", a, err)
+		}
+		if !h.Type.IsCheckpoint() {
+			return fmt.Errorf("invariant: pinned page %d holds %v, not a checkpoint chunk", a, h.Type)
+		}
+	}
+	anchor := f.dev.Anchor()
+	if len(f.anchorAddrs) > 0 {
+		if anchor == nil {
+			return fmt.Errorf("invariant: committed checkpoint %d has no device anchor", f.anchorID)
+		}
+		if anchor.ID != f.anchorID || len(anchor.Addrs) != len(f.anchorAddrs) {
+			return fmt.Errorf("invariant: device anchor (%d, %d chunks) diverges from committed checkpoint (%d, %d chunks)",
+				anchor.ID, len(anchor.Addrs), f.anchorID, len(f.anchorAddrs))
+		}
+		for i, a := range f.anchorAddrs {
+			if anchor.Addrs[i] != a {
+				return fmt.Errorf("invariant: device anchor chunk %d is %d, FTL records %d", i, anchor.Addrs[i], a)
+			}
+		}
+	}
+	return nil
 }
 
 // checkGCAccounting cross-checks the incremental merged-validity accounting
@@ -340,6 +399,134 @@ func (f *FTL) checkPools() error {
 	}
 	if !headUsed {
 		return fmt.Errorf("invariant: log head segment %d not in used list", f.headSeg)
+	}
+	return nil
+}
+
+// CompareRecovered checks that two independently recovered FTLs (typically
+// tail-bounded vs full-scan over copies of the same device image) agree on
+// all durable state: the active forward map, log geometry, the epoch graph
+// with its deletion marks, the snapshot tree, and per-page validity of
+// every data page in every live epoch.
+//
+// Deliberately not compared: epoch presence summaries (a conservative
+// superset whose note-page entries differ between the live write path and
+// scan reconstruction), snapshot note addresses and creation times, and
+// validity bits of non-data pages (the full scan parks all surviving note
+// bits in the final active epoch, while checkpoints preserve the historical
+// epoch each note landed in — both keep the notes alive for the cleaner).
+func CompareRecovered(a, b *FTL) error {
+	if a.active.epoch != b.active.epoch {
+		return fmt.Errorf("compare: active epoch %d vs %d", a.active.epoch, b.active.epoch)
+	}
+	if a.epochCounter != b.epochCounter {
+		return fmt.Errorf("compare: epoch counter %d vs %d", a.epochCounter, b.epochCounter)
+	}
+	if a.seq != b.seq {
+		return fmt.Errorf("compare: sequence number %d vs %d", a.seq, b.seq)
+	}
+	if a.headSeg != b.headSeg || a.headIdx != b.headIdx {
+		return fmt.Errorf("compare: log head %d/%d vs %d/%d", a.headSeg, a.headIdx, b.headSeg, b.headIdx)
+	}
+	if fmt.Sprint(a.usedSegs) != fmt.Sprint(b.usedSegs) {
+		return fmt.Errorf("compare: usedSegs %v vs %v", a.usedSegs, b.usedSegs)
+	}
+	if fmt.Sprint(a.freeSegs) != fmt.Sprint(b.freeSegs) {
+		return fmt.Errorf("compare: freeSegs %v vs %v", a.freeSegs, b.freeSegs)
+	}
+	for s := range a.segLastSeq {
+		if a.segLastSeq[s] != b.segLastSeq[s] {
+			return fmt.Errorf("compare: segment %d last seq %d vs %d", s, a.segLastSeq[s], b.segLastSeq[s])
+		}
+	}
+
+	// Active forward map, entry for entry.
+	if a.active.fmap.Len() != b.active.fmap.Len() {
+		return fmt.Errorf("compare: forward map %d entries vs %d", a.active.fmap.Len(), b.active.fmap.Len())
+	}
+	var merr error
+	a.active.fmap.All(func(lba, addr uint64) bool {
+		got, ok := b.active.fmap.Lookup(lba)
+		if !ok || got != addr {
+			merr = fmt.Errorf("compare: LBA %d -> %d vs %d (present=%v)", lba, addr, got, ok)
+			return false
+		}
+		return true
+	})
+	if merr != nil {
+		return merr
+	}
+
+	// Epoch graph: same epochs, same tombstones, same parent links.
+	aEps := a.vstore.Epochs()
+	bEps := b.vstore.Epochs()
+	if len(aEps) != len(bEps) {
+		return fmt.Errorf("compare: %d epochs vs %d", len(aEps), len(bEps))
+	}
+	for _, e := range aEps {
+		if !b.vstore.Exists(e) {
+			return fmt.Errorf("compare: epoch %d missing from second store", e)
+		}
+		if a.vstore.Deleted(e) != b.vstore.Deleted(e) {
+			return fmt.Errorf("compare: epoch %d deleted=%v vs %v", e, a.vstore.Deleted(e), b.vstore.Deleted(e))
+		}
+	}
+	if len(a.epochParent) != len(b.epochParent) {
+		return fmt.Errorf("compare: epoch-parent graph %d edges vs %d", len(a.epochParent), len(b.epochParent))
+	}
+	for e, p := range a.epochParent {
+		if bp, ok := b.epochParent[e]; !ok || bp != p {
+			return fmt.Errorf("compare: epoch %d parent %d vs %d (present=%v)", e, p, bp, ok)
+		}
+	}
+
+	// Snapshot tree: same IDs; per ID the same epoch, deletion mark, parent.
+	aIDs := a.tree.IDs()
+	bIDs := b.tree.IDs()
+	if fmt.Sprint(aIDs) != fmt.Sprint(bIDs) {
+		return fmt.Errorf("compare: snapshot IDs %v vs %v", aIDs, bIDs)
+	}
+	for _, id := range aIDs {
+		sa, _ := a.tree.Lookup(id)
+		sb, _ := b.tree.Lookup(id)
+		if sa.Epoch != sb.Epoch || sa.Deleted != sb.Deleted {
+			return fmt.Errorf("compare: snapshot %d (epoch %d, deleted=%v) vs (epoch %d, deleted=%v)",
+				id, sa.Epoch, sa.Deleted, sb.Epoch, sb.Deleted)
+		}
+		pa, pb := SnapshotID(0), SnapshotID(0)
+		if sa.Parent != nil {
+			pa = sa.Parent.ID
+		}
+		if sb.Parent != nil {
+			pb = sb.Parent.ID
+		}
+		if pa != pb {
+			return fmt.Errorf("compare: snapshot %d parent %d vs %d", id, pa, pb)
+		}
+	}
+
+	// Per-page validity of data pages, across every live epoch.
+	var live []bitmap.Epoch
+	for _, e := range aEps {
+		if !a.vstore.Deleted(e) {
+			live = append(live, e)
+		}
+	}
+	for p := int64(0); p < a.cfg.Nand.TotalPages(); p++ {
+		oob, err := a.dev.PageOOB(nand.PageAddr(p))
+		if err != nil {
+			continue // unprogrammed
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil || h.Type != header.TypeData {
+			continue
+		}
+		for _, e := range live {
+			if a.vstore.Test(e, p) != b.vstore.Test(e, p) {
+				return fmt.Errorf("compare: data page %d (LBA %d) validity in epoch %d: %v vs %v",
+					p, h.LBA, e, a.vstore.Test(e, p), b.vstore.Test(e, p))
+			}
+		}
 	}
 	return nil
 }

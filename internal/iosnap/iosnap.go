@@ -139,6 +139,16 @@ type Config struct {
 	// activation rate-limiting) so foreground latency is preserved. The
 	// zero value scrubs unthrottled.
 	ScrubLimit ratelimit.WorkSleep
+	// CheckpointInterval arms the periodic background checkpoint: at most
+	// one snapshot-aware checkpoint (active map + snapshot tree + per-epoch
+	// validity deltas) is written to the log per interval, bounding how much
+	// of the log recovery must scan. Zero disables periodic checkpoints
+	// (Close still writes one when the device stores data).
+	CheckpointInterval sim.Duration
+	// CheckpointLimit paces the background checkpoint's chunk programs
+	// (work/sleep) so serialization never stalls foreground writes. The
+	// zero value programs unthrottled.
+	CheckpointLimit ratelimit.WorkSleep
 }
 
 // DefaultConfig mirrors ftl.DefaultConfig with the snapshot knobs added.
@@ -207,6 +217,9 @@ func (c Config) Validate() error {
 	if c.ScrubInterval < 0 {
 		return fmt.Errorf("iosnap: ScrubInterval must not be negative")
 	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("iosnap: CheckpointInterval must not be negative")
+	}
 	return nil
 }
 
@@ -241,6 +254,16 @@ type Stats struct {
 
 	TornPagesSkipped int64 // unparseable OOB headers tolerated during recovery/activation scans
 
+	Checkpoints       int64  // checkpoint generations committed
+	CheckpointChunks  int64  // chunk pages programmed by committed generations
+	CheckpointErrors  int64  // checkpoint attempts aborted by errors
+	CheckpointLastErr string // most recent aborting error ("" when none)
+
+	RecoveryTailBounded bool  // last recovery loaded a checkpoint and scanned only the tail
+	RecoveryFallbacks   int64 // tail recoveries abandoned for the full scan
+	RecoverySegsScanned int64 // segments header-scanned by the last recovery
+	RecoveryHeaderPages int64 // header pages read by the last recovery
+
 	Retries         int64 // NAND operations reissued after a transient error
 	MediaFailures   int64 // permanent media failures observed (segments marked suspect)
 	SegmentsSuspect int   // segments awaiting rescue (refreshed by Stats())
@@ -270,6 +293,12 @@ type view struct {
 	// parent is the snapshot this view descends from (nil for the initial
 	// active view of a fresh device).
 	parent *Snapshot
+	// fromActivation is true while the view's epoch is still the one its
+	// activation note allocated. Crash recovery kills exactly those epochs
+	// (an un-snapshotted activation dies with the host), so a checkpoint
+	// must serialize them as deleted; once the view creates a snapshot its
+	// continuation epoch survives recovery and the flag resets.
+	fromActivation bool
 }
 
 // FTL is the snapshot-capable translation layer. Not safe for concurrent
@@ -301,11 +330,18 @@ type FTL struct {
 	gcVictim    int // segment a background gcTask currently owns (-1 = none)
 	scrubActive bool
 	lastScrub   sim.Time // completion time of the last scrub pass
-	degraded    bool     // out-of-space: writes shed until cleaning frees space
-	closed      bool
-	frozen      bool
-	activations []*Activation // in-flight activations (cleaner keeps them consistent)
-	stats       Stats
+
+	ckptActive   bool
+	lastCkpt     sim.Time               // completion time of the last committed checkpoint
+	ckptPins     map[nand.PageAddr]bool // chunk pages the cleaner must preserve
+	anchorID     uint64                 // committed checkpoint generation (0 = none)
+	anchorAddrs  []nand.PageAddr        // the committed generation's chunk addresses
+	ckptInflight []nand.PageAddr        // chunks of the generation being written
+	degraded     bool                   // out-of-space: writes shed until cleaning frees space
+	closed       bool
+	frozen       bool
+	activations  []*Activation // in-flight activations (cleaner keeps them consistent)
+	stats        Stats
 }
 
 // New formats a fresh device. See ftl.New for the scheduler contract.
@@ -327,6 +363,7 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 		gcVictim:     -1,
 		segLastSeq:   make([]uint64, cfg.Nand.Segments),
 		presence:     newEpochPresence(cfg.Nand.Segments),
+		ckptPins:     make(map[nand.PageAddr]bool),
 	}
 	if err := f.vstore.CreateEpoch(1, bitmap.NoParent); err != nil {
 		return nil, err
@@ -581,6 +618,7 @@ func (f *FTL) allocPageReserve(now sim.Time, reserve int) (nand.PageAddr, sim.Ti
 		f.acct.track(f.headSeg, true)
 		f.maybeScheduleGC(now)
 		f.maybeScheduleScrub(now)
+		f.maybeScheduleCheckpoint(now)
 	}
 	addr := f.dev.Addr(f.headSeg, f.headIdx)
 	f.headIdx++
@@ -646,17 +684,31 @@ func (f *FTL) writeNote(now sim.Time, typ header.Type, id SnapshotID, epoch bitm
 		}
 		return 0, now, fmt.Errorf("iosnap: writing %v note: %w", typ, err)
 	}
+	// Notes age their segment exactly like data: without this the checkpoint
+	// segment table's per-segment max sequence (taken from segLastSeq) would
+	// undercount a note-tailed segment and recovery's staleness check would
+	// diverge from what a scan of the same segment reports.
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
 	f.vstore.Set(f.active.epoch, int64(addr))
 	f.acct.onViewSet(int64(addr))
 	f.presence.add(f.dev.SegmentOf(addr), f.active.epoch)
 	return addr, done, nil
 }
 
-// Close marks the FTL closed. ioSnap defers all snapshot metadata to the
-// log itself, so closing writes no checkpoint; recovery always scans.
+// Close writes a final synchronous checkpoint (when the device stores
+// data, so the chunks can be read back) and marks the FTL closed. The log
+// remains the source of truth — a failed or absent checkpoint only means
+// the next recovery falls back to the full header scan.
 func (f *FTL) Close(now sim.Time) (sim.Time, error) {
 	if f.closed {
 		return now, ErrClosed
+	}
+	if f.cfg.Nand.StoreData && !f.ckptActive {
+		if done, err := f.writeCheckpoint(now); err == nil {
+			now = done
+		}
+		// The error path already recorded itself in CheckpointErrors and
+		// left the previous anchor (if any) intact; closing proceeds.
 	}
 	f.closed = true
 	return now, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"iosnap/internal/bitmap"
+	"iosnap/internal/ckpt"
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
 	"iosnap/internal/nand"
@@ -23,6 +24,16 @@ import (
 // down the epoch tree: each epoch's view is its parent's view overlaid
 // with the epoch's own winning translations, materialized as CoW
 // differences so sharing is preserved.
+//
+// With a committed checkpoint on the device (checkpoint.go) recovery is
+// tail-bounded instead: the active map, the snapshot tree, and every
+// epoch's validity delta are bulk-loaded from the checkpoint's three chunk
+// streams, and only headers written after the cut-off — in segments the
+// checkpoint's table proves changed — are scanned and replayed on top.
+// Anything that cannot be proven intact (a torn or incomplete generation,
+// a reclaimed chunk, a cleaner that moved pre-cut-off blocks, a tail event
+// the loaded image cannot express) falls back to the full scan; the log
+// itself remains the source of truth.
 //
 // Only the active tree's forward map is built (the paper's explicit design
 // choice); snapshots must be re-activated to be read. Writable views that
@@ -44,8 +55,20 @@ type recData struct {
 	addr  nand.PageAddr
 }
 
-// Recover reconstructs an ioSnap FTL from an existing device.
+// Recover reconstructs an ioSnap FTL from an existing device, tail-bounded
+// when the device anchor names a trustworthy checkpoint.
 func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	return recoverIoSnap(cfg, dev, sched, now, false)
+}
+
+// RecoverFullScan reconstructs an ioSnap FTL by the full header scan,
+// ignoring the checkpoint anchor. It is the reference path: tests and
+// benchmarks compare its result against tail-bounded recovery.
+func RecoverFullScan(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	return recoverIoSnap(cfg, dev, sched, now, true)
+}
+
+func recoverIoSnap(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time, forceFull bool) (*FTL, sim.Time, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, now, err
 	}
@@ -55,7 +78,27 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	if sched == nil {
 		sched = sim.NewScheduler()
 	}
+	tailAttempted := false
+	if !forceFull && dev.Anchor() != nil && cfg.Nand.StoreData {
+		tailAttempted = true
+		f, t, ok := tryTailRecover(cfg, dev, sched, now)
+		if ok {
+			return f, t, nil
+		}
+		now = t // virtual time spent probing the checkpoint is real
+	}
+	f, now, err := fullScanRecover(cfg, dev, sched, now)
+	if err != nil {
+		return nil, now, err
+	}
+	if tailAttempted {
+		f.stats.RecoveryFallbacks++
+	}
+	return f, now, nil
+}
 
+// recoverShell builds the empty FTL both recovery paths fill in.
+func recoverShell(cfg Config, dev *nand.Device, sched *sim.Scheduler) *FTL {
 	f := &FTL{
 		cfg:         cfg,
 		dev:         dev,
@@ -64,8 +107,18 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		tree:        NewTree(),
 		epochParent: make(map[bitmap.Epoch]bitmap.Epoch),
 		gcVictim:    -1,
+		segLastSeq:  make([]uint64, cfg.Nand.Segments),
 		presence:    newEpochPresence(cfg.Nand.Segments),
+		ckptPins:    make(map[nand.PageAddr]bool),
 	}
+	f.acct = newGCAcct(f)
+	return f
+}
+
+// fullScanRecover is the historical path: scan every live segment's
+// headers and rebuild everything bottom-up.
+func fullScanRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, error) {
+	f := recoverShell(cfg, dev, sched)
 
 	// ---- Scan: one pass over all OOB headers. ----
 	var (
@@ -74,7 +127,6 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 		segMaxSeq = make([]uint64, cfg.Nand.Segments)
 		segUsed   = make([]bool, cfg.Nand.Segments)
 		maxSeq    uint64
-		torn      int64
 	)
 	for seg := 0; seg < cfg.Nand.Segments; seg++ {
 		if dev.SegmentHealth(seg) == nand.Retired {
@@ -88,6 +140,8 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			return nil, now, fmt.Errorf("iosnap: scanning segment %d: %w", seg, err)
 		}
 		now = done
+		f.stats.RecoverySegsScanned++
+		f.stats.RecoveryHeaderPages += int64(cfg.Nand.PagesPerSegment)
 		for idx, oob := range oobs {
 			if oob == nil {
 				continue
@@ -99,7 +153,7 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 				// programmed, so its contents were never acknowledged. Skip
 				// it — the page stays invalid in every epoch and the cleaner
 				// reclaims it — but keep count so operators can see it.
-				torn++
+				f.stats.TornPagesSkipped++
 				continue
 			}
 			if h.Seq > segMaxSeq[seg] {
@@ -115,16 +169,21 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 			case header.TypeSnapCreate, header.TypeSnapDelete, header.TypeSnapActivate, header.TypeSnapDeactivate:
 				notes = append(notes, recNote{typ: h.Type, id: SnapshotID(h.LBA), epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
 			}
+			// Checkpoint chunks are deliberately ignored: the full scan is
+			// the reference reconstruction and trusts only the raw log.
 		}
 	}
 	f.seq = maxSeq
-	f.stats.TornPagesSkipped = torn
 	for _, d := range data {
 		f.presence.add(f.dev.SegmentOf(d.addr), d.epoch)
 	}
 	for _, n := range notes {
 		f.presence.add(f.dev.SegmentOf(n.addr), n.epoch)
 	}
+	// The full scan rebuilds without the checkpoint and pins nothing, so a
+	// stale anchor must not survive into the next reopen: its chunks are
+	// garbage now and the cleaner may reclaim them at any time.
+	dev.SetAnchor(nil)
 
 	// ---- Pass 1: replay notes in seq order; rebuild tree + epoch graph. ----
 	// The cleaner can duplicate a note (copy-forwarded, crash before the
@@ -268,7 +327,381 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	}
 	f.vstore.ResetCoWCounter()
 
-	// ---- Log geometry: segment order, free pool, head, like the base FTL. ----
+	return finishRecovery(f, now, segUsed, segMaxSeq, len(data))
+}
+
+// tryTailRecover attempts checkpoint-based recovery via the device anchor.
+// It mutates only the candidate FTL, never the device, so a failure at any
+// point simply discards the partial state and reports ok=false.
+func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (*FTL, sim.Time, bool) {
+	anchor := dev.Anchor()
+	f := recoverShell(cfg, dev, sched)
+
+	// ---- Read the anchor's chunks and bucket them by stream type. ----
+	type chunkPage struct {
+		idx, total uint64
+		payload    []byte
+	}
+	streams := make(map[header.Type][]chunkPage)
+	for _, addr := range anchor.Addrs {
+		oob, err := dev.PageOOB(addr)
+		if err != nil {
+			return nil, now, false
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil || !h.Type.IsCheckpoint() {
+			return nil, now, false
+		}
+		payload, _, done, err := f.devReadPage(now, addr)
+		if err != nil {
+			return nil, now, false
+		}
+		now = done
+		streams[h.Type] = append(streams[h.Type], chunkPage{idx: h.LBA, total: h.Epoch, payload: payload})
+	}
+	// Each of the three streams must be complete ({0..total-1}, one copy
+	// each) and decode against the anchor's generation and one shared
+	// cut-off; anything less means a torn or partially-reclaimed checkpoint.
+	decoded := make(map[header.Type][]ckpt.Section, 3)
+	var (
+		ckptSeq uint64
+		haveSeq bool
+	)
+	for _, typ := range []header.Type{header.TypeCkptMap, header.TypeCkptTree, header.TypeCkptValid} {
+		group := streams[typ]
+		if len(group) == 0 {
+			return nil, now, false
+		}
+		total := group[0].total
+		if total == 0 || uint64(len(group)) != total {
+			return nil, now, false
+		}
+		ordered := make([][]byte, total)
+		for _, c := range group {
+			if c.total != total || c.idx >= total || ordered[c.idx] != nil {
+				return nil, now, false
+			}
+			ordered[c.idx] = c.payload
+		}
+		stream, err := ckpt.Join(anchor.ID, ordered)
+		if err != nil {
+			return nil, now, false
+		}
+		id, seq, secs, err := ckpt.Decode(stream)
+		if err != nil || id != anchor.ID {
+			return nil, now, false
+		}
+		if !haveSeq {
+			ckptSeq, haveSeq = seq, true
+		} else if seq != ckptSeq {
+			return nil, now, false
+		}
+		decoded[typ] = secs
+	}
+	mapEntries, err := decodeCkptMap(decoded[header.TypeCkptMap])
+	if err != nil {
+		return nil, now, false
+	}
+	treeState, err := decodeCkptTree(decoded[header.TypeCkptTree])
+	if err != nil {
+		return nil, now, false
+	}
+	epochs, err := decodeCkptValid(decoded[header.TypeCkptValid], f.vstore.BitsPerPage())
+	if err != nil {
+		return nil, now, false
+	}
+	recorded, ok := checkSegTable(dev, treeState.table)
+	if !ok {
+		return nil, now, false
+	}
+
+	// ---- Bulk-load the checkpoint image. ----
+	// Epoch records are ascending and an epoch's parent is always numerically
+	// smaller, so one pass creates the whole inheritance graph; tombstones
+	// apply after every creation so parents stay addressable.
+	for _, er := range epochs {
+		if err := f.vstore.CreateEpoch(er.epoch, er.parent); err != nil {
+			return nil, now, false
+		}
+		if er.parent != bitmap.NoParent {
+			f.epochParent[er.epoch] = er.parent
+		}
+		for _, pg := range er.pages {
+			if err := f.vstore.ImportPage(er.epoch, pg.PageIdx, pg.Words); err != nil {
+				return nil, now, false
+			}
+		}
+	}
+	for _, er := range epochs {
+		if er.deleted {
+			if err := f.vstore.DeleteEpoch(er.epoch); err != nil {
+				return nil, now, false
+			}
+		}
+	}
+	f.epochCounter = treeState.counter
+	// Snapshot records are sorted by ID and a parent's ID is always smaller
+	// than its children's, so one pass relinks the tree.
+	for _, sr := range treeState.snaps {
+		var parent *Snapshot
+		if sr.parentID != 0 {
+			p, ok := f.tree.Lookup(sr.parentID)
+			if !ok {
+				return nil, now, false
+			}
+			parent = p
+		}
+		f.tree.add(&Snapshot{ID: sr.id, Epoch: sr.epoch, Parent: parent, Deleted: sr.deleted, noteAddr: sr.noteAddr})
+	}
+	// Presence summaries for every recorded segment; scanned tail records
+	// layer on top below.
+	for _, rec := range treeState.table {
+		for _, e := range rec.presence {
+			f.presence.add(rec.seg, e)
+		}
+	}
+
+	// ---- Tail scan: only segments the table proves changed. ----
+	var (
+		notes     []recNote
+		data      []recData
+		segMaxSeq = make([]uint64, cfg.Nand.Segments)
+		segUsed   = make([]bool, cfg.Nand.Segments)
+		maxSeq    = ckptSeq
+	)
+	for _, rec := range treeState.table {
+		segUsed[rec.seg] = rec.prog > 0
+		segMaxSeq[rec.seg] = rec.maxSeq
+		if rec.maxSeq > maxSeq {
+			maxSeq = rec.maxSeq
+		}
+	}
+	for seg := 0; seg < cfg.Nand.Segments; seg++ {
+		if dev.SegmentHealth(seg) == nand.Retired {
+			continue
+		}
+		rec, isRecorded := recorded[seg]
+		if isRecorded && dev.NextFreeInSegment(seg) == rec.prog {
+			continue // unchanged since serialization: the table speaks for it
+		}
+		if !isRecorded && dev.ProgrammedInSegment(seg) == 0 {
+			continue // still free
+		}
+		from := 0
+		if isRecorded {
+			from = rec.prog // pages below prog are checkpoint-covered state
+		}
+		oobs, done, err := f.devScanSegmentOOB(now, seg)
+		if err != nil {
+			return nil, now, false
+		}
+		now = done
+		f.stats.RecoverySegsScanned++
+		f.stats.RecoveryHeaderPages += int64(cfg.Nand.PagesPerSegment)
+		for idx := from; idx < len(oobs); idx++ {
+			oob := oobs[idx]
+			if oob == nil {
+				continue
+			}
+			segUsed[seg] = true
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				f.stats.TornPagesSkipped++
+				continue
+			}
+			if h.Seq <= ckptSeq {
+				// A parseable pre-cut-off header in the post-checkpoint
+				// region is a cleaner copy of checkpointed state (copied
+				// after serialization, crash before the victim's erase).
+				// Replaying it would double-apply history the checkpoint
+				// already contains — and the full scan resolves such
+				// duplicates differently — so the generation is stale.
+				return nil, now, false
+			}
+			if h.Seq > segMaxSeq[seg] {
+				segMaxSeq[seg] = h.Seq
+			}
+			if h.Seq > maxSeq {
+				maxSeq = h.Seq
+			}
+			if h.Type.IsCheckpoint() {
+				continue // this (or an aborted) generation's chunks
+			}
+			addr := dev.Addr(seg, idx)
+			switch h.Type {
+			case header.TypeData:
+				data = append(data, recData{lba: h.LBA, epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
+				f.presence.add(seg, bitmap.Epoch(h.Epoch))
+			case header.TypeSnapCreate, header.TypeSnapDelete, header.TypeSnapActivate, header.TypeSnapDeactivate:
+				notes = append(notes, recNote{typ: h.Type, id: SnapshotID(h.LBA), epoch: bitmap.Epoch(h.Epoch), seq: h.Seq, addr: addr})
+				f.presence.add(seg, bitmap.Epoch(h.Epoch))
+			}
+		}
+	}
+	f.seq = maxSeq
+
+	// ---- Replay the tail on top of the loaded image. ----
+	entries := make([]ftlmap.Entry, 0, len(mapEntries))
+	for _, p := range mapEntries {
+		entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	f.active = &view{fmap: ftlmap.BulkLoad(entries, 1.0), epoch: treeState.active, writable: true}
+	f.views = []*view{f.active}
+
+	if !f.replayTail(notes, data) {
+		return nil, now, false
+	}
+	if s := f.nearestSnapshotAncestorInclusive(f.active.epoch); s != nil {
+		f.active.parent = s
+	}
+	f.vstore.ResetCoWCounter()
+
+	// The anchor's chunks are live recovery state until superseded.
+	f.anchorID = anchor.ID
+	f.anchorAddrs = append([]nand.PageAddr(nil), anchor.Addrs...)
+	for _, a := range f.anchorAddrs {
+		f.ckptPins[a] = true
+	}
+
+	out, done, err := finishRecovery(f, now, segUsed, segMaxSeq, len(mapEntries)+len(notes)+len(data))
+	if err != nil {
+		return nil, done, false
+	}
+	out.stats.RecoveryTailBounded = true
+	return out, done, true
+}
+
+// replayTail applies post-cut-off notes and data, in one global sequence
+// order, onto a checkpoint-loaded FTL. It reports false when the tail
+// contains an event the loaded image cannot express — a snapshot created
+// from an epoch the checkpoint normalized dead, or writes into a live
+// non-active epoch (a writable view whose private map was never
+// checkpointed) — in which case the caller falls back to the full scan.
+func (f *FTL) replayTail(notes []recNote, data []recData) bool {
+	type tailRec struct {
+		note *recNote
+		data *recData
+		seq  uint64
+		addr nand.PageAddr
+	}
+	recs := make([]tailRec, 0, len(notes)+len(data))
+	for i := range notes {
+		recs = append(recs, tailRec{note: &notes[i], seq: notes[i].seq, addr: notes[i].addr})
+	}
+	for i := range data {
+		recs = append(recs, tailRec{data: &data[i], seq: data[i].seq, addr: data[i].addr})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].seq != recs[j].seq {
+			return recs[i].seq < recs[j].seq
+		}
+		return recs[i].addr < recs[j].addr
+	})
+	// Equal-seq pairs are cleaner duplicates (copy-forwarded, crash before
+	// the source erase); keep the higher address, the full scan's tie-break.
+	dedup := recs[:0]
+	for _, r := range recs {
+		if len(dedup) > 0 && dedup[len(dedup)-1].seq == r.seq {
+			dedup[len(dedup)-1] = r
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	recs = dedup
+
+	deadEpochs := make(map[bitmap.Epoch]bool)
+	for _, r := range recs {
+		if r.note != nil {
+			n := r.note
+			// The note block is valid in the epoch absorbing primary writes
+			// when it was appended (the live writeNote rule).
+			f.vstore.Set(f.active.epoch, int64(n.addr))
+			switch n.typ {
+			case header.TypeSnapCreate:
+				frozen := n.epoch
+				if deadEpochs[frozen] || (f.vstore.Exists(frozen) && f.vstore.Deleted(frozen)) {
+					// The snapshot freezes an epoch the checkpoint serialized
+					// as dying at recovery (an activation view's), or one whose
+					// tail writes were already dropped; neither can be
+					// resurrected from the loaded image.
+					return false
+				}
+				f.epochCounter++
+				newEpoch := f.epochCounter
+				if err := f.vstore.CreateEpoch(newEpoch, frozen); err != nil {
+					return false
+				}
+				f.epochParent[newEpoch] = frozen
+				snap := &Snapshot{ID: n.id, Epoch: frozen, Parent: f.nearestSnapshotAncestor(frozen), noteAddr: n.addr}
+				f.tree.add(snap)
+				if frozen == f.active.epoch {
+					f.active.epoch = newEpoch
+					f.active.parent = snap
+				}
+			case header.TypeSnapDelete:
+				if s, ok := f.tree.Lookup(n.id); ok {
+					s.Deleted = true
+					if f.vstore.Exists(s.Epoch) && !f.vstore.Deleted(s.Epoch) {
+						if err := f.vstore.DeleteEpoch(s.Epoch); err != nil {
+							return false
+						}
+					}
+				}
+			case header.TypeSnapActivate:
+				newEpoch := n.epoch
+				if newEpoch > f.epochCounter {
+					f.epochCounter = newEpoch
+				}
+				if s, ok := f.tree.Lookup(n.id); ok {
+					f.epochParent[newEpoch] = s.Epoch
+					if !f.vstore.Exists(newEpoch) {
+						if err := f.vstore.CreateEpoch(newEpoch, s.Epoch); err != nil {
+							return false
+						}
+					}
+				}
+				// Dies with the crash unless a later create resurrects it —
+				// and resurrection bails above, so dead is final here.
+				deadEpochs[newEpoch] = true
+			case header.TypeSnapDeactivate:
+				deadEpochs[n.epoch] = true
+			}
+			continue
+		}
+		d := r.data
+		switch {
+		case d.epoch == f.active.epoch:
+			if prev, existed := f.active.fmap.Insert(d.lba, uint64(d.addr)); existed {
+				f.vstore.Clear(d.epoch, int64(prev))
+			}
+			f.vstore.Set(d.epoch, int64(d.addr))
+		case deadEpochs[d.epoch],
+			f.vstore.Exists(d.epoch) && f.vstore.Deleted(d.epoch):
+			// A write into an epoch that dies at recovery (an activation
+			// view's): the full scan discards these too, just later.
+		default:
+			// A live non-active epoch — a writable view whose forward map
+			// was never checkpointed, so the overwrite chain cannot be
+			// replayed. Rare; the full scan handles it.
+			return false
+		}
+	}
+	for e := range deadEpochs {
+		if f.vstore.Exists(e) && !f.vstore.Deleted(e) {
+			if err := f.vstore.DeleteEpoch(e); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishRecovery rebuilds the log geometry — segment pools, head, cleaner
+// accounting — shared by both recovery paths, and charges the modeled
+// reconstruction CPU for the processed records.
+func finishRecovery(f *FTL, now sim.Time, segUsed []bool, segMaxSeq []uint64, records int) (*FTL, sim.Time, error) {
+	cfg, dev := f.cfg, f.dev
 	type segOrder struct {
 		seg int
 		seq uint64
@@ -288,7 +721,6 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	for _, u := range used {
 		f.usedSegs = append(f.usedSegs, u.seg)
 	}
-	f.segLastSeq = make([]uint64, cfg.Nand.Segments)
 	copy(f.segLastSeq, segMaxSeq)
 	if len(f.usedSegs) > 0 {
 		last := f.usedSegs[len(f.usedSegs)-1]
@@ -318,12 +750,11 @@ func Recover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.Time) (
 	// Accounting entries start stale (their caches were never built), in
 	// final usedSegs order so victim tie-breaks match a linear scan; the
 	// first selection decision rebuilds them against the recovered epochs.
-	f.acct = newGCAcct(f)
 	for _, s := range f.usedSegs {
 		f.acct.track(s, false)
 	}
 	// Reconstruction CPU cost: proportional to processed translations.
-	now = now.Add(sim.Duration(len(data)) * cfg.ReconstructCPUPerEntry)
+	now = now.Add(sim.Duration(records) * cfg.ReconstructCPUPerEntry)
 	f.maybeScheduleGC(now)
 	return f, now, nil
 }

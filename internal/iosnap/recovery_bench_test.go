@@ -1,0 +1,97 @@
+package iosnap
+
+import (
+	"testing"
+
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// buildCheckpointedDevice fills a 128-segment device with a churned
+// workload and two snapshots, then closes it cleanly so an anchored
+// checkpoint generation is on the log. Both recovery benchmarks mount the
+// same crashed-at-Close image.
+func buildCheckpointedDevice(b *testing.B) (Config, *nand.Device, sim.Time) {
+	b.Helper()
+	nc := testConfig().Nand
+	nc.Segments = 128
+	nc.PagesPerSegment = 32
+	cfg := DefaultConfig(nc) // rederive UserSectors for the larger geometry
+	cfg.GCWindow = 10 * sim.Millisecond
+	cfg.BitmapPageBits = 64
+	cfg.CoWPageCost = 10 * sim.Microsecond
+	f, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss := f.SectorSize()
+	rng := sim.NewRNG(1)
+	now := sim.Time(0)
+	for i := 0; i < 2500; i++ {
+		f.sched.RunUntil(now)
+		lba := rng.Int63n(400)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, byte(i%250+1)))
+		if err != nil {
+			b.Fatalf("write %d: %v", i, err)
+		}
+		now = d
+		if i == 800 || i == 1700 {
+			if _, d, err := f.CreateSnapshot(now); err == nil {
+				now = d
+			}
+		}
+	}
+	now = f.sched.Drain(now)
+	now, err = f.Close(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, f.Device(), now
+}
+
+// BenchmarkRecoverTailBounded mounts from the anchored checkpoint, scanning
+// only the log tail. The hdrpages/op and vus/op metrics are deterministic
+// virtual quantities (header pages scanned; virtual mount time in µs) —
+// compare them against BenchmarkRecoverFullScan for the tail-bounded win.
+func BenchmarkRecoverTailBounded(b *testing.B) {
+	cfg, dev, now := buildCheckpointedDevice(b)
+	anchor := dev.Anchor()
+	var pages int64
+	var vtime sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.SetAnchor(anchor)
+		r, done, err := Recover(cfg, dev, nil, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Stats().RecoveryTailBounded {
+			b.Fatal("benchmark device did not mount tail-bounded")
+		}
+		pages = r.Stats().RecoveryHeaderPages
+		vtime = done.Sub(now)
+	}
+	b.ReportMetric(float64(pages), "hdrpages/op")
+	b.ReportMetric(vtime.Microseconds(), "vus/op")
+}
+
+// BenchmarkRecoverFullScan mounts the same image by the exhaustive header
+// scan the vanilla recovery path always performs.
+func BenchmarkRecoverFullScan(b *testing.B) {
+	cfg, dev, now := buildCheckpointedDevice(b)
+	anchor := dev.Anchor()
+	var pages int64
+	var vtime sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.SetAnchor(anchor)
+		r, done, err := RecoverFullScan(cfg, dev, nil, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages = r.Stats().RecoveryHeaderPages
+		vtime = done.Sub(now)
+	}
+	b.ReportMetric(float64(pages), "hdrpages/op")
+	b.ReportMetric(vtime.Microseconds(), "vus/op")
+}

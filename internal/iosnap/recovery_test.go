@@ -20,8 +20,16 @@ type crashScenario struct {
 
 func runScenario(t *testing.T, seed uint64, steps int) *crashScenario {
 	t.Helper()
+	return driveScenario(t, mustNew(t), seed, steps)
+}
+
+// driveScenario runs the randomized workload against a caller-built FTL
+// (checkpoint tests use a larger device so the tail after a checkpoint
+// stays GC-quiet).
+func driveScenario(t *testing.T, f0 *FTL, seed uint64, steps int) *crashScenario {
+	t.Helper()
 	s := &crashScenario{
-		f:         mustNew(t),
+		f:         f0,
 		model:     make(map[int64]byte),
 		snapState: make(map[SnapshotID]map[int64]byte),
 		deleted:   make(map[SnapshotID]bool),

@@ -26,6 +26,7 @@ func (f *FTL) rescueSegment(now sim.Time, seg int) (sim.Time, error) {
 	f.stats.GCMergeTime += cost
 	now = now.Add(cost)
 	merged := f.acct.mergedClone(seg)
+	f.orPinsInto(seg, merged)
 	order := f.copyOrder(seg, merged)
 	cursor := 0
 	for cursor < len(order) {

@@ -77,12 +77,12 @@ func (o TortureOptions) cuts() opCuts {
 
 // TortureReport summarizes a torture run.
 type TortureReport struct {
-	Steps       int   // operations attempted
-	OpErrors    int64 // operations that returned an error (faults doing their job)
-	Crashes     int64 // power losses taken
-	Recoveries  int64 // successful crash recoveries
-	Checks      int64 // CheckInvariants passes
-	Activations int64 // background activations started
+	Steps       int                 // operations attempted
+	OpErrors    int64               // operations that returned an error (faults doing their job)
+	Crashes     int64               // power losses taken
+	Recoveries  int64               // successful crash recoveries
+	Checks      int64               // CheckInvariants passes
+	Activations int64               // background activations started
 	Fired       []faultinject.Fired // accumulated across all armed plans
 	FinalStats  Stats
 }

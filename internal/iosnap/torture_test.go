@@ -560,3 +560,59 @@ func TestTortureWearOutDeterministic(t *testing.T) {
 		t.Fatalf("wear-out torture not deterministic:\n%s\n%s", a, b)
 	}
 }
+
+// TestTortureCrashDuringCheckpoint: periodic checkpoints run underneath the
+// randomized snapshot workload, and power dies right after a checkpoint
+// chunk lands — several cycles, rotating which stream's chunk is last to
+// survive. Every recovery must come up from a complete generation or the
+// full scan with all acknowledged state intact.
+func TestTortureCrashDuringCheckpoint(t *testing.T) {
+	cfg := tortureConfig()
+	cfg.CheckpointInterval = 500 * sim.Microsecond
+	chunkTypes := []header.Type{header.TypeCkptMap, header.TypeCkptTree, header.TypeCkptValid}
+	rep, err := Torture(cfg, TortureOptions{
+		Seed:  4242,
+		Steps: 1500,
+		Plan:  faultinject.CrashAtChunk(header.TypeCkptMap, 1),
+		Replan: func(cycle int) *faultinject.Plan {
+			if cycle >= 4 {
+				return nil // fault-free tail so the final verify is clean
+			}
+			return faultinject.CrashAtChunk(chunkTypes[cycle%len(chunkTypes)], 1+int64(cycle%2))
+		},
+		ActivationLimit: actLimit,
+	})
+	if err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	if len(rep.Fired) == 0 {
+		t.Fatalf("no checkpoint-chunk crash ever fired; periodic checkpointing never ran (%s)", rep)
+	}
+	if rep.Crashes < 2 || rep.Recoveries != rep.Crashes {
+		t.Fatalf("wanted >=2 clean crash/recover cycles, got %d/%d (%s)", rep.Crashes, rep.Recoveries, rep)
+	}
+	st := rep.FinalStats
+	t.Logf("torture: %s tailBounded=%v fallbacks=%d ckpts=%d ckptErrors=%d",
+		rep, st.RecoveryTailBounded, st.RecoveryFallbacks, st.Checkpoints, st.CheckpointErrors)
+}
+
+// TestTortureCheckpointChurn: periodic checkpoints under the full
+// snapshot-churn mix with no faults at all — generations commit, supersede
+// each other, and get stamped stale by cleaning, while every invariant
+// check (including checkpoint-pin accounting) stays green.
+func TestTortureCheckpointChurn(t *testing.T) {
+	cfg := tortureConfig()
+	cfg.CheckpointInterval = 1 * sim.Millisecond
+	rep, err := Torture(cfg, TortureOptions{
+		Seed:          77,
+		Steps:         1200,
+		SnapshotChurn: true,
+	})
+	if err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	if rep.FinalStats.Checkpoints < 2 {
+		t.Fatalf("periodic checkpointing committed %d generations under churn (%s)",
+			rep.FinalStats.Checkpoints, rep)
+	}
+}

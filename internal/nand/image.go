@@ -8,8 +8,9 @@ import (
 
 // imageVersion guards the on-disk image format. Version 2 added per-segment
 // health (the grown-bad-block table); version 1 images load with every
-// segment healthy.
-const imageVersion = 2
+// segment healthy. Version 3 added the checkpoint anchor; older images load
+// with no anchor, which recovery treats as "full scan required".
+const imageVersion = 3
 
 // imagePage is the serialized form of a programmed page.
 type imagePage struct {
@@ -31,6 +32,10 @@ type imageHeader struct {
 	Version int
 	Cfg     Config
 	Stats   Stats
+	// HasAnchor distinguishes "no checkpoint" from a zero-valued anchor;
+	// both fields are absent in pre-v3 images and gob leaves them zero.
+	HasAnchor bool
+	Anchor    Anchor
 }
 
 // SaveImage serializes the device (configuration, wear, page contents) to w.
@@ -38,7 +43,12 @@ type imageHeader struct {
 // separate CLI invocations operate on the same "drive".
 func (d *Device) SaveImage(w io.Writer) error {
 	enc := gob.NewEncoder(w)
-	if err := enc.Encode(imageHeader{Version: imageVersion, Cfg: d.cfg, Stats: d.stats}); err != nil {
+	hdr := imageHeader{Version: imageVersion, Cfg: d.cfg, Stats: d.stats}
+	if d.anchor != nil {
+		hdr.HasAnchor = true
+		hdr.Anchor = *d.anchor.clone()
+	}
+	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("nand: encoding image header: %w", err)
 	}
 	for i := range d.segs {
@@ -73,6 +83,9 @@ func LoadImage(r io.Reader) (*Device, error) {
 	}
 	d := New(hdr.Cfg)
 	d.stats = hdr.Stats
+	if hdr.HasAnchor {
+		d.anchor = hdr.Anchor.clone()
+	}
 	for i := 0; i < hdr.Cfg.Segments; i++ {
 		var is imageSegment
 		if err := dec.Decode(&is); err != nil {

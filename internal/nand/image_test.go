@@ -129,6 +129,49 @@ func TestImageHealthAndWearPersist(t *testing.T) {
 	}
 }
 
+// TestImageAnchorPersists: the checkpoint anchor is device metadata and
+// must survive save/load; its absence must survive too (nil stays nil, the
+// "no checkpoint, full scan" state).
+func TestImageAnchorPersists(t *testing.T) {
+	d := New(testConfig())
+	if a := d.Anchor(); a != nil {
+		t.Fatalf("fresh device has anchor %+v", a)
+	}
+	d.SetAnchor(&Anchor{ID: 7, Addrs: []PageAddr{3, 9, 12}})
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d2.Anchor()
+	if a == nil || a.ID != 7 || len(a.Addrs) != 3 || a.Addrs[2] != 12 {
+		t.Fatalf("anchor after reload = %+v", a)
+	}
+	// Mutating the returned copy must not touch device state.
+	a.Addrs[0] = 999
+	if d2.Anchor().Addrs[0] != 3 {
+		t.Fatal("Anchor() returned aliased state")
+	}
+
+	// Clearing round-trips as absent.
+	d2.SetAnchor(nil)
+	buf.Reset()
+	if err := d2.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Anchor() != nil {
+		t.Fatal("cleared anchor resurrected by reload")
+	}
+}
+
 func TestLoadImageGarbage(t *testing.T) {
 	if _, err := LoadImage(bytes.NewReader([]byte("not an image"))); err == nil {
 		t.Fatal("garbage image accepted")

@@ -261,7 +261,28 @@ type Device struct {
 	stats    Stats
 	wearRNG  *sim.RNG // draws wear-out erase failures; nil when model off
 
+	anchor *Anchor // newest committed checkpoint; nil = none
+
 	hook FaultHook // nil = no fault injection
+}
+
+// Anchor is the device's checkpoint anchor: the identity and chunk
+// addresses of the newest committed checkpoint. Real FTLs keep a small
+// fixed area (a superblock / checkpoint pack) that is rewritten only at
+// checkpoint commit; we model it as device metadata updated atomically by
+// SetAnchor, so a crash mid-checkpoint always leaves the previous anchor
+// in place. The anchor only names pages — their contents still live in
+// ordinary log pages and are validated (ID tag + checksum) at recovery.
+type Anchor struct {
+	ID    uint64
+	Addrs []PageAddr
+}
+
+func (a *Anchor) clone() *Anchor {
+	if a == nil {
+		return nil
+	}
+	return &Anchor{ID: a.ID, Addrs: append([]PageAddr(nil), a.Addrs...)}
 }
 
 // busModel converts a byte count into occupancy of a shared bus resource.
@@ -320,6 +341,12 @@ func (d *Device) SetFaultHook(h FaultHook) { d.hook = h }
 
 // FaultHook returns the installed fault-injection hook, if any.
 func (d *Device) FaultHook() FaultHook { return d.hook }
+
+// SetAnchor atomically replaces the checkpoint anchor (nil clears it).
+func (d *Device) SetAnchor(a *Anchor) { d.anchor = a.clone() }
+
+// Anchor returns a copy of the checkpoint anchor, or nil if none is set.
+func (d *Device) Anchor() *Anchor { return d.anchor.clone() }
 
 // Stats returns a snapshot of the activity counters.
 func (d *Device) Stats() Stats { return d.stats }

@@ -44,3 +44,51 @@ awk "BEGIN { exit !($speedup >= 5) }" || {
 	echo "bench.sh: speedup $speedup below the 5x acceptance floor" >&2
 	exit 1
 }
+
+# Recovery benchmark: tail-bounded (checkpoint) mount vs the vanilla full
+# header scan on the same image. The reported metrics are deterministic
+# virtual quantities (header pages scanned, virtual mount time), so one
+# iteration suffices.
+rout=BENCH_recovery.json
+
+echo "== go test -bench (tail-bounded vs full-scan recovery)"
+go test ./internal/iosnap/ -run '^$' \
+	-bench 'BenchmarkRecoverTailBounded$|BenchmarkRecoverFullScan$' \
+	-benchtime=1x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+/^BenchmarkRecoverTailBounded/ { tp = metric("hdrpages/op"); tt = metric("vus/op") }
+/^BenchmarkRecoverFullScan/    { fp = metric("hdrpages/op"); ft = metric("vus/op") }
+END {
+	if (tp == "" || fp == "" || tt == "" || ft == "") {
+		print "bench.sh: missing recovery benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"tail-bounded-recovery\",\n"
+	printf "  \"config\": \"128 segments x 32 pages, 2500 writes, 2 snapshots, clean close\",\n"
+	printf "  \"tail_header_pages\": %.0f,\n", tp
+	printf "  \"full_scan_header_pages\": %.0f,\n", fp
+	printf "  \"tail_virtual_us\": %.1f,\n", tt
+	printf "  \"full_scan_virtual_us\": %.1f,\n", ft
+	printf "  \"header_page_speedup\": %.1f,\n", fp / tp
+	printf "  \"virtual_time_speedup\": %.1f\n", ft / tt
+	printf "}\n"
+}' "$raw" > "$rout"
+
+echo "== wrote $rout"
+cat "$rout"
+
+rspeedup=$(awk -F'[:,]' '/"header_page_speedup"/ { print $2 }' "$rout")
+awk "BEGIN { exit !($rspeedup >= 10) }" || {
+	echo "bench.sh: recovery header-page speedup $rspeedup below the 10x acceptance floor" >&2
+	exit 1
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"testing"
+
+	"iosnap/internal/ftl"
+	"iosnap/internal/iosnap"
+	"iosnap/internal/sim"
+)
+
+// Data-path benchmarks: host-side cost of the batched scatter-gather path
+// vs the per-sector reference path, at 4K/64K/1M request sizes, on both the
+// vanilla FTL and ioSnap. Each bench also reports the virtual bandwidth the
+// simulated device sustained (identical between batched and reference by
+// construction — the batch rewrite changes host cost, not device timing).
+//
+// scripts/bench.sh runs the 1M pairs and gates on the speedup floors from
+// DESIGN.md §10: >=3x on 256-sector sequential writes, >=2x on 256-sector
+// random reads.
+
+// blockDev is the surface shared by *ftl.FTL and *iosnap.FTL that the
+// data-path benches need.
+type blockDev interface {
+	Write(now sim.Time, lba int64, data []byte) (sim.Time, error)
+	Read(now sim.Time, lba int64, buf []byte) (sim.Time, error)
+	Trim(now sim.Time, lba int64, n int64) (sim.Time, error)
+	Sectors() int64
+	SectorSize() int
+	Scheduler() *sim.Scheduler
+}
+
+func newDataPathDev(b *testing.B, kind string, reference bool) blockDev {
+	b.Helper()
+	switch kind {
+	case "ftl":
+		cfg := ftl.DefaultConfig(benchNand())
+		cfg.ReferenceDataPath = reference
+		f, err := ftl.New(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	case "iosnap":
+		cfg := iosnap.DefaultConfig(benchNand())
+		cfg.ReferenceDataPath = reference
+		f, err := iosnap.New(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	b.Fatalf("unknown FTL kind %q", kind)
+	return nil
+}
+
+// dataPathSizes maps the bench sub-name to the request size in sectors
+// (4096-byte sectors from benchNand).
+var dataPathSizes = []struct {
+	name    string
+	sectors int
+}{
+	{"4K", 1},
+	{"64K", 16},
+	{"1M", 256},
+}
+
+func reportVirtualBW(b *testing.B, bytes int64, elapsed sim.Duration) {
+	if elapsed > 0 {
+		secs := float64(elapsed) / float64(sim.Second)
+		b.ReportMetric(float64(bytes)/secs/1e9, "virtual-GB/s")
+	}
+}
+
+func benchDataPathWrite(b *testing.B, kind string, reference bool) {
+	for _, sz := range dataPathSizes {
+		sz := sz
+		b.Run(kind+"/"+sz.name, func(b *testing.B) {
+			f := newDataPathDev(b, kind, reference)
+			ss := f.SectorSize()
+			buf := make([]byte, sz.sectors*ss)
+			// Stay inside 3/4 of the user space so steady-state GC pressure
+			// is moderate and identical across variants.
+			space := f.Sectors() * 3 / 4
+			space -= space % int64(sz.sectors)
+			now := sim.Time(0)
+			cursor := int64(0)
+			start := now
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Scheduler().RunUntil(now)
+				d, err := f.Write(now, cursor, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				now = d
+				cursor += int64(sz.sectors)
+				if cursor >= space {
+					cursor = 0
+				}
+			}
+			b.StopTimer()
+			b.SetBytes(int64(len(buf)))
+			reportVirtualBW(b, int64(b.N)*int64(len(buf)), now.Sub(start))
+		})
+	}
+}
+
+func benchDataPathRead(b *testing.B, kind string, reference bool) {
+	for _, sz := range dataPathSizes {
+		sz := sz
+		b.Run(kind+"/"+sz.name, func(b *testing.B) {
+			f := newDataPathDev(b, kind, reference)
+			ss := f.SectorSize()
+			// Prefill a 64 MB region, then issue random aligned reads.
+			region := int64(64 << 20 / ss)
+			fill := make([]byte, 256*ss)
+			now := sim.Time(0)
+			for lba := int64(0); lba < region; lba += 256 {
+				f.Scheduler().RunUntil(now)
+				d, err := f.Write(now, lba, fill)
+				if err != nil {
+					b.Fatal(err)
+				}
+				now = d
+			}
+			buf := make([]byte, sz.sectors*ss)
+			rng := sim.NewRNG(11)
+			start := now
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lba := rng.Int63n(region - int64(sz.sectors) + 1)
+				d, err := f.Read(now, lba, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				now = d
+			}
+			b.StopTimer()
+			b.SetBytes(int64(len(buf)))
+			reportVirtualBW(b, int64(b.N)*int64(len(buf)), now.Sub(start))
+		})
+	}
+}
+
+func benchDataPathTrim(b *testing.B, kind string, reference bool) {
+	for _, sz := range dataPathSizes {
+		sz := sz
+		b.Run(kind+"/"+sz.name, func(b *testing.B) {
+			f := newDataPathDev(b, kind, reference)
+			ss := f.SectorSize()
+			region := int64(64 << 20 / ss)
+			region -= region % int64(sz.sectors)
+			fill := make([]byte, 256*ss)
+			refill := func(now sim.Time) sim.Time {
+				for lba := int64(0); lba < region; lba += 256 {
+					f.Scheduler().RunUntil(now)
+					d, err := f.Write(now, lba, fill)
+					if err != nil {
+						b.Fatal(err)
+					}
+					now = d
+				}
+				return now
+			}
+			now := refill(0)
+			var elapsed sim.Duration
+			var bytes int64
+			cursor := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cursor >= region {
+					b.StopTimer()
+					now = refill(now)
+					cursor = 0
+					b.StartTimer()
+				}
+				d, err := f.Trim(now, cursor, int64(sz.sectors))
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += d.Sub(now)
+				bytes += int64(sz.sectors * ss)
+				now = d
+				cursor += int64(sz.sectors)
+			}
+			b.StopTimer()
+			b.SetBytes(int64(sz.sectors * ss))
+			reportVirtualBW(b, bytes, elapsed)
+		})
+	}
+}
+
+func BenchmarkDataPathBatchedWrite(b *testing.B) {
+	benchDataPathWrite(b, "ftl", false)
+	benchDataPathWrite(b, "iosnap", false)
+}
+
+func BenchmarkDataPathReferenceWrite(b *testing.B) {
+	benchDataPathWrite(b, "ftl", true)
+	benchDataPathWrite(b, "iosnap", true)
+}
+
+func BenchmarkDataPathBatchedRead(b *testing.B) {
+	benchDataPathRead(b, "ftl", false)
+	benchDataPathRead(b, "iosnap", false)
+}
+
+func BenchmarkDataPathReferenceRead(b *testing.B) {
+	benchDataPathRead(b, "ftl", true)
+	benchDataPathRead(b, "iosnap", true)
+}
+
+func BenchmarkDataPathBatchedTrim(b *testing.B) {
+	benchDataPathTrim(b, "ftl", false)
+	benchDataPathTrim(b, "iosnap", false)
+}
+
+func BenchmarkDataPathReferenceTrim(b *testing.B) {
+	benchDataPathTrim(b, "ftl", true)
+	benchDataPathTrim(b, "iosnap", true)
+}

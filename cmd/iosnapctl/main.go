@@ -343,6 +343,8 @@ func cmdStats(f *iosnap.FTL) error {
 		mode, st.RecoverySegsScanned, st.RecoveryHeaderPages, st.RecoveryFallbacks)
 	fmt.Printf("checkpoints:        %d committed (%d chunks, %d errors)\n",
 		st.Checkpoints, st.CheckpointChunks, st.CheckpointErrors)
+	fmt.Printf("batched data path:  %d leaf descents, %d pages in %d NAND calls\n",
+		st.BatchDescents, st.BatchPages, st.BatchNandCalls)
 	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
 	return nil
 }

@@ -53,6 +53,59 @@ func (b *Bitmap) Clear(i int64) {
 	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
 }
 
+// SetRange sets every bit in [lo, hi) a word at a time, with masked
+// boundary words — the foreground data path's counterpart of CountRange.
+func (b *Bitmap) SetRange(lo, hi int64) {
+	if hi <= lo {
+		return
+	}
+	b.checkIdx(lo)
+	b.checkIdx(hi - 1)
+	setWordRange(b.words, lo, hi)
+}
+
+// ClearRange clears every bit in [lo, hi) a word at a time.
+func (b *Bitmap) ClearRange(lo, hi int64) {
+	if hi <= lo {
+		return
+	}
+	b.checkIdx(lo)
+	b.checkIdx(hi - 1)
+	clearWordRange(b.words, lo, hi)
+}
+
+// setWordRange sets bits [lo, hi) of a raw word array; hi > lo.
+func setWordRange(words []uint64, lo, hi int64) {
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-(hi-hiW*wordBits))
+	if loW == hiW {
+		words[loW] |= loMask & hiMask
+		return
+	}
+	words[loW] |= loMask
+	for w := loW + 1; w < hiW; w++ {
+		words[w] = ^uint64(0)
+	}
+	words[hiW] |= hiMask
+}
+
+// clearWordRange clears bits [lo, hi) of a raw word array; hi > lo.
+func clearWordRange(words []uint64, lo, hi int64) {
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-(hi-hiW*wordBits))
+	if loW == hiW {
+		words[loW] &^= loMask & hiMask
+		return
+	}
+	words[loW] &^= loMask
+	for w := loW + 1; w < hiW; w++ {
+		words[w] = 0
+	}
+	words[hiW] &^= hiMask
+}
+
 // Test reports whether bit i is set.
 func (b *Bitmap) Test(i int64) bool {
 	b.checkIdx(i)

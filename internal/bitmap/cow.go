@@ -263,6 +263,74 @@ func (s *Store) Clear(e Epoch, i int64) (cow bool) {
 	return copied
 }
 
+// SetRange sets bits [lo, hi) in epoch e with at most one CoW copy per
+// touched bitmap page, and returns the number of CoW copies performed. A
+// run of per-bit Set calls over the same range performs exactly the same
+// copies (a page is copied at most once per epoch, on first touch), so the
+// count — and therefore the FTL's CoWPageCost charge — is identical; only
+// the host-side work drops from per-bit to per-word.
+func (s *Store) SetRange(e Epoch, lo, hi int64) (cows int) {
+	if hi <= lo {
+		return 0
+	}
+	s.checkBit(lo)
+	s.checkBit(hi - 1)
+	em := s.get(e)
+	for pageIdx := lo / s.bitsPerPage; pageIdx*s.bitsPerPage < hi; pageIdx++ {
+		s.pushDown(em, pageIdx)
+		pg, copied := s.ownPage(em, pageIdx)
+		if copied {
+			cows++
+		}
+		pageStart := pageIdx * s.bitsPerPage
+		from, to := lo, hi
+		if pageStart > from {
+			from = pageStart
+		}
+		if end := pageStart + s.bitsPerPage; end < to {
+			to = end
+		}
+		setWordRange(pg.words, from-pageStart, to-pageStart)
+	}
+	return cows
+}
+
+// ClearRange clears bits [lo, hi) in epoch e with the same CoW behaviour as
+// SetRange. Like Clear, a page with no owner anywhere on the inheritance
+// chain (all-zero view) is skipped without a pushdown or a copy.
+func (s *Store) ClearRange(e Epoch, lo, hi int64) (cows int) {
+	if hi <= lo {
+		return 0
+	}
+	s.checkBit(lo)
+	s.checkBit(hi - 1)
+	em := s.get(e)
+	for pageIdx := lo / s.bitsPerPage; pageIdx*s.bitsPerPage < hi; pageIdx++ {
+		pg, owned := em.findPage(pageIdx)
+		if pg == nil {
+			continue
+		}
+		s.pushDown(em, pageIdx)
+		if !owned {
+			var copied bool
+			pg, copied = s.ownPage(em, pageIdx)
+			if copied {
+				cows++
+			}
+		}
+		pageStart := pageIdx * s.bitsPerPage
+		from, to := lo, hi
+		if pageStart > from {
+			from = pageStart
+		}
+		if end := pageStart + s.bitsPerPage; end < to {
+			to = end
+		}
+		clearWordRange(pg.words, from-pageStart, to-pageStart)
+	}
+	return cows
+}
+
 // MergeRange ORs the validity of bits [lo, hi) across the given epochs
 // (skipping deleted ones) into a fresh Bitmap of length hi-lo. This is the
 // segment cleaner's merged map (paper Figure 6). The cost of this call —

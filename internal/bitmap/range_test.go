@@ -1,0 +1,146 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapRangeKernelsMatchPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	a := New(n)
+	b := New(n)
+	for step := 0; step < 2000; step++ {
+		lo := int64(rng.Intn(n))
+		hi := lo + 1 + int64(rng.Intn(300))
+		if hi > n {
+			hi = n
+		}
+		if rng.Intn(2) == 0 {
+			a.SetRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				b.Set(i)
+			}
+		} else {
+			a.ClearRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				b.Clear(i)
+			}
+		}
+		if !a.Equal(b) {
+			t.Fatalf("step %d: range kernel diverged from per-bit after [%d,%d)", step, lo, hi)
+		}
+	}
+	if a.Count() == 0 {
+		t.Fatal("degenerate test: nothing ever set")
+	}
+}
+
+// TestStoreRangeKernelsMatchPerBit drives two stores with an identical
+// random schedule of epoch creates/deletes and validity flips — one using
+// SetRange/ClearRange, one using per-bit Set/Clear — and demands identical
+// bit views for every live epoch AND an identical cumulative CoW-copy count
+// (the quantity CoWPageCost is charged against).
+func TestStoreRangeKernelsMatchPerBit(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const n = 4096 * 4 // 4 CoW pages at the small page size below
+			const bpp = 4096
+			ranged := NewStore(n, bpp)
+			perBit := NewStore(n, bpp)
+			for _, s := range []*Store{ranged, perBit} {
+				if err := s.CreateEpoch(0, NoParent); err != nil {
+					t.Fatal(err)
+				}
+			}
+			live := []Epoch{0}
+			nextEpoch := Epoch(1)
+			for step := 0; step < 1500; step++ {
+				switch rng.Intn(10) {
+				case 0: // snapshot: new epoch inheriting a random live one
+					parent := live[rng.Intn(len(live))]
+					for _, s := range []*Store{ranged, perBit} {
+						if err := s.CreateEpoch(nextEpoch, parent); err != nil {
+							t.Fatal(err)
+						}
+					}
+					live = append(live, nextEpoch)
+					nextEpoch++
+				case 1: // delete a random non-root epoch
+					if len(live) > 1 {
+						i := 1 + rng.Intn(len(live)-1)
+						for _, s := range []*Store{ranged, perBit} {
+							if err := s.DeleteEpoch(live[i]); err != nil {
+								t.Fatal(err)
+							}
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+				default:
+					e := live[rng.Intn(len(live))]
+					lo := int64(rng.Intn(n))
+					hi := lo + 1 + int64(rng.Intn(2000))
+					if hi > n {
+						hi = n
+					}
+					if rng.Intn(2) == 0 {
+						ranged.SetRange(e, lo, hi)
+						for i := lo; i < hi; i++ {
+							perBit.Set(e, i)
+						}
+					} else {
+						ranged.ClearRange(e, lo, hi)
+						for i := lo; i < hi; i++ {
+							perBit.Clear(e, i)
+						}
+					}
+				}
+				if ranged.CoWCopies() != perBit.CoWCopies() {
+					t.Fatalf("step %d: CoW copies diverged: ranged %d, per-bit %d",
+						step, ranged.CoWCopies(), perBit.CoWCopies())
+				}
+			}
+			for _, e := range ranged.Epochs() {
+				for i := int64(0); i < n; i++ {
+					if ranged.Test(e, i) != perBit.Test(e, i) {
+						t.Fatalf("epoch %d bit %d: ranged %v per-bit %v",
+							e, i, ranged.Test(e, i), perBit.Test(e, i))
+					}
+				}
+			}
+			if ranged.CoWCopies() == 0 {
+				t.Fatal("degenerate test: no CoW copies happened")
+			}
+		})
+	}
+}
+
+func TestStoreSetRangeCoWOncePerPage(t *testing.T) {
+	s := NewStore(4096*3, 4096)
+	if err := s.CreateEpoch(0, NoParent); err != nil {
+		t.Fatal(err)
+	}
+	// Populate all three pages in epoch 0, then snapshot.
+	s.SetRange(0, 0, 4096*3)
+	if err := s.CreateEpoch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CoWCopies()
+	// A range spanning all three inherited pages must copy exactly three.
+	if cows := s.ClearRange(1, 100, 4096*2+200); cows != 3 {
+		t.Fatalf("ClearRange reported %d CoW copies, want 3", cows)
+	}
+	if got := s.CoWCopies() - before; got != 3 {
+		t.Fatalf("store counted %d copies, want 3", got)
+	}
+	// The same range again touches only owned pages: zero copies.
+	if cows := s.SetRange(1, 100, 4096*2+200); cows != 0 {
+		t.Fatalf("second pass reported %d CoW copies, want 0", cows)
+	}
+	// Epoch 0's view is untouched.
+	if got := s.CountValid(0, 0, 4096*3); got != 4096*3 {
+		t.Fatalf("parent lost bits: %d valid", got)
+	}
+}

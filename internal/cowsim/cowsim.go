@@ -23,6 +23,7 @@ package cowsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"iosnap/internal/sim"
 )
@@ -295,12 +296,19 @@ func (s *Store) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
 // number of extents the snapshot pins.
 func (s *Store) CreateSnapshot(now sim.Time) (SnapshotID, sim.Time, error) {
 	done := now
-	flushed := int64(0)
+	// Flush in page order: each write's channel depends on the page id, so
+	// Go's randomized map iteration would make commit times (and everything
+	// scheduled after them) vary run to run.
+	pages := make([]int64, 0, len(s.dirtyMeta))
 	for mp := range s.dirtyMeta {
+		pages = append(pages, mp)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	flushed := int64(len(pages))
+	for _, mp := range pages {
 		if d := s.devWrite(done, mp); d > done {
 			done = d
 		}
-		flushed++
 		delete(s.dirtyMeta, mp)
 	}
 	// Journal commit record.

@@ -1,0 +1,341 @@
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// The batched data path and the per-sector reference path run on the same
+// virtual-time skeleton, so on any fault-free workload they must agree
+// bit-for-bit: same per-op completion times, same errors, same Stats
+// (except MapMemory — bulk-loaded leaves pack differently than organically
+// grown ones), same device image. These tests drive both paths with the
+// same seeded workloads and diff everything.
+
+func equivConfig(reference bool) Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 32
+	nc.Segments = 32
+	nc.Channels = 4
+	nc.StoreData = true
+	nc.ReadLatency = 2 * sim.Microsecond
+	nc.ProgramLatency = 4 * sim.Microsecond
+	nc.EraseLatency = 50 * sim.Microsecond
+	cfg := DefaultConfig(nc)
+	cfg.GCWindow = 10 * sim.Millisecond
+	cfg.ReferenceDataPath = reference
+	return cfg
+}
+
+type equivOp struct {
+	kind byte // 'w', 'r', 't'
+	lba  int64
+	n    int
+	ver  byte
+}
+
+// genEquivOps builds a seeded op mix: sequential sweeps, uniform-random
+// runs, and zipf-skewed runs, with lengths from 1 to maxRun sectors plus
+// occasional trims.
+func genEquivOps(seed int64, userSectors int64, count, maxRun int) []equivOp {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(userSectors-1))
+	ops := make([]equivOp, 0, count)
+	ver := byte(1)
+	seqCursor := int64(0)
+	for len(ops) < count {
+		n := 1 + rng.Intn(maxRun)
+		var lba int64
+		switch rng.Intn(3) {
+		case 0: // sequential sweep
+			lba = seqCursor
+			if lba+int64(n) > userSectors {
+				lba = 0
+			}
+			seqCursor = lba + int64(n)
+		case 1: // uniform random
+			lba = rng.Int63n(userSectors - int64(n) + 1)
+		default: // zipf-skewed hot set
+			lba = int64(zipf.Uint64())
+			if lba+int64(n) > userSectors {
+				lba = userSectors - int64(n)
+			}
+		}
+		switch r := rng.Intn(10); {
+		case r < 6:
+			ver++
+			ops = append(ops, equivOp{'w', lba, n, ver})
+		case r < 9:
+			ops = append(ops, equivOp{'r', lba, n, 0})
+		default:
+			ops = append(ops, equivOp{'t', lba, n, 0})
+		}
+	}
+	return ops
+}
+
+func runPattern(ss int, lba int64, n int, ver byte) []byte {
+	b := make([]byte, n*ss)
+	for i := range b {
+		sec := lba + int64(i/ss)
+		b[i] = byte(sec) ^ byte(sec>>8) ^ ver ^ byte(i)
+	}
+	return b
+}
+
+// deviceDigest summarizes every programmed page (payload fingerprint + OOB
+// header bytes) so two devices can be diffed exactly.
+func deviceDigest(t *testing.T, d *nand.Device) string {
+	t.Helper()
+	cfg := d.Config()
+	var b strings.Builder
+	for seg := 0; seg < cfg.Segments; seg++ {
+		for i := 0; i < cfg.PagesPerSegment; i++ {
+			a := d.Addr(seg, i)
+			if !d.IsProgrammed(a) {
+				continue
+			}
+			fp, err := d.PageFingerprint(a)
+			if err != nil {
+				t.Fatalf("fingerprint %v: %v", a, err)
+			}
+			oob, err := d.PageOOB(a)
+			if err != nil {
+				t.Fatalf("oob %v: %v", a, err)
+			}
+			fmt.Fprintf(&b, "%d/%d %x %x\n", seg, i, fp, oob)
+		}
+	}
+	return b.String()
+}
+
+func firstDigestDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: batched %q vs reference %q", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(al), len(bl))
+}
+
+func TestDataPathEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			batched, err := New(equivConfig(false), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reference, err := New(equivConfig(true), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := batched.SectorSize()
+			ops := genEquivOps(seed, batched.cfg.UserSectors, 300, 256)
+
+			now := sim.Time(0)
+			bbuf := make([]byte, 256*ss)
+			rbuf := make([]byte, 256*ss)
+			for i, op := range ops {
+				var bd, rd sim.Time
+				var be, re error
+				switch op.kind {
+				case 'w':
+					data := runPattern(ss, op.lba, op.n, op.ver)
+					bd, be = batched.Write(now, op.lba, data)
+					rd, re = reference.Write(now, op.lba, data)
+				case 'r':
+					bd, be = batched.Read(now, op.lba, bbuf[:op.n*ss])
+					rd, re = reference.Read(now, op.lba, rbuf[:op.n*ss])
+					if string(bbuf[:op.n*ss]) != string(rbuf[:op.n*ss]) {
+						t.Fatalf("op %d (%c lba=%d n=%d): payload mismatch", i, op.kind, op.lba, op.n)
+					}
+				case 't':
+					bd, be = batched.Trim(now, op.lba, int64(op.n))
+					rd, re = reference.Trim(now, op.lba, int64(op.n))
+				}
+				if (be == nil) != (re == nil) {
+					t.Fatalf("op %d (%c lba=%d n=%d): batched err %v, reference err %v", i, op.kind, op.lba, op.n, be, re)
+				}
+				if bd != rd {
+					t.Fatalf("op %d (%c lba=%d n=%d): batched done %d, reference done %d (Δ %d)",
+						i, op.kind, op.lba, op.n, bd, rd, bd.Sub(rd))
+				}
+				if bd > now {
+					now = bd
+				}
+				batched.Scheduler().RunUntil(now)
+				reference.Scheduler().RunUntil(now)
+			}
+
+			bs, rs := batched.Stats(), reference.Stats()
+			// Bulk-loaded leaves pack tighter than organically grown ones, so
+			// tree size is the one sanctioned divergence.
+			bs.MapMemory, rs.MapMemory = 0, 0
+			if bs != rs {
+				t.Fatalf("Stats diverge:\nbatched:   %+v\nreference: %+v", bs, rs)
+			}
+			if bdev, rdev := batched.Device().Stats(), reference.Device().Stats(); bdev != rdev {
+				t.Fatalf("device Stats diverge:\nbatched:   %+v\nreference: %+v", bdev, rdev)
+			}
+			bdig := deviceDigest(t, batched.Device())
+			rdig := deviceDigest(t, reference.Device())
+			if bdig != rdig {
+				t.Fatalf("device images diverge: %s", firstDigestDiff(bdig, rdig))
+			}
+			if bs.BatchNandCalls == 0 || bs.BatchPages <= bs.BatchNandCalls {
+				t.Fatalf("batch counters implausible: %+v", bs)
+			}
+		})
+	}
+}
+
+// TestReadEquivalenceWithHoles pins down the zero-fill path: unmapped
+// sectors inside a run read as zeros on both paths.
+func TestReadEquivalenceWithHoles(t *testing.T) {
+	batched, _ := New(equivConfig(false), nil)
+	reference, _ := New(equivConfig(true), nil)
+	ss := batched.SectorSize()
+	now := sim.Time(0)
+	// Map every third sector only.
+	for lba := int64(0); lba < 60; lba += 3 {
+		d1, e1 := batched.Write(now, lba, runPattern(ss, lba, 1, 9))
+		d2, e2 := reference.Write(now, lba, runPattern(ss, lba, 1, 9))
+		if e1 != nil || e2 != nil || d1 != d2 {
+			t.Fatalf("write lba %d: %v %v %d %d", lba, e1, e2, d1, d2)
+		}
+		now = d1
+	}
+	bbuf := make([]byte, 60*ss)
+	rbuf := make([]byte, 60*ss)
+	bd, be := batched.Read(now, 0, bbuf)
+	rd, re := reference.Read(now, 0, rbuf)
+	if be != nil || re != nil {
+		t.Fatal(be, re)
+	}
+	if bd != rd {
+		t.Fatalf("done: %d vs %d", bd, rd)
+	}
+	if string(bbuf) != string(rbuf) {
+		t.Fatal("hole fill mismatch")
+	}
+	for i := 0; i < 60; i++ {
+		sector := bbuf[i*ss : (i+1)*ss]
+		if i%3 != 0 {
+			for _, c := range sector {
+				if c != 0 {
+					t.Fatalf("unmapped sector %d not zero-filled", i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialBatchWriteAccounting: a permanent mid-run program failure
+// leaves the completed prefix committed and counted, and the returned
+// virtual time reflects the work actually consumed.
+func TestPartialBatchWriteAccounting(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		name := "batched"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			f, err := New(equivConfig(reference), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := f.SectorSize()
+			// The 5th program attempt enters a transient episode longer than
+			// the retry budget: a permanent mid-run failure at sector 4.
+			plan := faultinject.NewPlan(0, faultinject.Rule{
+				Kind: faultinject.KindTransient, Op: nand.OpProgram, Seg: faultinject.AnySeg,
+				AfterN: 5, Times: 100,
+			})
+			plan.Arm(f.Device())
+			now := sim.Time(1000)
+			done, err := f.Write(now, 0, runPattern(ss, 0, 8, 1))
+			plan.Disarm(f.Device())
+			if err == nil {
+				t.Fatal("mid-run failure did not surface")
+			}
+			if done <= now {
+				t.Fatalf("done %d does not reflect consumed time (now %d)", done, now)
+			}
+			st := f.Stats()
+			if st.UserWrites != 4 {
+				t.Fatalf("UserWrites = %d, want 4 (completed sectors)", st.UserWrites)
+			}
+			if st.BytesWritten != int64(4*ss) {
+				t.Fatalf("BytesWritten = %d, want %d", st.BytesWritten, 4*ss)
+			}
+			buf := make([]byte, ss)
+			for lba := int64(0); lba < 4; lba++ {
+				if _, err := f.Read(done, lba, buf); err != nil {
+					t.Fatalf("completed sector %d unreadable: %v", lba, err)
+				}
+				want := runPattern(ss, lba, 1, 1)
+				if string(buf) != string(want) {
+					t.Fatalf("completed sector %d corrupted", lba)
+				}
+			}
+			if _, err := f.Read(done, 5, buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range buf {
+				if c != 0 {
+					t.Fatal("unwritten sector not zero")
+				}
+			}
+		})
+	}
+}
+
+// TestPartialBatchReadAccounting: a permanent read failure mid-run counts
+// only the sectors read before it.
+func TestPartialBatchReadAccounting(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		name := "batched"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			f, err := New(equivConfig(reference), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := f.SectorSize()
+			now, err := f.Write(0, 0, runPattern(ss, 0, 8, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			readsBefore := f.Stats().UserReads
+			plan := faultinject.NewPlan(0, faultinject.Rule{
+				Kind: faultinject.KindTransient, Op: nand.OpRead, Seg: faultinject.AnySeg,
+				AfterN: 4, Times: 100,
+			})
+			plan.Arm(f.Device())
+			buf := make([]byte, 8*ss)
+			done, err := f.Read(now, 0, buf)
+			plan.Disarm(f.Device())
+			if err == nil {
+				t.Fatal("mid-run read failure did not surface")
+			}
+			if done <= now {
+				t.Fatalf("done %d does not reflect consumed time (now %d)", done, now)
+			}
+			st := f.Stats()
+			if got := st.UserReads - readsBefore; got != 3 {
+				t.Fatalf("UserReads delta = %d, want 3 (completed sectors)", got)
+			}
+		})
+	}
+}

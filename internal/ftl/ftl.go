@@ -16,7 +16,6 @@ import (
 
 	"iosnap/internal/bitmap"
 	"iosnap/internal/ftlmap"
-	"iosnap/internal/header"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
@@ -63,9 +62,19 @@ type Config struct {
 	// the relative age of the blocks").
 	VictimPolicy VictimPolicy
 
-	// MapCPUCost models the host CPU cost of one forward-map update or
-	// lookup on the I/O path.
+	// MapCPUCost models the host CPU cost of one forward-map descent on the
+	// I/O path. A multi-sector request is charged once per *leaf* its run
+	// spans in a maximally-packed tree (ftlmap.RunSpan), not once per sector — the batched data
+	// path's cost model (DESIGN.md §10).
 	MapCPUCost sim.Duration
+
+	// ReferenceDataPath selects the per-sector reference implementation of
+	// the data path: per-key map operations, per-bit validity flips, and
+	// per-page device calls, all on the exact virtual-time skeleton the
+	// batched path uses. It exists to pin the batched path's semantics (the
+	// equivalence tests run every workload both ways) and as the baseline
+	// the data-path benchmarks compare against.
+	ReferenceDataPath bool
 
 	// MergeCPUPerBlock models the cleaner's host CPU cost to determine one
 	// block's validity. The vanilla FTL consults a single bitmap; the
@@ -161,8 +170,8 @@ func (c Config) Validate() error {
 
 // Stats counts FTL-level activity.
 type Stats struct {
-	UserReads    int64
-	UserWrites   int64
+	UserReads    int64 // sectors read by the user (not calls)
+	UserWrites   int64 // sectors written by the user (not calls)
 	BytesRead    int64
 	BytesWritten int64
 	Trims        int64
@@ -187,6 +196,13 @@ type Stats struct {
 	Degraded         bool  // write path currently shedding load, refreshed on Stats()
 
 	TornPagesSkipped int64 // unparseable headers dropped during recovery scans
+
+	// Batched data-path accounting. The reference path reports the same
+	// numbers — what the batched path would have submitted — so the two
+	// paths' Stats stay comparable field for field.
+	BatchDescents  int64 // leaf descents charged for run operations
+	BatchPages     int64 // pages submitted through batch NAND entry points
+	BatchNandCalls int64 // batch NAND calls issued (one per run chunk)
 
 	Checkpoints       int64  // checkpoints committed (anchor updated)
 	CheckpointChunks  int64  // chunk pages programmed by committed checkpoints
@@ -223,6 +239,8 @@ type FTL struct {
 	stats    Stats
 
 	acct *gcAcct // incremental per-segment valid counters (gcacct.go)
+
+	ws dataPathScratch // reusable buffers for the batched data path (datapath.go)
 
 	// Checkpoint state. Chunk pages are never valid in the bitmap — they are
 	// consumed at recovery, not translated — so the pin set is what keeps the
@@ -334,95 +352,6 @@ func (f *FTL) checkIO(lba int64, n int) error {
 	return nil
 }
 
-// Read implements blockdev.Device. Unmapped sectors read as zeros.
-func (f *FTL) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	ss := f.cfg.Nand.SectorSize
-	if len(buf)%ss != 0 {
-		return now, fmt.Errorf("%w: %d", ErrBadLength, len(buf))
-	}
-	n := len(buf) / ss
-	if err := f.checkIO(lba, n); err != nil {
-		return now, err
-	}
-	done := now
-	for i := 0; i < n; i++ {
-		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
-		sector := buf[i*ss : (i+1)*ss]
-		addr, ok := f.fmap.Lookup(uint64(lba) + uint64(i))
-		if !ok {
-			for j := range sector {
-				sector[j] = 0
-			}
-			if cur > done {
-				done = cur
-			}
-			continue
-		}
-		data, _, d, err := f.devReadPage(cur, nand.PageAddr(addr))
-		if err != nil {
-			return now, fmt.Errorf("ftl: reading LBA %d: %w", lba+int64(i), err)
-		}
-		copy(sector, data) // nil data (fingerprint mode) leaves buf as-is
-		if d > done {
-			done = d
-		}
-	}
-	f.stats.UserReads++
-	f.stats.BytesRead += int64(len(buf))
-	return done, nil
-}
-
-// Write implements blockdev.Device: every sector is appended at the log
-// head, the old translation (if any) is invalidated, and the forward map is
-// updated — Remap-on-Write.
-func (f *FTL) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
-	ss := f.cfg.Nand.SectorSize
-	if len(data)%ss != 0 {
-		return now, fmt.Errorf("%w: %d", ErrBadLength, len(data))
-	}
-	n := len(data) / ss
-	if err := f.checkIO(lba, n); err != nil {
-		return now, err
-	}
-	done := now
-	for i := 0; i < n; i++ {
-		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
-		d, err := f.writeSector(cur, uint64(lba)+uint64(i), data[i*ss:(i+1)*ss])
-		if err != nil {
-			return now, err
-		}
-		if d > done {
-			done = d
-		}
-	}
-	f.stats.UserWrites += int64(n)
-	f.stats.BytesWritten += int64(len(data))
-	return done, nil
-}
-
-func (f *FTL) writeSector(now sim.Time, lba uint64, sector []byte) (sim.Time, error) {
-	addr, now, err := f.allocPage(now)
-	if err != nil {
-		return now, err
-	}
-	f.seq++
-	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: 0, Seq: f.seq}
-	done, err := f.devProgramPage(now, addr, sector, h.Marshal())
-	if err != nil {
-		f.ungetPage(addr)
-		if retry.MediaFailure(err) {
-			f.sealHead() // move future appends off the failing segment
-		}
-		return now, fmt.Errorf("ftl: programming LBA %d: %w", lba, err)
-	}
-	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
-	if prev, existed := f.fmap.Insert(lba, uint64(addr)); existed {
-		f.markInvalid(int64(prev))
-	}
-	f.markValid(int64(addr))
-	return done, nil
-}
-
 // ungetPage rolls back the most recent allocPage/allocPageGC after a failed
 // program. Without it the unprogrammed page becomes a permanent hole at the
 // log head: SequentialProg devices reject every later program in the segment
@@ -481,21 +410,6 @@ func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
 	f.maybeScheduleGC(now)
 	f.maybeScheduleCheckpoint(now)
 	return now, nil
-}
-
-// Trim implements blockdev.Trimmer: it drops translations and invalidates
-// the backing pages, making them reclaimable.
-func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
-	if err := f.checkIO(lba, int(n)); err != nil {
-		return now, err
-	}
-	for i := int64(0); i < n; i++ {
-		if prev, existed := f.fmap.Delete(uint64(lba + i)); existed {
-			f.markInvalid(int64(prev))
-		}
-	}
-	f.stats.Trims += n
-	return now.Add(sim.Duration(n) * f.cfg.MapCPUCost), nil
 }
 
 // Close checkpoints the forward map to the log and marks the FTL closed.

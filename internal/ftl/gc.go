@@ -176,7 +176,100 @@ func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
 // copyForward moves up to max valid pages of the victim starting at page
 // index cursor, returning the new cursor, the completion time, and how many
 // pages were copied.
+//
+// The quantum is planned first (destination allocation + header decode are
+// host-side) and then issued as one devCopyPages call per head segment.
+// Copies within one quantum were always pipelined — submitted together at
+// the quantum's start, serialized by the device's per-channel queues — so
+// the batch submission is virtual-time identical to the per-page reference
+// loop below (nand.CopyPages is exactly sequential-equivalent).
 func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time, int, error) {
+	if f.cfg.ReferenceDataPath {
+		return f.copyForwardRef(now, victim, cursor, max)
+	}
+	pps := f.cfg.Nand.PagesPerSegment
+	copied := 0
+	submit := now
+	maxDone := now
+	var (
+		froms, tos []nand.PageAddr
+		hs         []header.Header
+		pins       []bool
+		idxs       []int // victim page index per planned copy
+	)
+	for cursor < pps && copied < max {
+		froms, tos, hs, pins, idxs = froms[:0], tos[:0], hs[:0], pins[:0], idxs[:0]
+		room := max - copied
+		var planErr error
+		for len(froms) < room && cursor < pps {
+			idx := cursor
+			cursor++
+			old := f.dev.Addr(victim, idx)
+			// Checkpoint chunks are never valid in the bitmap (they are
+			// consumed at recovery, not translated) but the pinned generation
+			// must survive cleaning: pinned pages are copied like valid ones
+			// and the anchor follows them.
+			pinned := f.ckptPins[old]
+			if !f.validity.Test(int64(old)) && !pinned {
+				continue
+			}
+			dst, _, err := f.allocPageGC(submit)
+			if err != nil {
+				planErr = err
+				break
+			}
+			oob, err := f.dev.PageOOB(old)
+			if err != nil {
+				f.ungetPage(dst)
+				planErr = fmt.Errorf("ftl: cleaner reading header: %w", err)
+				break
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				f.ungetPage(dst)
+				planErr = fmt.Errorf("ftl: cleaner decoding header: %w", err)
+				break
+			}
+			froms = append(froms, old)
+			tos = append(tos, dst)
+			hs = append(hs, h)
+			pins = append(pins, pinned)
+			idxs = append(idxs, idx)
+			if len(froms) == 1 {
+				// Confine the batch to the current head segment so a
+				// mid-batch failure rolls back with a plain headIdx walk.
+				if r := 1 + pps - f.headIdx; r < room {
+					room = r
+				}
+			}
+		}
+		n, d, copyErr := f.devCopyPages(submit, froms, tos)
+		if d > maxDone {
+			maxDone = d
+		}
+		for j := 0; j < n; j++ {
+			f.gcFixup(froms[j], tos[j], hs[j], pins[j])
+		}
+		copied += n
+		if copyErr != nil {
+			// Hand back the destinations that were planned but never
+			// attempted, then the failing page's own (which may have landed
+			// after all — ungetPage checks). The cursor resumes just past
+			// the failing victim page, exactly as the per-page loop would.
+			f.headIdx -= len(tos) - n - 1
+			f.ungetPage(tos[n])
+			return idxs[n] + 1, maxDone, copied, fmt.Errorf("ftl: copy-forward: %w", copyErr)
+		}
+		if planErr != nil {
+			return cursor, maxDone, copied, planErr
+		}
+	}
+	return cursor, maxDone, copied, nil
+}
+
+// copyForwardRef is the per-page reference implementation of copyForward,
+// kept for the batched-vs-reference equivalence tests (Config.ReferenceDataPath).
+func (f *FTL) copyForwardRef(now sim.Time, victim, cursor, max int) (int, sim.Time, int, error) {
 	pps := f.cfg.Nand.PagesPerSegment
 	copied := 0
 	// Copies within one quantum are pipelined (submitted together, the
@@ -188,10 +281,6 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		idx := cursor
 		cursor++
 		old := f.dev.Addr(victim, idx)
-		// Checkpoint chunks are never valid in the bitmap (they are consumed
-		// at recovery, not translated) but the pinned generation must survive
-		// cleaning: pinned pages are copied like valid ones and the anchor
-		// follows them.
 		pinned := f.ckptPins[old]
 		if !f.validity.Test(int64(old)) && !pinned {
 			continue
@@ -218,27 +307,34 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 		if done > maxDone {
 			maxDone = done
 		}
-		// The destination inherits the block's age (its original seq), so
-		// segments holding cold data still look old to cost-benefit.
-		if dseg := f.dev.SegmentOf(dst); h.Seq > f.segLastSeq[dseg] {
-			f.segLastSeq[dseg] = h.Seq
-		}
-		if pinned {
-			// The pin and the anchor (or in-flight chunk list) follow the
-			// page; no translation or validity bit exists to move.
-			f.movePin(old, dst)
-		} else {
-			// Re-point the translation and move the validity bit.
-			if h.Type == header.TypeData {
-				f.fmap.Insert(h.LBA, uint64(dst))
-			}
-			f.markInvalid(int64(old))
-			f.markValid(int64(dst))
-		}
-		f.stats.GCCopied++
+		f.gcFixup(old, dst, h, pinned)
 		copied++
 	}
 	return cursor, maxDone, copied, nil
+}
+
+// gcFixup applies the host-side metadata moves for one copied page: the
+// destination inherits the block's age, pins and anchors follow pinned
+// pages, and data pages get their translation and validity bit re-pointed.
+func (f *FTL) gcFixup(old, dst nand.PageAddr, h header.Header, pinned bool) {
+	// The destination inherits the block's age (its original seq), so
+	// segments holding cold data still look old to cost-benefit.
+	if dseg := f.dev.SegmentOf(dst); h.Seq > f.segLastSeq[dseg] {
+		f.segLastSeq[dseg] = h.Seq
+	}
+	if pinned {
+		// The pin and the anchor (or in-flight chunk list) follow the
+		// page; no translation or validity bit exists to move.
+		f.movePin(old, dst)
+	} else {
+		// Re-point the translation and move the validity bit.
+		if h.Type == header.TypeData {
+			f.fmap.Insert(h.LBA, uint64(dst))
+		}
+		f.markInvalid(int64(old))
+		f.markValid(int64(dst))
+	}
+	f.stats.GCCopied++
 }
 
 // allocPageGC allocates a log-head page for the cleaner. Unlike writer

@@ -82,6 +82,17 @@ func (a *gcAcct) onClear(p int64) {
 	}
 }
 
+// onRunDelta applies delta bit transitions at once for a run contained in
+// the segment holding page p — the batched data path's bulk counterpart of
+// onSet/onClear (callers pass the number of bits that actually flipped).
+func (a *gcAcct) onRunDelta(p int64, delta int) {
+	seg := int(p) / a.f.cfg.Nand.PagesPerSegment
+	a.valid[seg] += delta
+	if e := a.bySeg[seg]; e != nil {
+		a.heapFix(e)
+	}
+}
+
 // bestGreedy returns the cleanable segment with the most invalid pages
 // (fewest valid), oldest-first on ties — or nil when nothing is reclaimable.
 // The log head and an in-flight victim are parked aside during the search.

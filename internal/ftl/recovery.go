@@ -214,21 +214,43 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 
 	// Read and validate every chunk the anchor names.
 	payloads := make([][]byte, 0, len(anchor.Addrs))
-	for _, addr := range anchor.Addrs {
-		oob, err := dev.PageOOB(addr)
-		if err != nil {
-			return nil, now, false
+	if f.cfg.ReferenceDataPath {
+		for _, addr := range anchor.Addrs {
+			oob, err := dev.PageOOB(addr)
+			if err != nil {
+				return nil, now, false
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil || h.Type != header.TypeCheckpoint {
+				return nil, now, false
+			}
+			payload, _, done, err := f.devReadPage(now, addr)
+			if err != nil {
+				return nil, now, false
+			}
+			now = done
+			payloads = append(payloads, payload)
 		}
-		h, err := header.Unmarshal(oob)
-		if err != nil || h.Type != header.TypeCheckpoint {
-			return nil, now, false
+	} else {
+		// Batched anchor load: validate the chunk headers host-side, then
+		// fetch every payload in one devReadPages call (cell reads overlap
+		// across channels instead of chaining).
+		for _, addr := range anchor.Addrs {
+			oob, err := dev.PageOOB(addr)
+			if err != nil {
+				return nil, now, false
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil || h.Type != header.TypeCheckpoint {
+				return nil, now, false
+			}
 		}
-		payload, _, done, err := f.devReadPage(now, addr)
-		if err != nil {
-			return nil, now, false
-		}
+		ds, _, k, done, err := f.devReadPages(now, anchor.Addrs)
 		now = done
-		payloads = append(payloads, payload)
+		if err != nil || k != len(anchor.Addrs) {
+			return nil, now, false
+		}
+		payloads = append(payloads, ds...)
 	}
 	stream, err := ckpt.Join(anchor.ID, payloads)
 	if err != nil {
@@ -402,18 +424,46 @@ func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, si
 		payload []byte
 	}
 	groups := make(map[uint64][]chunkPage)
-	for _, c := range chunks {
-		payload, _, done, err := f.devReadPage(now, c.addr)
-		if err != nil {
-			// A vanishing chunk disqualifies only its generation.
+	payloads := make([][]byte, len(chunks))
+	if f.cfg.ReferenceDataPath {
+		for i, c := range chunks {
+			payload, _, done, err := f.devReadPage(now, c.addr)
+			if err != nil {
+				// A vanishing chunk disqualifies only its generation.
+				continue
+			}
+			now = done
+			payloads[i] = payload
+		}
+	} else {
+		// Batched chunk load: each devReadPages call reads as far as it can;
+		// a permanently failing chunk is skipped (it disqualifies only its
+		// generation) and the batch resumes just past it.
+		addrs := make([]nand.PageAddr, len(chunks))
+		for i, c := range chunks {
+			addrs[i] = c.addr
+		}
+		base := 0
+		for base < len(addrs) {
+			ds, _, k, done, err := f.devReadPages(now, addrs[base:])
+			now = done
+			copy(payloads[base:], ds[:k])
+			base += k
+			if err == nil {
+				break
+			}
+			base++
+		}
+	}
+	for i, c := range chunks {
+		if payloads[i] == nil {
 			continue
 		}
-		now = done
-		id, ok := ckpt.ChunkID(payload)
+		id, ok := ckpt.ChunkID(payloads[i])
 		if !ok {
 			continue
 		}
-		groups[id] = append(groups[id], chunkPage{c, payload})
+		groups[id] = append(groups[id], chunkPage{c, payloads[i]})
 	}
 	// Try generations newest-first.
 	ids := make([]uint64, 0, len(groups))

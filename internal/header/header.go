@@ -94,16 +94,27 @@ var (
 	ErrTooShort   = errors.New("header: buffer too short")
 )
 
+// Len is the encoded size of a header, for callers that marshal into
+// pre-sized scratch buffers with MarshalInto.
+const Len = encodedLen
+
 // Marshal encodes h into a fresh OOB-sized buffer.
 func (h Header) Marshal() []byte {
 	b := make([]byte, encodedLen)
+	h.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes h into b, which must be at least Len bytes. It exists
+// so the per-page write path can marshal into reused scratch instead of
+// allocating a fresh buffer for every page.
+func (h Header) MarshalInto(b []byte) {
 	b[0] = magic
 	b[1] = version
 	b[2] = byte(h.Type)
 	binary.LittleEndian.PutUint64(b[3:], h.LBA)
 	binary.LittleEndian.PutUint64(b[11:], h.Epoch)
 	binary.LittleEndian.PutUint64(b[19:], h.Seq)
-	return b
 }
 
 // Unmarshal decodes a header from OOB bytes.

@@ -50,7 +50,8 @@ func (vw *View) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if vw.v.closed {
 		return now, ErrViewClosed
 	}
-	return vw.f.readVia(vw.v, now, lba, buf)
+	_, done, err := vw.f.readVia(vw.v, now, lba, buf)
+	return done, err
 }
 
 // Write implements blockdev.Device for writable views.
@@ -61,7 +62,8 @@ func (vw *View) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
 	if !vw.v.writable {
 		return now, ErrReadOnlyView
 	}
-	return vw.f.writeVia(vw.v, now, lba, data)
+	_, done, err := vw.f.writeVia(vw.v, now, lba, data)
+	return done, err
 }
 
 // CreateSnapshot snapshots a *writable* view, forking the snapshot tree

@@ -1,0 +1,424 @@
+package iosnap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// The batched data path and the per-sector reference path share one
+// virtual-time skeleton, so on any fault-free workload — including one with
+// snapshot churn — they must agree bit-for-bit: per-op completion times,
+// errors, Stats (except MapMemory: bulk-loaded leaves pack differently than
+// organically grown ones), and the device image.
+
+func equivConfig(reference bool) Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 32
+	nc.Segments = 32
+	nc.Channels = 4
+	nc.StoreData = true
+	nc.ReadLatency = 2 * sim.Microsecond
+	nc.ProgramLatency = 4 * sim.Microsecond
+	nc.EraseLatency = 50 * sim.Microsecond
+	cfg := DefaultConfig(nc)
+	cfg.GCWindow = 10 * sim.Millisecond
+	cfg.BitmapPageBits = 64
+	cfg.CoWPageCost = 10 * sim.Microsecond
+	cfg.ReferenceDataPath = reference
+	return cfg
+}
+
+type equivOp struct {
+	kind byte // 'w' write, 'r' read, 't' trim, 's' snapshot, 'd' delete-snap
+	lba  int64
+	n    int
+	ver  byte
+}
+
+func genEquivOps(seed int64, userSectors int64, count, maxRun int) []equivOp {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(userSectors-1))
+	ops := make([]equivOp, 0, count)
+	ver := byte(1)
+	seqCursor := int64(0)
+	for len(ops) < count {
+		n := 1 + rng.Intn(maxRun)
+		var lba int64
+		switch rng.Intn(3) {
+		case 0:
+			lba = seqCursor
+			if lba+int64(n) > userSectors {
+				lba = 0
+			}
+			seqCursor = lba + int64(n)
+		case 1:
+			lba = rng.Int63n(userSectors - int64(n) + 1)
+		default:
+			lba = int64(zipf.Uint64())
+			if lba+int64(n) > userSectors {
+				lba = userSectors - int64(n)
+			}
+		}
+		switch r := rng.Intn(20); {
+		case r < 10:
+			ver++
+			ops = append(ops, equivOp{'w', lba, n, ver})
+		case r < 15:
+			ops = append(ops, equivOp{'r', lba, n, 0})
+		case r < 17:
+			ops = append(ops, equivOp{'t', lba, n, 0})
+		case r < 19:
+			ops = append(ops, equivOp{'s', 0, 0, 0})
+		default:
+			ops = append(ops, equivOp{'d', 0, 0, 0})
+		}
+	}
+	return ops
+}
+
+func runPattern(ss int, lba int64, n int, ver byte) []byte {
+	b := make([]byte, n*ss)
+	for i := range b {
+		sec := lba + int64(i/ss)
+		b[i] = byte(sec) ^ byte(sec>>8) ^ ver ^ byte(i)
+	}
+	return b
+}
+
+func deviceDigest(t *testing.T, d *nand.Device) string {
+	t.Helper()
+	cfg := d.Config()
+	var b strings.Builder
+	for seg := 0; seg < cfg.Segments; seg++ {
+		for i := 0; i < cfg.PagesPerSegment; i++ {
+			a := d.Addr(seg, i)
+			if !d.IsProgrammed(a) {
+				continue
+			}
+			fp, err := d.PageFingerprint(a)
+			if err != nil {
+				t.Fatalf("fingerprint %v: %v", a, err)
+			}
+			oob, err := d.PageOOB(a)
+			if err != nil {
+				t.Fatalf("oob %v: %v", a, err)
+			}
+			fmt.Fprintf(&b, "%d/%d %x %x\n", seg, i, fp, oob)
+		}
+	}
+	return b.String()
+}
+
+func firstDigestDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: batched %q vs reference %q", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(al), len(bl))
+}
+
+func TestDataPathEquivalenceWithSnapshots(t *testing.T) {
+	for _, seed := range []int64{3, 11, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			batched, err := New(equivConfig(false), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reference, err := New(equivConfig(true), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := batched.SectorSize()
+			ops := genEquivOps(seed, batched.cfg.UserSectors, 250, 256)
+
+			now := sim.Time(0)
+			bbuf := make([]byte, 256*ss)
+			rbuf := make([]byte, 256*ss)
+			var liveSnaps []SnapshotID
+			for i, op := range ops {
+				var bd, rd sim.Time
+				var be, re error
+				switch op.kind {
+				case 'w':
+					data := runPattern(ss, op.lba, op.n, op.ver)
+					bd, be = batched.Write(now, op.lba, data)
+					rd, re = reference.Write(now, op.lba, data)
+				case 'r':
+					bd, be = batched.Read(now, op.lba, bbuf[:op.n*ss])
+					rd, re = reference.Read(now, op.lba, rbuf[:op.n*ss])
+					if string(bbuf[:op.n*ss]) != string(rbuf[:op.n*ss]) {
+						t.Fatalf("op %d (%c lba=%d n=%d): payload mismatch", i, op.kind, op.lba, op.n)
+					}
+				case 't':
+					bd, be = batched.Trim(now, op.lba, int64(op.n))
+					rd, re = reference.Trim(now, op.lba, int64(op.n))
+				case 's':
+					var bs, rs *Snapshot
+					bs, bd, be = batched.CreateSnapshot(now)
+					rs, rd, re = reference.CreateSnapshot(now)
+					if (bs == nil) != (rs == nil) {
+						t.Fatalf("op %d: snapshot presence mismatch", i)
+					}
+					if bs != nil {
+						if bs.ID != rs.ID {
+							t.Fatalf("op %d: snapshot IDs diverge: %d vs %d", i, bs.ID, rs.ID)
+						}
+						liveSnaps = append(liveSnaps, bs.ID)
+					}
+				case 'd':
+					if len(liveSnaps) == 0 {
+						continue
+					}
+					id := liveSnaps[0]
+					liveSnaps = liveSnaps[1:]
+					bd, be = batched.DeleteSnapshot(now, id)
+					rd, re = reference.DeleteSnapshot(now, id)
+				}
+				if (be == nil) != (re == nil) {
+					t.Fatalf("op %d (%c lba=%d n=%d): batched err %v, reference err %v", i, op.kind, op.lba, op.n, be, re)
+				}
+				if bd != rd {
+					t.Fatalf("op %d (%c lba=%d n=%d): batched done %d, reference done %d (Δ %d)",
+						i, op.kind, op.lba, op.n, bd, rd, bd.Sub(rd))
+				}
+				if bd > now {
+					now = bd
+				}
+				batched.Scheduler().RunUntil(now)
+				reference.Scheduler().RunUntil(now)
+			}
+
+			bs, rs := batched.Stats(), reference.Stats()
+			// Bulk-loaded leaves pack tighter than organically grown ones, so
+			// tree size is the one sanctioned divergence.
+			bs.MapMemory, rs.MapMemory = 0, 0
+			if bs != rs {
+				t.Fatalf("Stats diverge:\nbatched:   %+v\nreference: %+v", bs, rs)
+			}
+			if bdev, rdev := batched.Device().Stats(), reference.Device().Stats(); bdev != rdev {
+				t.Fatalf("device Stats diverge:\nbatched:   %+v\nreference: %+v", bdev, rdev)
+			}
+			bdig := deviceDigest(t, batched.Device())
+			rdig := deviceDigest(t, reference.Device())
+			if bdig != rdig {
+				t.Fatalf("device images diverge: %s", firstDigestDiff(bdig, rdig))
+			}
+			if bs.BatchNandCalls == 0 || bs.BatchPages <= bs.BatchNandCalls {
+				t.Fatalf("batch counters implausible: %+v", bs)
+			}
+		})
+	}
+}
+
+// TestActivatedViewEquivalence drives reads and writes through an activated
+// snapshot view on both paths and demands identical times and contents.
+func TestActivatedViewEquivalence(t *testing.T) {
+	batched, _ := New(equivConfig(false), nil)
+	reference, _ := New(equivConfig(true), nil)
+	ss := batched.SectorSize()
+	now := sim.Time(0)
+	for lba := int64(0); lba < 64; lba += 4 {
+		d1, e1 := batched.Write(now, lba, runPattern(ss, lba, 4, 1))
+		d2, e2 := reference.Write(now, lba, runPattern(ss, lba, 4, 1))
+		if e1 != nil || e2 != nil || d1 != d2 {
+			t.Fatalf("write lba %d: %v %v %d %d", lba, e1, e2, d1, d2)
+		}
+		now = d1
+	}
+	bs, bd, err := batched.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rd, err := reference.CreateSnapshot(now)
+	if err != nil || bd != rd || bs.ID != rs.ID {
+		t.Fatalf("snapshot: %v %d %d", err, bd, rd)
+	}
+	now = bd
+	// Diverge the active view so the snapshot view must read old data.
+	for lba := int64(0); lba < 64; lba += 8 {
+		d1, _ := batched.Write(now, lba, runPattern(ss, lba, 8, 2))
+		d2, _ := reference.Write(now, lba, runPattern(ss, lba, 8, 2))
+		if d1 != d2 {
+			t.Fatalf("post-snap write lba %d: %d %d", lba, d1, d2)
+		}
+		now = d1
+	}
+	bv, bd, err := batched.ActivateSync(now, bs.ID, noLimit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, rd, err := reference.ActivateSync(now, rs.ID, noLimit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd != rd {
+		t.Fatalf("activation done: %d vs %d", bd, rd)
+	}
+	now = bd
+	bbuf := make([]byte, 32*ss)
+	rbuf := make([]byte, 32*ss)
+	bd, e1 := bv.Read(now, 0, bbuf)
+	rd, e2 := rv.Read(now, 0, rbuf)
+	if e1 != nil || e2 != nil || bd != rd || string(bbuf) != string(rbuf) {
+		t.Fatalf("view read: %v %v %d %d", e1, e2, bd, rd)
+	}
+	now = bd
+	bd, e1 = bv.Write(now, 16, runPattern(ss, 16, 16, 7))
+	rd, e2 = rv.Write(now, 16, runPattern(ss, 16, 16, 7))
+	if e1 != nil || e2 != nil || bd != rd {
+		t.Fatalf("view write: %v %v %d %d", e1, e2, bd, rd)
+	}
+	now = bd
+	bd, e1 = bv.Read(now, 16, bbuf[:16*ss])
+	rd, e2 = rv.Read(now, 16, rbuf[:16*ss])
+	if e1 != nil || e2 != nil || bd != rd || string(bbuf[:16*ss]) != string(rbuf[:16*ss]) {
+		t.Fatalf("view re-read: %v %v %d %d", e1, e2, bd, rd)
+	}
+}
+
+// TestTrimClosedBeatsFrozen pins the check ordering regression: a frozen
+// FTL that is then closed must refuse Trim with ErrClosed, exactly like
+// Read and Write, not with ErrFrozen.
+func TestTrimClosedBeatsFrozen(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now, err := f.Write(0, 0, make([]byte, ss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now, err = f.Freeze(now); err != nil {
+		t.Fatal(err)
+	}
+	if now, err = f.Close(now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Trim(now, 0, 1); err != ErrClosed {
+		t.Fatalf("Trim on frozen+closed FTL: got %v, want ErrClosed", err)
+	}
+	// And frozen alone still wins on an open device.
+	f2 := newTestFTL(t)
+	now2, err := f2.Write(0, 0, make([]byte, ss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now2, err = f2.Freeze(now2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Trim(now2, 0, 1); err != ErrFrozen {
+		t.Fatalf("Trim on frozen FTL: got %v, want ErrFrozen", err)
+	}
+}
+
+// TestPartialBatchWriteAccounting: when the device permanently fails
+// mid-run, the sectors that landed stay committed and counted, and the
+// returned virtual time reflects the work actually consumed.
+func TestPartialBatchWriteAccounting(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		name := "batched"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := equivConfig(reference)
+			f, err := New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := f.SectorSize()
+			// The 5th program attempt enters a transient episode longer than
+			// the retry budget: a permanent mid-run failure at sector 4.
+			plan := faultinject.NewPlan(0, faultinject.Rule{
+				Kind: faultinject.KindTransient, Op: nand.OpProgram, Seg: faultinject.AnySeg,
+				AfterN: 5, Times: 100,
+			})
+			plan.Arm(f.Device())
+			now := sim.Time(1000)
+			done, err := f.Write(now, 0, runPattern(ss, 0, 8, 1))
+			plan.Disarm(f.Device())
+			if err == nil {
+				t.Fatal("mid-run failure did not surface")
+			}
+			if done <= now {
+				t.Fatalf("done %d does not reflect consumed time (now %d)", done, now)
+			}
+			st := f.Stats()
+			if st.UserWrites != 4 {
+				t.Fatalf("UserWrites = %d, want 4 (completed sectors)", st.UserWrites)
+			}
+			if st.BytesWritten != int64(4*ss) {
+				t.Fatalf("BytesWritten = %d, want %d", st.BytesWritten, 4*ss)
+			}
+			// The completed prefix must be durably mapped and readable.
+			buf := make([]byte, ss)
+			for lba := int64(0); lba < 4; lba++ {
+				if _, err := f.Read(done, lba, buf); err != nil {
+					t.Fatalf("completed sector %d unreadable: %v", lba, err)
+				}
+				want := runPattern(ss, lba, 1, 1)
+				if string(buf) != string(want) {
+					t.Fatalf("completed sector %d corrupted", lba)
+				}
+			}
+			// Sectors past the failure never landed: they read as zeros.
+			if _, err := f.Read(done, 5, buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range buf {
+				if c != 0 {
+					t.Fatal("unwritten sector not zero")
+				}
+			}
+		})
+	}
+}
+
+// TestPartialBatchReadAccounting: a permanent read failure mid-run counts
+// only the sectors read before it.
+func TestPartialBatchReadAccounting(t *testing.T) {
+	for _, reference := range []bool{false, true} {
+		name := "batched"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			f, err := New(equivConfig(reference), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := f.SectorSize()
+			now, err := f.Write(0, 0, runPattern(ss, 0, 8, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			readsBefore := f.Stats().UserReads
+			plan := faultinject.NewPlan(0, faultinject.Rule{
+				Kind: faultinject.KindTransient, Op: nand.OpRead, Seg: faultinject.AnySeg,
+				AfterN: 4, Times: 100,
+			})
+			plan.Arm(f.Device())
+			buf := make([]byte, 8*ss)
+			done, err := f.Read(now, 0, buf)
+			plan.Disarm(f.Device())
+			if err == nil {
+				t.Fatal("mid-run read failure did not surface")
+			}
+			if done <= now {
+				t.Fatalf("done %d does not reflect consumed time (now %d)", done, now)
+			}
+			st := f.Stats()
+			if got := st.UserReads - readsBefore; got != 3 {
+				t.Fatalf("UserReads delta = %d, want 3 (completed sectors)", got)
+			}
+		})
+	}
+}

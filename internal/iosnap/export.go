@@ -43,6 +43,63 @@ func (vw *View) Export(now sim.Time, w io.Writer) (sim.Time, error) {
 		return now, err
 	}
 
+	if vw.f.cfg.ReferenceDataPath {
+		return vw.exportRef(now, w)
+	}
+
+	// Batched destage: the stream is read through devReadPages in chunks of
+	// exportChunk, each chunk submitted as one batch (cell reads overlap
+	// across channels; the read bus serializes the transfers). A destage
+	// thread keeps a queue of reads posted, so chunk i+1 is submitted at
+	// chunk i's completion.
+	type entry struct{ lba, addr uint64 }
+	entries := make([]entry, 0, vw.v.fmap.Len())
+	vw.v.fmap.All(func(lba, addr uint64) bool {
+		entries = append(entries, entry{lba, addr})
+		return true
+	})
+	zero := make([]byte, ss)
+	addrs := make([]nand.PageAddr, 0, exportChunk)
+	for base := 0; base < len(entries); base += exportChunk {
+		chunk := entries[base:]
+		if len(chunk) > exportChunk {
+			chunk = chunk[:exportChunk]
+		}
+		addrs = addrs[:0]
+		for _, e := range chunk {
+			addrs = append(addrs, nand.PageAddr(e.addr))
+		}
+		datas, _, k, done, err := vw.f.devReadPages(now, addrs)
+		now = done
+		for j := 0; j < k; j++ {
+			var rec [8]byte
+			binary.LittleEndian.PutUint64(rec[:], chunk[j].lba)
+			if _, werr := w.Write(rec[:]); werr != nil {
+				return now, werr
+			}
+			data := datas[j]
+			if data == nil {
+				data = zero
+			}
+			if _, werr := w.Write(data); werr != nil {
+				return now, werr
+			}
+		}
+		if err != nil {
+			return now, fmt.Errorf("iosnap: exporting LBA %d: %w", chunk[k].lba, err)
+		}
+	}
+	return now, nil
+}
+
+// exportChunk is the destage read queue depth: how many block reads Export
+// posts to the device per batch.
+const exportChunk = 256
+
+// exportRef is the per-page reference destage loop (each read submitted at
+// the previous read's completion; no channel overlap).
+func (vw *View) exportRef(now sim.Time, w io.Writer) (sim.Time, error) {
+	ss := vw.f.cfg.Nand.SectorSize
 	var exportErr error
 	zero := make([]byte, ss)
 	vw.v.fmap.All(func(lba, addr uint64) bool {

@@ -300,7 +300,92 @@ func (f *FTL) cleanOnce(now sim.Time, forced bool) (sim.Time, error) {
 
 // copyForward moves up to max blocks from order[cursor:], fixing every
 // epoch's validity bits and every view's translation.
+//
+// The quantum is planned first (destination allocation + header decode are
+// host-side) and then issued as one devCopyPages call per head segment.
+// Copies within one quantum were always pipelined — submitted together at
+// the quantum's start and serialized by the device's per-channel queues —
+// so the batch submission is virtual-time identical to the per-page
+// reference loop below (nand.CopyPages is exactly sequential-equivalent).
 func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order []int, cursor, max int) (int, sim.Time, error) {
+	if f.cfg.ReferenceDataPath {
+		return f.copyForwardRef(now, victim, merged, order, cursor, max)
+	}
+	copied := 0
+	submit := now
+	maxDone := now
+	pps := f.cfg.Nand.PagesPerSegment
+	var (
+		froms, tos []nand.PageAddr
+		hs         []header.Header
+		pins       []bool
+	)
+	for cursor < len(order) && copied < max {
+		froms, tos, hs, pins = froms[:0], tos[:0], hs[:0], pins[:0]
+		room := max - copied
+		var planErr error
+		for len(froms) < room && cursor < len(order) {
+			idx := order[cursor]
+			cursor++
+			old := f.dev.Addr(victim, idx)
+			dst, _, err := f.allocPageGC(submit)
+			if err != nil {
+				planErr = err
+				break
+			}
+			oob, err := f.dev.PageOOB(old)
+			if err != nil {
+				f.ungetPage(dst)
+				planErr = fmt.Errorf("iosnap: cleaner reading header: %w", err)
+				break
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				f.ungetPage(dst)
+				planErr = fmt.Errorf("iosnap: cleaner decoding header: %w", err)
+				break
+			}
+			froms = append(froms, old)
+			tos = append(tos, dst)
+			hs = append(hs, h)
+			pins = append(pins, f.ckptPins[old])
+			if len(froms) == 1 {
+				// Confine the batch to the current head segment so a
+				// mid-batch failure rolls back with a plain headIdx walk.
+				if r := 1 + pps - f.headIdx; r < room {
+					room = r
+				}
+			}
+		}
+		n, d, copyErr := f.devCopyPages(submit, froms, tos)
+		if d > maxDone {
+			maxDone = d
+		}
+		for j := 0; j < n; j++ {
+			f.gcFixup(victim, froms[j], tos[j], hs[j], pins[j])
+		}
+		copied += n
+		if copyErr != nil {
+			// Hand back the destinations that were planned but never
+			// attempted, then the failing page's own (which may have landed
+			// after all — ungetPage checks). The cursor resumes just past
+			// the failing entry in order, exactly as the per-page loop would.
+			unattempted := len(tos) - n - 1
+			f.headIdx -= unattempted
+			f.ungetPage(tos[n])
+			cursor -= unattempted
+			return cursor, maxDone, fmt.Errorf("iosnap: copy-forward: %w", copyErr)
+		}
+		if planErr != nil {
+			return cursor, maxDone, planErr
+		}
+	}
+	return cursor, maxDone, nil
+}
+
+// copyForwardRef is the per-page reference implementation of copyForward,
+// kept for the batched-vs-reference equivalence tests (Config.ReferenceDataPath).
+func (f *FTL) copyForwardRef(now sim.Time, victim int, merged *bitmap.Bitmap, order []int, cursor, max int) (int, sim.Time, error) {
 	copied := 0
 	// Copies within one quantum are pipelined: all are submitted at the
 	// quantum's start and the device's per-channel queues serialize them,
@@ -335,77 +420,85 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 		if done > maxDone {
 			maxDone = done
 		}
-		// The destination inherits the block's age (its original seq), so
-		// segments holding cold data still look old to cost-benefit.
-		dseg := f.dev.SegmentOf(dst)
-		if h.Seq > f.segLastSeq[dseg] {
-			f.segLastSeq[dseg] = h.Seq
-		}
-		// Checkpoint chunks carry chunk geometry in the Epoch field, not an
-		// epoch: they contribute nothing to presence, and their pin follows
-		// the page instead of validity bits.
-		if !h.Type.IsCheckpoint() {
-			f.presence.add(dseg, bitmap.Epoch(h.Epoch))
-		}
-		if pinned {
-			f.movePin(old, dst)
-		}
-
-		// Step 3: re-point every live epoch that saw the old block. In the
-		// worst case this flips bits in as many maps as there are epochs.
-		// Holders MUST be computed before any mutation: clearing an
-		// ancestor's bit first would make an inheriting descendant test
-		// false and silently lose the block.
-		var holders []bitmap.Epoch
-		for _, e := range f.vstore.Epochs() {
-			if !f.vstore.Deleted(e) && f.vstore.Test(e, int64(old)) {
-				holders = append(holders, e)
-			}
-		}
-		// Epochs() enumerates in map order; the clear/set order below decides
-		// which epochs pay CoW push-down copies, so fix it for reproducibility.
-		sort.Slice(holders, func(a, b int) bool { return holders[a] < holders[b] })
-		for _, e := range holders {
-			f.vstore.Clear(e, int64(old))
-			f.vstore.Set(e, int64(dst))
-		}
-		// Mirror the re-point in the incremental accounting: the holders are
-		// known exactly here, so both the merged and the frozen caches can be
-		// fixed without a rebuild.
-		frozenHolder := false
-		for _, e := range holders {
-			isView := false
-			for _, v := range f.views {
-				if v.epoch == e {
-					isView = true
-					break
-				}
-			}
-			if !isView {
-				frozenHolder = true
-				break
-			}
-		}
-		f.acct.onBlockMoved(old, dst, len(holders) > 0, frozenHolder)
-		// Step 4: re-point forward maps.
-		if h.Type == header.TypeData {
-			for _, v := range f.views {
-				if cur, ok := v.fmap.Lookup(h.LBA); ok && cur == uint64(old) {
-					v.fmap.Insert(h.LBA, uint64(dst))
-				}
-			}
-		}
-		// Keep in-flight activations coherent.
-		for _, a := range f.activations {
-			a.onBlockMoved(old, dst, h)
-		}
-		f.stats.GCCopied++
-		if f.dev.SegmentHealth(victim) != nand.Healthy {
-			f.stats.RescuedPages++
-		}
+		f.gcFixup(victim, old, dst, h, pinned)
 		copied++
 	}
 	return cursor, maxDone, nil
+}
+
+// gcFixup applies the host-side metadata moves for one copied block: the
+// destination inherits the block's age and epoch presence, pins and anchors
+// follow pinned pages, every holding epoch's validity bit is re-pointed
+// (step 3), and every view's forward map entry follows (step 4).
+func (f *FTL) gcFixup(victim int, old, dst nand.PageAddr, h header.Header, pinned bool) {
+	// The destination inherits the block's age (its original seq), so
+	// segments holding cold data still look old to cost-benefit.
+	dseg := f.dev.SegmentOf(dst)
+	if h.Seq > f.segLastSeq[dseg] {
+		f.segLastSeq[dseg] = h.Seq
+	}
+	// Checkpoint chunks carry chunk geometry in the Epoch field, not an
+	// epoch: they contribute nothing to presence, and their pin follows
+	// the page instead of validity bits.
+	if !h.Type.IsCheckpoint() {
+		f.presence.add(dseg, bitmap.Epoch(h.Epoch))
+	}
+	if pinned {
+		f.movePin(old, dst)
+	}
+
+	// Step 3: re-point every live epoch that saw the old block. In the
+	// worst case this flips bits in as many maps as there are epochs.
+	// Holders MUST be computed before any mutation: clearing an
+	// ancestor's bit first would make an inheriting descendant test
+	// false and silently lose the block.
+	var holders []bitmap.Epoch
+	for _, e := range f.vstore.Epochs() {
+		if !f.vstore.Deleted(e) && f.vstore.Test(e, int64(old)) {
+			holders = append(holders, e)
+		}
+	}
+	// Epochs() enumerates in map order; the clear/set order below decides
+	// which epochs pay CoW push-down copies, so fix it for reproducibility.
+	sort.Slice(holders, func(a, b int) bool { return holders[a] < holders[b] })
+	for _, e := range holders {
+		f.vstore.Clear(e, int64(old))
+		f.vstore.Set(e, int64(dst))
+	}
+	// Mirror the re-point in the incremental accounting: the holders are
+	// known exactly here, so both the merged and the frozen caches can be
+	// fixed without a rebuild.
+	frozenHolder := false
+	for _, e := range holders {
+		isView := false
+		for _, v := range f.views {
+			if v.epoch == e {
+				isView = true
+				break
+			}
+		}
+		if !isView {
+			frozenHolder = true
+			break
+		}
+	}
+	f.acct.onBlockMoved(old, dst, len(holders) > 0, frozenHolder)
+	// Step 4: re-point forward maps.
+	if h.Type == header.TypeData {
+		for _, v := range f.views {
+			if cur, ok := v.fmap.Lookup(h.LBA); ok && cur == uint64(old) {
+				v.fmap.Insert(h.LBA, uint64(dst))
+			}
+		}
+	}
+	// Keep in-flight activations coherent.
+	for _, a := range f.activations {
+		a.onBlockMoved(old, dst, h)
+	}
+	f.stats.GCCopied++
+	if f.dev.SegmentHealth(victim) != nand.Healthy {
+		f.stats.RescuedPages++
+	}
 }
 
 // finishClean erases the victim and returns it to the pool — or retires it.

@@ -146,6 +146,56 @@ func (a *gcAcct) onViewClear(ve bitmap.Epoch, p int64) {
 	a.heapFix(e)
 }
 
+// onViewSetRun is onViewSet over one segment-contained physical run: the
+// merged cache absorbs the range word-at-a-time and the heap fixes once,
+// recording exactly the transitions per-bit calls would have.
+func (a *gcAcct) onViewSetRun(lo, hi int64) {
+	e, rel := a.entryFor(lo)
+	if e == nil {
+		return
+	}
+	n := hi - lo
+	delta := int(n) - e.merged.CountRange(rel, rel+n)
+	if delta > 0 {
+		e.merged.SetRange(rel, rel+n)
+		e.valid += delta
+		a.heapFix(e)
+	}
+}
+
+// onViewClearRun is onViewClear over one segment-contained run. The
+// per-bit holder checks (frozen cache, other live views) cannot be
+// batched — they depend on each bit's cross-epoch state — but the heap
+// fixes once for the whole run.
+func (a *gcAcct) onViewClearRun(ve bitmap.Epoch, lo, hi int64) {
+	e, rel := a.entryFor(lo)
+	if e == nil {
+		return
+	}
+	delta := 0
+	for p, r := lo, rel; p < hi; p, r = p+1, r+1 {
+		if !e.merged.Test(r) || e.frozen.Test(r) {
+			continue
+		}
+		held := false
+		for _, v := range a.f.views {
+			if v.epoch != ve && a.f.vstore.Test(v.epoch, p) {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
+		}
+		e.merged.Clear(r)
+		delta++
+	}
+	if delta > 0 {
+		e.valid -= delta
+		a.heapFix(e)
+	}
+}
+
 // onBlockMoved records a cleaner copy-forward: every live holder's validity
 // bit moved from old to dst. frozenHolder reports whether any holder epoch
 // does not back a view, i.e. whether the frozen cache's bit moves too.

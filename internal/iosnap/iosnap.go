@@ -94,8 +94,17 @@ type Config struct {
 	// policy sketch; an ablation in this repo).
 	EpochSegregation bool
 
-	// MapCPUCost is the host cost of one forward-map operation.
+	// MapCPUCost is the host cost of one forward-map descent. A multi-sector
+	// request is charged once per *leaf* its run spans in a maximally-packed tree (ftlmap.RunSpan),
+	// not once per sector — the batched data path's cost model (DESIGN.md
+	// §10).
 	MapCPUCost sim.Duration
+	// ReferenceDataPath selects the per-sector reference implementation of
+	// the data path: per-key map operations, per-bit validity flips, and
+	// per-page device calls, on the exact virtual-time skeleton the batched
+	// path uses. The equivalence tests run workloads both ways and demand
+	// identical device state, Stats, and completion times.
+	ReferenceDataPath bool
 	// MergeCPUPerBlock is the host cost, per block per epoch, of validity
 	// merging in the cleaner (Table 4's "validity merge" column).
 	MergeCPUPerBlock sim.Duration
@@ -225,8 +234,8 @@ func (c Config) Validate() error {
 
 // Stats counts ioSnap activity.
 type Stats struct {
-	UserReads    int64
-	UserWrites   int64
+	UserReads    int64 // sectors read by the user (not calls)
+	UserWrites   int64 // sectors written by the user (not calls)
 	BytesRead    int64
 	BytesWritten int64
 	Trims        int64
@@ -253,6 +262,13 @@ type Stats struct {
 	GCCacheRebuildPages int64 // pages passed over by those rebuilds
 
 	TornPagesSkipped int64 // unparseable OOB headers tolerated during recovery/activation scans
+
+	// Batched data-path accounting. The reference path reports the same
+	// numbers — what the batched path would have submitted — so the two
+	// paths' Stats stay comparable field for field.
+	BatchDescents  int64 // leaf descents charged for run operations
+	BatchPages     int64 // pages submitted through batch NAND entry points
+	BatchNandCalls int64 // batch NAND calls issued (one per run chunk)
 
 	Checkpoints       int64  // checkpoint generations committed
 	CheckpointChunks  int64  // chunk pages programmed by committed generations
@@ -342,6 +358,8 @@ type FTL struct {
 	frozen       bool
 	activations  []*Activation // in-flight activations (cleaner keeps them consistent)
 	stats        Stats
+
+	ws dataPathScratch // reusable buffers for the batched data path (datapath.go)
 }
 
 // New formats a fresh device. See ftl.New for the scheduler contract.
@@ -437,151 +455,29 @@ func (f *FTL) checkIO(lba int64, n int) error {
 	return nil
 }
 
-// Read implements blockdev.Device on the active view.
+// Read implements blockdev.Device on the active view. Reads that fail
+// mid-run report the sectors completed before the failure in
+// UserReads/BytesRead and return the virtual time already consumed.
 func (f *FTL) Read(now sim.Time, lba int64, buf []byte) (sim.Time, error) {
 	if f.closed {
 		return now, ErrClosed
 	}
-	done, err := f.readVia(f.active, now, lba, buf)
-	if err != nil {
-		return now, err
-	}
-	f.stats.UserReads++
-	f.stats.BytesRead += int64(len(buf))
-	return done, nil
+	completed, done, err := f.readVia(f.active, now, lba, buf)
+	f.stats.UserReads += int64(completed)
+	f.stats.BytesRead += int64(completed) * int64(f.cfg.Nand.SectorSize)
+	return done, err
 }
 
-func (f *FTL) readVia(v *view, now sim.Time, lba int64, buf []byte) (sim.Time, error) {
-	ss := f.cfg.Nand.SectorSize
-	if len(buf)%ss != 0 {
-		return now, fmt.Errorf("%w: %d", ErrBadLength, len(buf))
-	}
-	n := len(buf) / ss
-	if err := f.checkIO(lba, n); err != nil {
-		return now, err
-	}
-	done := now
-	for i := 0; i < n; i++ {
-		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
-		sector := buf[i*ss : (i+1)*ss]
-		addr, ok := v.fmap.Lookup(uint64(lba) + uint64(i))
-		if !ok {
-			for j := range sector {
-				sector[j] = 0
-			}
-			if cur > done {
-				done = cur
-			}
-			continue
-		}
-		data, _, d, err := f.devReadPage(cur, nand.PageAddr(addr))
-		if err != nil {
-			return now, fmt.Errorf("iosnap: reading LBA %d: %w", lba+int64(i), err)
-		}
-		copy(sector, data)
-		if d > done {
-			done = d
-		}
-	}
-	return done, nil
-}
-
-// Write implements blockdev.Device on the active view.
+// Write implements blockdev.Device on the active view. Like Read, a mid-run
+// device failure leaves the completed sectors committed and counted.
 func (f *FTL) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
 	if f.closed {
 		return now, ErrClosed
 	}
-	done, err := f.writeVia(f.active, now, lba, data)
-	if err != nil {
-		return now, err
-	}
-	f.stats.UserWrites += int64(len(data) / f.cfg.Nand.SectorSize)
-	f.stats.BytesWritten += int64(len(data))
-	return done, nil
-}
-
-func (f *FTL) writeVia(v *view, now sim.Time, lba int64, data []byte) (sim.Time, error) {
-	if f.frozen {
-		return now, ErrFrozen
-	}
-	ss := f.cfg.Nand.SectorSize
-	if len(data)%ss != 0 {
-		return now, fmt.Errorf("%w: %d", ErrBadLength, len(data))
-	}
-	n := len(data) / ss
-	if err := f.checkIO(lba, n); err != nil {
-		return now, err
-	}
-	done := now
-	for i := 0; i < n; i++ {
-		cur := now.Add(sim.Duration(i+1) * f.cfg.MapCPUCost)
-		d, err := f.writeSector(v, cur, uint64(lba)+uint64(i), data[i*ss:(i+1)*ss])
-		if err != nil {
-			return now, err
-		}
-		if d > done {
-			done = d
-		}
-	}
-	return done, nil
-}
-
-// writeSector is the ioSnap Remap-on-Write data path. Note the absence of
-// per-snapshot work: regardless of how many snapshots exist, the path is one
-// map update plus (at most) two validity-bit flips, which only slow down
-// when a flip lands on a bitmap page frozen by the latest snapshot (the CoW
-// copy whose cost Figure 7 plots).
-func (f *FTL) writeSector(v *view, now sim.Time, lba uint64, sector []byte) (sim.Time, error) {
-	addr, now, err := f.allocPage(now)
-	if err != nil {
-		return now, err
-	}
-	f.seq++
-	h := header.Header{Type: header.TypeData, LBA: lba, Epoch: uint64(v.epoch), Seq: f.seq}
-	done, err := f.devProgramPage(now, addr, sector, h.Marshal())
-	if err != nil {
-		f.ungetPage(addr)
-		if retry.MediaFailure(err) {
-			f.sealHead()
-		}
-		return now, fmt.Errorf("iosnap: programming LBA %d: %w", lba, err)
-	}
-	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
-	f.presence.add(f.dev.SegmentOf(addr), v.epoch)
-	cows := 0
-	if prev, existed := v.fmap.Insert(lba, uint64(addr)); existed {
-		if f.vstore.Clear(v.epoch, int64(prev)) {
-			cows++
-		}
-		f.acct.onViewClear(v.epoch, int64(prev))
-	}
-	if f.vstore.Set(v.epoch, int64(addr)) {
-		cows++
-	}
-	f.acct.onViewSet(int64(addr))
-	if cows > 0 {
-		done = done.Add(sim.Duration(cows) * f.cfg.CoWPageCost)
-	}
-	return done, nil
-}
-
-// Trim drops active-view translations. The pages remain live in any
-// snapshot that captured them; only the active epoch's bits clear.
-func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
-	if f.frozen {
-		return now, ErrFrozen
-	}
-	if err := f.checkIO(lba, int(n)); err != nil {
-		return now, err
-	}
-	for i := int64(0); i < n; i++ {
-		if prev, existed := f.active.fmap.Delete(uint64(lba + i)); existed {
-			f.vstore.Clear(f.active.epoch, int64(prev))
-			f.acct.onViewClear(f.active.epoch, int64(prev))
-		}
-	}
-	f.stats.Trims += n
-	return now.Add(sim.Duration(n) * f.cfg.MapCPUCost), nil
+	completed, done, err := f.writeVia(f.active, now, lba, data)
+	f.stats.UserWrites += int64(completed)
+	f.stats.BytesWritten += int64(completed) * int64(f.cfg.Nand.SectorSize)
+	return done, err
 }
 
 // allocPage returns the next log-head page, forcing synchronous cleaning

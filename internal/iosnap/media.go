@@ -84,6 +84,121 @@ func (f *FTL) devScanSegmentOOB(now sim.Time, seg int) (oobs [][]byte, done sim.
 	return oobs, done, err
 }
 
+// devProgramPages is the batched data path's program boundary: one device
+// call for the whole run. The batch call counts as each page's first
+// attempt; when a page fails transiently, it alone re-enters the policy's
+// backoff schedule (retry.DoFrom) and, once it lands, the remainder of the
+// batch resumes at the recovered page's completion time. Returns how many
+// pages landed, the completion time of the landed pages, and the first
+// unrecovered error.
+func (f *FTL) devProgramPages(now sim.Time, addrs []nand.PageAddr, datas, oobs [][]byte) (n int, done sim.Time, err error) {
+	done = now
+	at := now
+	for n < len(addrs) {
+		k, d, e := f.dev.ProgramPages(at, addrs[n:], datas[n:], oobs[n:])
+		n += k
+		if d > done {
+			done = d
+		}
+		if e == nil {
+			return n, done, nil
+		}
+		d2, retries, e2 := f.cfg.Retry.DoFrom(at, 1, e, func(t sim.Time) (sim.Time, error) {
+			return f.dev.ProgramPage(t, addrs[n], datas[n], oobs[n])
+		})
+		f.stats.Retries += retries
+		if d2 > done {
+			done = d2
+		}
+		if e2 != nil {
+			if retry.MediaFailure(e2) {
+				f.markSuspect(f.dev.SegmentOf(addrs[n]))
+			}
+			return n, done, e2
+		}
+		n++
+		at = d2
+	}
+	return n, done, nil
+}
+
+// devReadPages is the batched read boundary, with the same per-page retry
+// continuation as devProgramPages. Returned slices alias device memory and
+// per-FTL scratch: they are valid until the next devReadPages call, so
+// callers that loop must copy out what they keep (slice headers suffice —
+// the device page memory itself is stable).
+func (f *FTL) devReadPages(now sim.Time, addrs []nand.PageAddr) (datas, oobs [][]byte, n int, done sim.Time, err error) {
+	done = now
+	at := now
+	datas = f.ws.rdatas[:0]
+	oobs = f.ws.roobs[:0]
+	defer func() { f.ws.rdatas, f.ws.roobs = datas, oobs }()
+	for n < len(addrs) {
+		k, d, e := f.dev.ReadPagesInto(at, addrs[n:], &datas, &oobs)
+		n += k
+		if d > done {
+			done = d
+		}
+		if e == nil {
+			return datas, oobs, n, done, nil
+		}
+		var data, oob []byte
+		d2, retries, e2 := f.cfg.Retry.DoFrom(at, 1, e, func(t sim.Time) (sim.Time, error) {
+			var e3 error
+			data, oob, t, e3 = f.dev.ReadPage(t, addrs[n])
+			return t, e3
+		})
+		f.stats.Retries += retries
+		if d2 > done {
+			done = d2
+		}
+		if e2 != nil {
+			if retry.MediaFailure(e2) {
+				f.markSuspect(f.dev.SegmentOf(addrs[n]))
+			}
+			return datas, oobs, n, done, e2
+		}
+		datas = append(datas, data)
+		oobs = append(oobs, oob)
+		n++
+		at = d2
+	}
+	return datas, oobs, n, done, nil
+}
+
+// devCopyPages is the cleaner's batched copy-forward boundary. Failure
+// attribution matches devCopyPage: the source segment is suspected.
+func (f *FTL) devCopyPages(now sim.Time, froms, tos []nand.PageAddr) (n int, done sim.Time, err error) {
+	done = now
+	at := now
+	for n < len(froms) {
+		k, d, e := f.dev.CopyPages(at, froms[n:], tos[n:])
+		n += k
+		if d > done {
+			done = d
+		}
+		if e == nil {
+			return n, done, nil
+		}
+		d2, retries, e2 := f.cfg.Retry.DoFrom(at, 1, e, func(t sim.Time) (sim.Time, error) {
+			return f.dev.CopyPage(t, froms[n], tos[n])
+		})
+		f.stats.Retries += retries
+		if d2 > done {
+			done = d2
+		}
+		if e2 != nil {
+			if retry.MediaFailure(e2) {
+				f.markSuspect(f.dev.SegmentOf(froms[n]))
+			}
+			return n, done, e2
+		}
+		n++
+		at = d2
+	}
+	return n, done, nil
+}
+
 // retireSegment removes a fully-rescued segment from service: the device
 // refuses further programs/erases, and the segment leaves both pools and
 // the presence summary for good. Callers must have moved every merged-valid

@@ -343,21 +343,47 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 		payload    []byte
 	}
 	streams := make(map[header.Type][]chunkPage)
-	for _, addr := range anchor.Addrs {
-		oob, err := dev.PageOOB(addr)
-		if err != nil {
-			return nil, now, false
+	if f.cfg.ReferenceDataPath {
+		for _, addr := range anchor.Addrs {
+			oob, err := dev.PageOOB(addr)
+			if err != nil {
+				return nil, now, false
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil || !h.Type.IsCheckpoint() {
+				return nil, now, false
+			}
+			payload, _, done, err := f.devReadPage(now, addr)
+			if err != nil {
+				return nil, now, false
+			}
+			now = done
+			streams[h.Type] = append(streams[h.Type], chunkPage{idx: h.LBA, total: h.Epoch, payload: payload})
 		}
-		h, err := header.Unmarshal(oob)
-		if err != nil || !h.Type.IsCheckpoint() {
-			return nil, now, false
+	} else {
+		// Batched anchor load: validate the chunk headers host-side, then
+		// fetch every chunk payload in one devReadPages call (cell reads
+		// overlap across channels instead of chaining).
+		hs := make([]header.Header, 0, len(anchor.Addrs))
+		for _, addr := range anchor.Addrs {
+			oob, err := dev.PageOOB(addr)
+			if err != nil {
+				return nil, now, false
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil || !h.Type.IsCheckpoint() {
+				return nil, now, false
+			}
+			hs = append(hs, h)
 		}
-		payload, _, done, err := f.devReadPage(now, addr)
-		if err != nil {
-			return nil, now, false
-		}
+		payloads, _, k, done, err := f.devReadPages(now, anchor.Addrs)
 		now = done
-		streams[h.Type] = append(streams[h.Type], chunkPage{idx: h.LBA, total: h.Epoch, payload: payload})
+		if err != nil || k != len(anchor.Addrs) {
+			return nil, now, false
+		}
+		for i, h := range hs {
+			streams[h.Type] = append(streams[h.Type], chunkPage{idx: h.LBA, total: h.Epoch, payload: payloads[i]})
+		}
 	}
 	// Each of the three streams must be complete ({0..total-1}, one copy
 	// each) and decode against the anchor's generation and one shared

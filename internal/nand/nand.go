@@ -18,6 +18,7 @@
 package nand
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -383,30 +384,49 @@ func (d *Device) channelFor(addr PageAddr) *sim.Resource {
 
 // Fingerprint computes the 64-bit integrity fingerprint of a payload; it is
 // what fingerprint-mode devices retain in lieu of data. Small payloads are
-// hashed in full (FNV-1a); large ones sample the head, middle, and tail
-// plus the length, keeping the per-program cost flat so multi-gigabyte
-// experiments are not dominated by hashing.
+// hashed in full; large ones sample the head, middle, and tail plus the
+// length, keeping the per-program cost flat so multi-gigabyte experiments
+// are not dominated by hashing. Hashing is word-at-a-time: the fingerprint
+// is charged on every page program, so it sits on the hot path of every
+// simulated write and must stay a small fraction of per-page host cost.
 func Fingerprint(b []byte) uint64 {
 	const sampleThreshold = 512
+	h := mix64(14695981039346656037, uint64(len(b)))
 	if len(b) <= sampleThreshold {
-		return fnv1a(14695981039346656037, b)
+		return hashWords(h, b)
 	}
-	h := fnv1a(14695981039346656037, []byte{
-		byte(len(b)), byte(len(b) >> 8), byte(len(b) >> 16), byte(len(b) >> 24),
-	})
-	h = fnv1a(h, b[:128])
+	// Three single-word probes. Small payloads (every sub-512B test config)
+	// still hash in full; big pages trade collision strength for a flat
+	// ~4-multiply cost, which is what keeps multi-gigabyte experiments from
+	// being dominated by integrity hashing.
 	mid := len(b) / 2
-	h = fnv1a(h, b[mid:mid+128])
-	h = fnv1a(h, b[len(b)-128:])
+	h = mix64(h, binary.LittleEndian.Uint64(b))
+	h = mix64(h, binary.LittleEndian.Uint64(b[mid:]))
+	h = mix64(h, binary.LittleEndian.Uint64(b[len(b)-8:]))
 	return h
 }
 
-func fnv1a(h uint64, b []byte) uint64 {
-	const prime64 = 1099511628211
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
+func hashWords(h uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		h = mix64(h, binary.LittleEndian.Uint64(b))
+		b = b[8:]
 	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		h = mix64(h, binary.LittleEndian.Uint64(tail[:])^uint64(len(b)))
+	}
+	return h
+}
+
+func mix64(h, x uint64) uint64 {
+	// One multiply per word (FNV-style over 64-bit lanes) with a final
+	// rotate-free avalanche left to the caller's last mix: this runs for
+	// every programmed page, so each extra instruction here is paid
+	// millions of times per experiment.
+	h ^= x
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
 	return h
 }
 
@@ -570,8 +590,11 @@ func (d *Device) EraseSegment(now sim.Time, seg int) (sim.Time, error) {
 		// but unreliable. The caller decides whether to retry or retire.
 		return now, fmt.Errorf("%w: segment %d wear-out after %d erases", ErrWornOut, seg, s.erases)
 	}
+	// Only the state byte needs resetting: oob/fp/data are unreadable while
+	// erased and fully rewritten on the next program. Keeping data's capacity
+	// also lets StoreData configs reuse page buffers across erase cycles.
 	for i := range s.pages {
-		s.pages[i] = page{}
+		s.pages[i].state = pageErased
 	}
 	s.nextProg = 0
 	s.erases++

@@ -59,18 +59,40 @@ func MediaFailure(err error) bool {
 // number of retries performed (0 when the first attempt decided), and the
 // final error.
 func (p Policy) Do(now sim.Time, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
+	done, err = op(now)
+	if err == nil {
+		return done, 0, nil
+	}
+	return p.DoFrom(now, 1, err, op)
+}
+
+// DoFrom continues a retry schedule whose first `attempted` attempts
+// already ran elsewhere — the batched data path's case, where a multi-page
+// device call counts as each page's first attempt and only the failing
+// page re-enters the per-page loop. lastErr is the most recent attempt's
+// error, observed at virtual time now; DoFrom performs the remaining
+// attempts with the backoff schedule continuing where Do's would be (the
+// delay before attempt k+1 is Backoff·2^(k-1)). retries counts only the
+// attempts DoFrom itself performs, so a caller adding them to a stats
+// counter matches Do's accounting exactly: total attempts - 1.
+func (p Policy) DoFrom(now sim.Time, attempted int, lastErr error, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
 	maxAttempts := p.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	if attempted < 1 {
+		attempted = 1
+	}
 	backoff := p.Backoff
-	for attempt := 1; ; attempt++ {
-		done, err = op(now)
-		if err == nil || attempt >= maxAttempts || !Transient(err) {
-			return done, retries, err
-		}
+	for i := 1; i < attempted; i++ {
+		backoff *= 2
+	}
+	done, err = now, lastErr
+	for attempt := attempted; err != nil && Transient(err) && attempt < maxAttempts; attempt++ {
 		retries++
 		now = now.Add(backoff)
 		backoff *= 2
+		done, err = op(now)
 	}
+	return done, retries, err
 }

@@ -89,3 +89,56 @@ func TestClassifiers(t *testing.T) {
 		}
 	}
 }
+
+// TestDoFromContinuesSchedule: splitting a retry sequence into "first
+// attempt elsewhere + DoFrom for the rest" must reproduce Do's attempt
+// times and its retry count exactly — that is what lets the batched data
+// path count a failed multi-page call as each page's first attempt.
+func TestDoFromContinuesSchedule(t *testing.T) {
+	p := Policy{MaxAttempts: 4, Backoff: 100 * sim.Microsecond}
+	run := func(split bool) (times []sim.Time, retries int64, err error) {
+		failures := 2 // succeed on attempt 3
+		op := func(at sim.Time) (sim.Time, error) {
+			times = append(times, at)
+			if failures > 0 {
+				failures--
+				return at, nand.ErrTransient
+			}
+			return at.Add(5 * sim.Microsecond), nil
+		}
+		now := sim.Time(1000)
+		if !split {
+			_, retries, err = p.Do(now, op)
+			return times, retries, err
+		}
+		_, firstErr := op(now)
+		failuresSeen := int64(0)
+		_, failRetries, err := p.DoFrom(now, 1, firstErr, op)
+		retries = failuresSeen + failRetries
+		return times, retries, err
+	}
+	doTimes, doRetries, doErr := run(false)
+	fromTimes, fromRetries, fromErr := run(true)
+	if fmt.Sprint(doTimes) != fmt.Sprint(fromTimes) {
+		t.Fatalf("attempt times differ: Do %v, DoFrom %v", doTimes, fromTimes)
+	}
+	if doRetries != fromRetries || (doErr == nil) != (fromErr == nil) {
+		t.Fatalf("retries/err differ: Do (%d,%v), DoFrom (%d,%v)", doRetries, doErr, fromRetries, fromErr)
+	}
+}
+
+// TestDoFromExhaustedBudget: when the prior attempts already consumed the
+// whole budget, DoFrom performs no attempts and reports the prior error.
+func TestDoFromExhaustedBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 2, Backoff: time100()}
+	calls := 0
+	done, retries, err := p.DoFrom(500, 2, nand.ErrTransient, func(at sim.Time) (sim.Time, error) {
+		calls++
+		return at, nil
+	})
+	if calls != 0 || retries != 0 || done != 500 || !Transient(err) {
+		t.Fatalf("calls=%d retries=%d done=%v err=%v", calls, retries, done, err)
+	}
+}
+
+func time100() sim.Duration { return 100 * sim.Microsecond }

@@ -92,3 +92,67 @@ awk "BEGIN { exit !($rspeedup >= 10) }" || {
 	echo "bench.sh: recovery header-page speedup $rspeedup below the 10x acceptance floor" >&2
 	exit 1
 }
+
+# Batched data path benchmark: host ns/op of the batched scatter-gather
+# path vs the per-sector reference implementation, 256-sector (1M) ops on
+# both FTLs. Virtual bandwidth is identical by construction (the equivalence
+# tests assert it); the JSON records it once per op kind as a sanity figure.
+dout=BENCH_datapath.json
+
+echo "== go test -bench (batched vs reference data path, 1M ops)"
+go test . -run '^$' \
+	-bench 'BenchmarkDataPath(Batched|Reference)(Write|Read)/(ftl|iosnap)/1M' \
+	-benchtime=4000x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+$1 ~ /^BenchmarkDataPathBatchedWrite\/ftl\/1M/      { bwf = $3; wgb = metric("virtual-GB/s") }
+$1 ~ /^BenchmarkDataPathBatchedWrite\/iosnap\/1M/   { bwi = $3 }
+$1 ~ /^BenchmarkDataPathReferenceWrite\/ftl\/1M/    { rwf = $3 }
+$1 ~ /^BenchmarkDataPathReferenceWrite\/iosnap\/1M/ { rwi = $3 }
+$1 ~ /^BenchmarkDataPathBatchedRead\/ftl\/1M/       { brf = $3; rgb = metric("virtual-GB/s") }
+$1 ~ /^BenchmarkDataPathBatchedRead\/iosnap\/1M/    { bri = $3 }
+$1 ~ /^BenchmarkDataPathReferenceRead\/ftl\/1M/     { rrf = $3 }
+$1 ~ /^BenchmarkDataPathReferenceRead\/iosnap\/1M/  { rri = $3 }
+END {
+	if (bwf == "" || bwi == "" || rwf == "" || rwi == "" ||
+	    brf == "" || bri == "" || rrf == "" || rri == "") {
+		print "bench.sh: missing data path benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"batched-data-path\",\n"
+	printf "  \"config\": \"4K sectors, 1024 pages/segment, 128 segments, 256-sector ops\",\n"
+	printf "  \"seq_write_1m_batched_ns_op\": {\"ftl\": %.0f, \"iosnap\": %.0f},\n", bwf, bwi
+	printf "  \"seq_write_1m_reference_ns_op\": {\"ftl\": %.0f, \"iosnap\": %.0f},\n", rwf, rwi
+	printf "  \"rand_read_1m_batched_ns_op\": {\"ftl\": %.0f, \"iosnap\": %.0f},\n", brf, bri
+	printf "  \"rand_read_1m_reference_ns_op\": {\"ftl\": %.0f, \"iosnap\": %.0f},\n", rrf, rri
+	printf "  \"seq_write_virtual_gb_s\": %.3f,\n", wgb
+	printf "  \"rand_read_virtual_gb_s\": %.3f,\n", rgb
+	printf "  \"write_speedup\": {\"ftl\": %.2f, \"iosnap\": %.2f},\n", rwf / bwf, rwi / bwi
+	printf "  \"read_speedup\": {\"ftl\": %.2f, \"iosnap\": %.2f}\n", rrf / brf, rri / bri
+	printf "}\n"
+}' "$raw" > "$dout"
+
+echo "== wrote $dout"
+cat "$dout"
+
+wsf=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $3 }' "$dout")
+wsi=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $5 }' "$dout")
+rsf=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $3 }' "$dout")
+rsi=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $5 }' "$dout")
+awk "BEGIN { exit !($wsf >= 3 && $wsi >= 3) }" || {
+	echo "bench.sh: seq-write speedup ftl=$wsf iosnap=$wsi below the 3x acceptance floor" >&2
+	exit 1
+}
+awk "BEGIN { exit !($rsf >= 2 && $rsi >= 2) }" || {
+	echo "bench.sh: rand-read speedup ftl=$rsf iosnap=$rsi below the 2x acceptance floor" >&2
+	exit 1
+}

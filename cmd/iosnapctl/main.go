@@ -19,6 +19,7 @@
 //	iosnapctl -image dev.img check
 //	iosnapctl -image dev.img health
 //	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|transient|wear-out|none] [-seed N] [-steps N]
+//	iosnapctl shardbench [-shards N] [-clients N] [-ops N] [-seed N]
 //
 // check reloads the image, crash-recovers, and runs the full invariant
 // checker over the rebuilt state; health reports per-segment media health
@@ -33,6 +34,11 @@
 // plan combines an erase budget (erases past it fail probabilistically,
 // retiring segments after rescue), 1% transient faults, an armed scrubber,
 // and three crash/recover cycles.
+//
+// shardbench also needs no image: it drives the seeded service-mode load
+// through the sharded front-end with real client goroutines and prints the
+// virtual-time throughput the run modeled — the same figure bench.sh
+// extracts into BENCH_shard.json.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"iosnap/internal/iosnap"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
+	"iosnap/internal/shard"
 	"iosnap/internal/sim"
 )
 
@@ -67,9 +74,12 @@ func run(args []string) error {
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 
-	// faultdemo runs against an in-memory device and needs no image.
+	// faultdemo and shardbench run against in-memory devices and need no image.
 	if cmd == "faultdemo" {
 		return cmdFaultDemo(cmdArgs)
+	}
+	if cmd == "shardbench" {
+		return cmdShardBench(cmdArgs)
 	}
 	if *image == "" {
 		return fmt.Errorf("usage: iosnapctl -image FILE COMMAND [flags] (run with -h for commands)")
@@ -480,6 +490,36 @@ func cmdFaultDemo(args []string) error {
 	for _, fi := range rep.Fired {
 		fmt.Printf("fired %-15s op=%-8s page=%d (match #%d)\n", fi.Rule, fi.Op, fi.Addr, fi.Count)
 	}
+	return nil
+}
+
+// cmdShardBench runs the service-mode load driver and prints what it
+// measured. The virtual-MB/s figure depends on the (shards, clients,
+// ops, seed) tuple — host speed only perturbs it a couple of percent
+// through queue-arrival interleaving; wall time depends on the host.
+func cmdShardBench(args []string) error {
+	fs := flag.NewFlagSet("shardbench", flag.ContinueOnError)
+	shards := fs.Int("shards", 4, "number of shards")
+	clients := fs.Int("clients", 16, "concurrent client goroutines")
+	opsPer := fs.Int("ops", 150, "operations per client")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := shard.RunLoad(shard.LoadConfig{
+		Shards:       *shards,
+		Clients:      *clients,
+		OpsPerClient: *opsPer,
+		RunSectors:   16,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shards=%d clients=%d ops=%d bytes=%d\n", rep.Shards, rep.Clients, rep.Ops, rep.Bytes)
+	fmt.Printf("virtual makespan:   %v\n", sim.Duration(rep.Virtual))
+	fmt.Printf("virtual throughput: %.1f MB/s\n", rep.VirtualMBps())
+	fmt.Printf("wall time:          %v\n", rep.Wall)
 	return nil
 }
 

@@ -161,6 +161,8 @@ func (f *FTL) abortCheckpoint(addrs []nand.PageAddr, err error) {
 func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
 	ckptID, chunks, err := f.serializeCheckpoint()
 	if err != nil {
+		f.stats.CheckpointErrors++
+		f.stats.CheckpointLastErr = err.Error()
 		return now, err
 	}
 	f.ckptActive = true

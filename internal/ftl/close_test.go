@@ -1,0 +1,73 @@
+package ftl
+
+import (
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// TestCloseFailedCheckpointStillCloses pins the Close semantics fix: a
+// checkpoint failure used to surface as a Close error and leave the
+// device open (a second Close would try again instead of reporting
+// ErrClosed). Close now matches iosnap: the error is recorded in
+// CheckpointErrors, the device closes anyway, the clock reflects the
+// partial attempt's NAND time, and recovery falls back to the full scan
+// with all data intact.
+func TestCloseFailedCheckpointStillCloses(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 64; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint's second chunk page (second distinct program target
+	// after arming) fails for longer than the retry budget.
+	plan := faultinject.NewPlan(0, faultinject.Rule{
+		Kind: faultinject.KindTransient, Op: nand.OpProgram, Seg: faultinject.AnySeg,
+		AfterN: 2, Times: 100,
+	})
+	plan.Arm(f.Device())
+	done, err := f.Close(now)
+	plan.Disarm(f.Device())
+	if err != nil {
+		t.Fatalf("Close must absorb checkpoint failures, got %v", err)
+	}
+	if done <= now {
+		t.Fatalf("Close done %v does not reflect the partial checkpoint's time (entered at %v)", done, now)
+	}
+	st := f.Stats()
+	if st.CheckpointErrors != 1 {
+		t.Fatalf("CheckpointErrors = %d, want 1", st.CheckpointErrors)
+	}
+	if st.Checkpoints != 0 {
+		t.Fatalf("aborted attempt must not commit, got %d checkpoints", st.Checkpoints)
+	}
+	if _, err := f.Write(done, 0, sectorPattern(ss, 0, 2)); err != ErrClosed {
+		t.Fatalf("write after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := f.Close(done); err != ErrClosed {
+		t.Fatalf("second Close: got %v, want ErrClosed", err)
+	}
+	// The log remains the source of truth across the failed checkpoint.
+	f2, rnow, err := Recover(testConfig(), f.Device(), nil, done)
+	if err != nil {
+		t.Fatalf("recovery after failed checkpoint close: %v", err)
+	}
+	if f2.Stats().RecoveryTailBounded {
+		t.Fatal("recovery trusted an aborted checkpoint generation")
+	}
+	buf := make([]byte, ss)
+	for lba := int64(0); lba < 64; lba++ {
+		if _, err := f2.Read(rnow, lba, buf); err != nil {
+			t.Fatalf("read lba %d after recovery: %v", lba, err)
+		}
+		if string(buf) != string(sectorPattern(ss, lba, 1)) {
+			t.Fatalf("lba %d corrupted after recovery", lba)
+		}
+	}
+}

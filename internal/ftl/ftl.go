@@ -416,14 +416,20 @@ func (f *FTL) advanceHead(now sim.Time) (sim.Time, error) {
 // Recovery from a checkpoint requires the NAND to store payloads
 // (nand.Config.StoreData); without it, recovery falls back to the full
 // header scan.
+//
+// The log remains the source of truth: a failed checkpoint attempt is
+// recorded in CheckpointErrors, leaves the previous anchor (if any)
+// intact, and the close still proceeds — the next recovery simply falls
+// back to the full scan, matching iosnap's Close semantics. The returned
+// time includes the NAND/bus time consumed by a partial attempt.
 func (f *FTL) Close(now sim.Time) (sim.Time, error) {
 	if f.closed {
 		return now, ErrClosed
 	}
-	done, err := f.writeCheckpoint(now)
-	if err != nil {
-		return now, err
+	if !f.ckptActive {
+		done, _ := f.writeCheckpoint(now)
+		now = done
 	}
 	f.closed = true
-	return done, nil
+	return now, nil
 }

@@ -1,0 +1,72 @@
+package iosnap
+
+import (
+	"testing"
+
+	"iosnap/internal/faultinject"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// TestCloseFailedCheckpointConsumesTime pins the Close time-accounting
+// fix: a checkpoint attempt that dies mid-way still consumed real NAND and
+// bus time for the chunks that landed (and the retries burned on the one
+// that did not), so Close must return a clock past its entry time — it
+// used to discard the partial attempt's time entirely. The failure itself
+// is absorbed: it is recorded in CheckpointErrors, the close proceeds, and
+// recovery falls back to the full header scan with all data intact.
+func TestCloseFailedCheckpointConsumesTime(t *testing.T) {
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	var err error
+	for lba := int64(0); lba < 64; lba++ {
+		if now, err = f.Write(now, lba, sectorPattern(ss, lba, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint's second chunk page (the second distinct program
+	// target after arming) enters a transient episode far longer than the
+	// retry budget: one chunk lands, then the attempt fails permanently.
+	plan := faultinject.NewPlan(0, faultinject.Rule{
+		Kind: faultinject.KindTransient, Op: nand.OpProgram, Seg: faultinject.AnySeg,
+		AfterN: 2, Times: 100,
+	})
+	plan.Arm(f.Device())
+	done, err := f.Close(now)
+	plan.Disarm(f.Device())
+	if err != nil {
+		t.Fatalf("Close must absorb checkpoint failures, got %v", err)
+	}
+	if done <= now {
+		t.Fatalf("Close done %v does not reflect the partial checkpoint's time (entered at %v)", done, now)
+	}
+	st := f.Stats()
+	if st.CheckpointErrors != 1 {
+		t.Fatalf("CheckpointErrors = %d, want 1", st.CheckpointErrors)
+	}
+	if st.Checkpoints != 0 {
+		t.Fatalf("aborted attempt must not commit, got %d checkpoints", st.Checkpoints)
+	}
+	if _, err := f.Close(done); err != ErrClosed {
+		t.Fatalf("second Close: got %v, want ErrClosed", err)
+	}
+	// The log remains the source of truth: recovery must not trust the
+	// aborted generation and must surface every written sector.
+	f2, rnow, err := Recover(testConfig(), f.Device(), nil, done)
+	if err != nil {
+		t.Fatalf("recovery after failed checkpoint close: %v", err)
+	}
+	if f2.Stats().RecoveryTailBounded {
+		t.Fatal("recovery trusted an aborted checkpoint generation")
+	}
+	buf := make([]byte, ss)
+	for lba := int64(0); lba < 64; lba++ {
+		if _, err := f2.Read(rnow, lba, buf); err != nil {
+			t.Fatalf("read lba %d after recovery: %v", lba, err)
+		}
+		if string(buf) != string(sectorPattern(ss, lba, 1)) {
+			t.Fatalf("lba %d corrupted after recovery", lba)
+		}
+	}
+}

@@ -130,14 +130,28 @@ func victimScore(policy VictimPolicy, invalid, valid int, curSeq, segSeq uint64)
 	}
 }
 
-// maybeScheduleGC starts background cleaning when the pool is low.
+// releaseGCGate returns a background clean's budget token, if a gate is
+// arbitrating cleans across FTL instances.
+func (f *FTL) releaseGCGate() {
+	if f.cfg.GCGate != nil {
+		f.cfg.GCGate.Release()
+	}
+}
+
+// maybeScheduleGC starts background cleaning when the pool is low. With a
+// GCGate configured, a clean only starts when the shared budget grants a
+// token; a denied shard retries on its next head advance.
 func (f *FTL) maybeScheduleGC(now sim.Time) {
 	if f.gcActive || f.closed || len(f.freeSegs) > f.cfg.ReserveSegments {
+		return
+	}
+	if f.cfg.GCGate != nil && !f.cfg.GCGate.TryAcquire() {
 		return
 	}
 	victim, mergedValid, activeValid, cost := f.selectVictim()
 	f.stats.GCMergeTime += cost
 	if victim < 0 {
+		f.releaseGCGate()
 		return
 	}
 	est := mergedValid
@@ -207,6 +221,7 @@ func (t *gcTask) Run(now sim.Time) (sim.Time, bool) {
 	now, err = f.finishClean(now, t.victim)
 	f.gcActive = false
 	f.gcVictim = -1
+	f.releaseGCGate()
 	if err != nil {
 		// Erase failed: finishClean left the victim in usedSegs and its
 		// remaining valid blocks untouched, so the device is consistent.
@@ -226,6 +241,7 @@ func (t *gcTask) abort(err error) {
 	f := t.f
 	f.gcActive = false
 	f.gcVictim = -1
+	f.releaseGCGate()
 	f.stats.GCErrors++
 	f.stats.GCLastErr = err.Error()
 }

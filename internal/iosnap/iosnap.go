@@ -158,6 +158,26 @@ type Config struct {
 	// (work/sleep) so serialization never stalls foreground writes. The
 	// zero value programs unthrottled.
 	CheckpointLimit ratelimit.WorkSleep
+
+	// GCGate, when non-nil, arbitrates *background* cleaning across FTL
+	// instances that share a budget (the sharded front-end's global GC
+	// governor): maybeScheduleGC acquires the gate before starting a
+	// cleaner task and releases it when the task ends, and a denied
+	// acquisition simply defers cleaning to the next head advance. Forced
+	// synchronous cleans bypass the gate — they are how a writer makes
+	// progress and must never deadlock on another shard's budget. nil (the
+	// default) leaves scheduling exactly as it was.
+	GCGate GCGate
+}
+
+// GCGate is a cross-FTL admission gate for background cleaning. TryAcquire
+// reports whether a new background clean may start; every successful
+// acquisition is matched by exactly one Release when the clean finishes or
+// aborts. Implementations must be safe for concurrent use when FTLs run on
+// separate goroutines (service mode).
+type GCGate interface {
+	TryAcquire() bool
+	Release()
 }
 
 // DefaultConfig mirrors ftl.DefaultConfig with the snapshot knobs added.
@@ -600,11 +620,12 @@ func (f *FTL) Close(now sim.Time) (sim.Time, error) {
 		return now, ErrClosed
 	}
 	if f.cfg.Nand.StoreData && !f.ckptActive {
-		if done, err := f.writeCheckpoint(now); err == nil {
-			now = done
-		}
-		// The error path already recorded itself in CheckpointErrors and
-		// left the previous anchor (if any) intact; closing proceeds.
+		done, _ := f.writeCheckpoint(now)
+		// A failed attempt still consumed real NAND and bus time for the
+		// chunks that landed before the error, so the clock advances on
+		// both paths. The error itself was recorded in CheckpointErrors
+		// and the previous anchor (if any) stays intact; closing proceeds.
+		now = done
 	}
 	f.closed = true
 	return now, nil

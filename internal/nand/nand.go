@@ -352,6 +352,25 @@ func (d *Device) Anchor() *Anchor { return d.anchor.clone() }
 // Stats returns a snapshot of the activity counters.
 func (d *Device) Stats() Stats { return d.stats }
 
+// BusyUntil reports the virtual time at which every device resource —
+// channels and both buses — is next idle: the earliest instant at which
+// work submitted so far has fully completed. Cross-device coordination
+// (the sharded front-end's snapshot-create barrier) uses it as the
+// quiescence horizon when freezing several devices at one consistent
+// point in virtual time.
+func (d *Device) BusyUntil() sim.Time {
+	t := d.readBus.res.BusyUntil()
+	if w := d.writeBus.res.BusyUntil(); w > t {
+		t = w
+	}
+	for i := range d.channels {
+		if c := d.channels[i].BusyUntil(); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
 // ResetStats zeroes the activity counters.
 func (d *Device) ResetStats() { d.stats = Stats{} }
 

@@ -1,0 +1,37 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardService reports the virtual-time throughput of the
+// goroutine service mode at 1, 4, and 16 shards over an identical seeded
+// workload. The virtual-MB/s metric is a function of the seed and
+// geometry, not of host speed or core count — only the queue-arrival
+// interleaving moves it, by a couple of percent; bench.sh extracts it
+// into BENCH_shard.json and enforces the 16-vs-1 scaling floor with wide
+// margin. Wall time is reported by the benchmark framework as usual but
+// not gated — this container may have a single CPU.
+func BenchmarkShardService(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunLoad(LoadConfig{
+					Shards:       shards,
+					Clients:      16,
+					OpsPerClient: 150,
+					RunSectors:   16,
+					Seed:         1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.VirtualMBps(), "virtual-MB/s")
+				b.ReportMetric(float64(rep.Virtual)/1e6, "virtual-ms")
+				b.SetBytes(rep.Bytes)
+			}
+		})
+	}
+}

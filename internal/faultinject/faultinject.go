@@ -53,6 +53,17 @@ const (
 	// matching target into a transient episode; with Prob > 0 each new
 	// target independently enters an episode with that probability.
 	KindTransient
+	// KindCorruptData flips payload bits (seeded, deterministic) on matching
+	// read or program targets instead of failing the operation — the fault
+	// that exercises checksum detection end to end. Episode semantics match
+	// KindTransient: the AfterN-th distinct target (or, with Prob > 0, each
+	// new target independently) corrupts its first Times attempts. A
+	// corrupted READ hands the host damaged bytes for that one transfer (the
+	// device's integrity check turns it into nand.ErrCorruptData and a
+	// re-read clears it); a corrupted PROGRAM stores damaged bytes behind an
+	// intact fingerprint, so every later read of the page detects it until
+	// the page is rewritten.
+	KindCorruptData
 )
 
 func (k Kind) String() string {
@@ -65,6 +76,8 @@ func (k Kind) String() string {
 		return "torn-oob"
 	case KindTransient:
 		return "transient"
+	case KindCorruptData:
+		return "corrupt-data"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -146,6 +159,7 @@ type transState struct {
 // the single-threaded simulation.
 type Plan struct {
 	rng     *sim.RNG
+	seed    uint64 // also salts KindCorruptData's deterministic bit flips
 	rules   []*ruleState
 	pps     int // pages per segment of the armed device (for Seg filters)
 	crashed bool
@@ -155,7 +169,7 @@ type Plan struct {
 // NewPlan builds a plan over the given rules. seed drives probabilistic
 // rules; plans with only count-based rules ignore it.
 func NewPlan(seed uint64, rules ...Rule) *Plan {
-	p := &Plan{rng: sim.NewRNG(seed)}
+	p := &Plan{rng: sim.NewRNG(seed), seed: seed}
 	for _, r := range rules {
 		if r.Err == nil {
 			if r.Kind == KindTransient {
@@ -174,7 +188,7 @@ func NewPlan(seed uint64, rules ...Rule) *Plan {
 			r.Times = 1
 		}
 		rs := &ruleState{Rule: r}
-		if r.Kind == KindTransient {
+		if r.Kind == KindTransient || r.Kind == KindCorruptData {
 			rs.trans = make(map[transKey]*transState)
 		}
 		p.rules = append(p.rules, rs)
@@ -241,8 +255,8 @@ func (p *Plan) BeforeOp(op nand.Op, addr nand.PageAddr) error {
 		return ErrCrashed
 	}
 	for _, r := range p.rules {
-		if r.spent || r.Kind == KindTornOOB {
-			continue
+		if r.spent || r.Kind == KindTornOOB || r.Kind == KindCorruptData {
+			continue // payload corruption triggers in CorruptData, not here
 		}
 		if r.Kind == KindCrash && r.HeaderType != 0 {
 			continue // header-matched crashes trigger in MutateOOB
@@ -302,6 +316,70 @@ func (p *Plan) transientFault(r *ruleState, op nand.Op, addr nand.PageAddr) erro
 	st.remaining--
 	p.fired = append(p.fired, Fired{Rule: r.Name, Op: op, Addr: addr, Count: r.matched})
 	return r.Err
+}
+
+// CorruptData implements nand.DataCorrupter: KindCorruptData rules damage
+// the payload of matching read/program targets with seeded, deterministic
+// bit flips. Episode bookkeeping mirrors transientFault — the first attempt
+// at a new target decides (by count or probability) whether it enters an
+// episode; attempts during an episode corrupt the payload and consume it.
+func (p *Plan) CorruptData(op nand.Op, addr nand.PageAddr, data []byte) []byte {
+	if p.crashed || len(data) == 0 {
+		return data
+	}
+	for _, r := range p.rules {
+		if r.Kind != KindCorruptData {
+			continue
+		}
+		if r.Op != AnyOp && r.Op != op {
+			continue
+		}
+		if r.Seg != AnySeg && r.Seg != p.segOf(addr) {
+			continue
+		}
+		key := transKey{op: op, addr: addr}
+		st, seen := r.trans[key]
+		if !seen {
+			st = &transState{}
+			r.trans[key] = st
+			r.matched++
+			if r.Prob > 0 {
+				if p.rng.Float64() < r.Prob {
+					st.remaining = r.Times
+				}
+			} else if r.matched == r.AfterN {
+				st.remaining = r.Times
+			}
+		}
+		if st.remaining <= 0 {
+			continue
+		}
+		st.remaining--
+		p.fired = append(p.fired, Fired{Rule: r.Name, Op: op, Addr: addr, Count: r.matched})
+		return flipBits(p.seed, uint64(addr), uint64(r.matched), uint64(st.remaining), data)
+	}
+	return data
+}
+
+// flipBits returns a copy of data with 1–3 bits flipped at positions derived
+// deterministically from (seed, addr, matched, rem): the same plan against
+// the same workload damages the same bits on every run, so a failing seed
+// replays exactly.
+func flipBits(seed, addr, matched, rem uint64, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	h := seed ^ addr*0x9E3779B97F4A7C15 ^ matched<<32 ^ rem
+	flips := 1 + int(h>>61)%3
+	for i := 0; i < flips; i++ {
+		// splitmix64-style finalizer: every flip lands at an independent bit.
+		h += 0x9E3779B97F4A7C15
+		z := h
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		bit := z % uint64(len(out)*8)
+		out[bit/8] ^= 1 << (bit % 8)
+	}
+	return out
 }
 
 // MutateOOB implements nand.FaultHook: KindTornOOB rules corrupt matching
@@ -393,6 +471,26 @@ func RandomTransients(seed uint64, prob float64, times int64) *Plan {
 		Rule{Name: "transient-read", Kind: KindTransient, Op: nand.OpRead, Seg: AnySeg, Prob: prob, Times: times},
 		Rule{Name: "transient-program", Kind: KindTransient, Op: nand.OpProgram, Seg: AnySeg, Prob: prob, Times: times},
 	)
+}
+
+// RandomCorruptData is the payload-corruption analogue of RandomTransients:
+// each distinct read or program target independently corrupts its first
+// times attempts with probability prob. Corrupted reads are transient (the
+// device detects them and a re-read clears the damage); corrupted programs
+// persist behind an intact fingerprint until the page is rewritten, so every
+// later read of the page reports nand.ErrCorruptData.
+func RandomCorruptData(seed uint64, prob float64, times int64) *Plan {
+	return NewPlan(seed,
+		Rule{Name: "corrupt-read", Kind: KindCorruptData, Op: nand.OpRead, Seg: AnySeg, Prob: prob, Times: times},
+		Rule{Name: "corrupt-program", Kind: KindCorruptData, Op: nand.OpProgram, Seg: AnySeg, Prob: prob, Times: times},
+	)
+}
+
+// CorruptNth corrupts the payload of the n-th distinct target of the given
+// operation, once — a read clears on retry, a program persists until the
+// page is rewritten.
+func CorruptNth(op nand.Op, n int64) *Plan {
+	return NewPlan(0, Rule{Name: "corrupt-nth", Kind: KindCorruptData, Op: op, Seg: AnySeg, AfterN: n})
 }
 
 // RandomFaults is a probabilistic background-noise plan: every operation

@@ -319,3 +319,143 @@ func TestRandomTransientsDeterministic(t *testing.T) {
 	}
 	t.Fatal("prob 0.5 over 8 targets fired nothing; plan dead")
 }
+
+func TestCorruptReadClearsOnRetry(t *testing.T) {
+	d := testDevice()
+	payload := make([]byte, d.Config().SectorSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	addr := d.Addr(0, 0)
+	if _, err := d.ProgramPage(0, addr, payload, dataOOB(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	p := CorruptNth(nand.OpRead, 1)
+	p.Arm(d)
+	if _, _, _, err := d.ReadPage(0, addr); !errors.Is(err, nand.ErrCorruptData) {
+		t.Fatalf("corrupted read: got %v, want ErrCorruptData", err)
+	}
+	// The damage lived in one transfer's copy: a re-read sees intact cells.
+	data, _, _, err := d.ReadPage(0, addr)
+	if err != nil {
+		t.Fatalf("re-read after transient corruption: %v", err)
+	}
+	for i := range payload {
+		if data[i] != payload[i] {
+			t.Fatalf("re-read byte %d = %#x, want %#x", i, data[i], payload[i])
+		}
+	}
+	if fired := p.Fired(); len(fired) != 1 || fired[0].Rule != "corrupt-nth" {
+		t.Fatalf("fired log %v, want one corrupt-nth event", fired)
+	}
+}
+
+func TestCorruptProgramPersistsUntilRewritten(t *testing.T) {
+	d := testDevice()
+	payload := make([]byte, d.Config().SectorSize)
+	p := CorruptNth(nand.OpProgram, 2)
+	p.Arm(d)
+
+	program(t, d, d.Addr(0, 0), 1) // first target: intact
+	program(t, d, d.Addr(0, 1), 2) // second target: cells store damaged bytes
+
+	if data, _, _, err := d.ReadPage(0, d.Addr(0, 0)); err != nil || data == nil {
+		t.Fatalf("intact page read: %v", err)
+	}
+	// Every read of the damaged page detects the corruption — retries don't help.
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, _, _, err := d.ReadPage(0, d.Addr(0, 1)); !errors.Is(err, nand.ErrCorruptData) {
+			t.Fatalf("attempt %d: got %v, want ErrCorruptData", attempt, err)
+		}
+	}
+	// Rewriting the data elsewhere is clean: only the episode target is hit.
+	if _, err := d.ProgramPage(0, d.Addr(0, 2), payload, dataOOB(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d.ReadPage(0, d.Addr(0, 2)); err != nil {
+		t.Fatalf("rewritten copy: %v", err)
+	}
+}
+
+func TestCorruptDataStopsBatchReadAtCorruptPage(t *testing.T) {
+	d := testDevice()
+	for i := 0; i < 4; i++ {
+		program(t, d, d.Addr(0, i), uint64(10+i))
+	}
+	p := CorruptNth(nand.OpRead, 3)
+	p.Arm(d)
+
+	addrs := []nand.PageAddr{d.Addr(0, 0), d.Addr(0, 1), d.Addr(0, 2), d.Addr(0, 3)}
+	var datas, oobs [][]byte
+	n, _, err := d.ReadPagesInto(0, addrs, &datas, &oobs)
+	if !errors.Is(err, nand.ErrCorruptData) {
+		t.Fatalf("batch read: got %v, want ErrCorruptData", err)
+	}
+	if n != 2 || len(datas) != 2 {
+		t.Fatalf("batch landed %d pages (datas %d), want 2 before the corrupt third", n, len(datas))
+	}
+}
+
+func TestRandomCorruptDataDeterministic(t *testing.T) {
+	run := func(seed uint64) string {
+		d := testDevice()
+		p := RandomCorruptData(seed, 0.5, 1)
+		p.Arm(d)
+		payload := make([]byte, d.Config().SectorSize)
+		for i := 0; i < 8; i++ {
+			if _, err := d.ProgramPage(0, d.Addr(0, i), payload, dataOOB(uint64(i), uint64(i))); err != nil {
+				t.Fatalf("program %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			// Reads may detect either program- or read-side corruption; both
+			// clear within two extra attempts for Times == 1 episodes unless
+			// the program side persisted, which the log records identically.
+			for attempt := 0; attempt < 3; attempt++ {
+				if _, _, _, err := d.ReadPage(0, d.Addr(0, i)); err == nil || attempt == 2 {
+					break
+				}
+			}
+		}
+		return p.String()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different corruption:\n%s\n%s", a, b)
+	}
+	if a == "-" {
+		t.Fatal("prob 0.5 over 16 targets fired nothing; plan dead")
+	}
+}
+
+func TestCorruptDataKindString(t *testing.T) {
+	if got := KindCorruptData.String(); got != "corrupt-data" {
+		t.Fatalf("KindCorruptData.String() = %q", got)
+	}
+}
+
+func TestFlipBitsDamagesCopyNotOriginal(t *testing.T) {
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = 0xAA
+	}
+	out := flipBits(1, 2, 3, 4, orig)
+	if &out[0] == &orig[0] {
+		t.Fatal("flipBits returned the original backing array")
+	}
+	for i := range orig {
+		if orig[i] != 0xAA {
+			t.Fatalf("original byte %d modified to %#x", i, orig[i])
+		}
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff < 1 || diff > 3 {
+		t.Fatalf("flipBits changed %d bytes, want 1..3", diff)
+	}
+}

@@ -25,11 +25,15 @@ var ErrBadExport = errors.New("iosnap: malformed export stream")
 
 // Export streams the view's full contents to w (ascending LBA order),
 // reading each block through the device with normal timing; the returned
-// time reflects the device reads. On fingerprint-mode devices payloads are
-// exported as zeros (content is not retained; see nand.Config.StoreData).
+// time reflects the device reads. Fingerprint-mode devices (see
+// nand.Config.StoreData) retain no payloads, so exporting one is refused
+// loudly rather than silently streaming zeros.
 func (vw *View) Export(now sim.Time, w io.Writer) (sim.Time, error) {
 	if vw.v.closed {
 		return now, ErrViewClosed
+	}
+	if !vw.f.cfg.Nand.StoreData {
+		return now, fmt.Errorf("%w: device retains no payloads (fingerprint mode)", ErrBadExport)
 	}
 	ss := vw.f.cfg.Nand.SectorSize
 	if _, err := w.Write(exportMagic[:]); err != nil {
@@ -143,8 +147,11 @@ func ImportInto(dst blockdev.Device, now sim.Time, r io.Reader) (sim.Time, error
 	}
 	ss := int(binary.LittleEndian.Uint32(hdr[:4]))
 	count := binary.LittleEndian.Uint64(hdr[4:12])
+	if ss <= 0 {
+		return now, fmt.Errorf("%w: nonsense sector size %d", ErrBadExport, ss)
+	}
 	if ss != dst.SectorSize() {
-		return now, fmt.Errorf("iosnap: export sector size %d != destination %d", ss, dst.SectorSize())
+		return now, fmt.Errorf("%w: sector size %d != destination %d", ErrBadExport, ss, dst.SectorSize())
 	}
 	buf := make([]byte, ss)
 	var rec [8]byte
@@ -153,6 +160,10 @@ func ImportInto(dst blockdev.Device, now sim.Time, r io.Reader) (sim.Time, error
 			return now, fmt.Errorf("%w: truncated record %d", ErrBadExport, i)
 		}
 		lba := binary.LittleEndian.Uint64(rec[:])
+		if lba >= uint64(dst.Sectors()) {
+			return now, fmt.Errorf("%w: record %d names LBA %d beyond destination (%d sectors)",
+				ErrBadExport, i, lba, dst.Sectors())
+		}
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return now, fmt.Errorf("%w: truncated payload %d", ErrBadExport, i)
 		}

@@ -110,6 +110,110 @@ func TestImportSectorSizeMismatch(t *testing.T) {
 	}
 }
 
+func TestExportFingerprintModeFailsLoudly(t *testing.T) {
+	// A fingerprint-mode device retains no payloads; destaging one used to
+	// silently stream zeros. It must refuse instead.
+	cfg := testConfig()
+	cfg.Nand.StoreData = false
+	f, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := f.Write(0, 3, sectorPattern(f.SectorSize(), 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	if _, err := view.Export(now, &sink); !errors.Is(err, ErrBadExport) {
+		t.Fatalf("fingerprint-mode export: got %v, want ErrBadExport", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("refused export still wrote %d bytes", sink.Len())
+	}
+}
+
+func TestImportRejectsDamagedStreams(t *testing.T) {
+	// Build one good stream, then damage it per case. Every rejection must
+	// be ErrBadExport-class so callers can distinguish stream damage from
+	// device errors.
+	f := newTestFTL(t)
+	ss := f.SectorSize()
+	now, err := f.Write(0, 5, sectorPattern(ss, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = f.Write(now, 9, sectorPattern(ss, 9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, now, err := f.CreateSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, now, err := f.ActivateSync(now, snap.ID, noLimit, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if _, err := view.Export(now, &stream); err != nil {
+		t.Fatal(err)
+	}
+	good := stream.Bytes()
+	recOff := len(exportMagic) + 20 // first (lba, payload) record
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"magic only", func(b []byte) []byte { return b[:len(exportMagic)] }},
+		{"truncated header", func(b []byte) []byte { return b[:len(exportMagic)+7] }},
+		{"truncated mid-record", func(b []byte) []byte { return b[:recOff+3] }},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:recOff+8+ss/2] }},
+		{"zero sector size", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(exportMagic)] = 0
+			c[len(exportMagic)+1] = 0
+			c[len(exportMagic)+2] = 0
+			c[len(exportMagic)+3] = 0
+			return c
+		}},
+		{"lba beyond destination", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			for i := 0; i < 8; i++ {
+				c[recOff+i] = 0xFF
+			}
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		dst := newTestFTL(t)
+		if _, err := ImportInto(dst, 0, bytes.NewReader(tc.mangle(good))); !errors.Is(err, ErrBadExport) {
+			t.Errorf("%s: got %v, want ErrBadExport", tc.name, err)
+		}
+	}
+
+	// Sector-size mismatch is ErrBadExport-class too.
+	cfg := testConfig()
+	cfg.Nand.SectorSize = 256
+	cfg.Nand.PagesPerSegment = 32
+	dst, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportInto(dst, 0, bytes.NewReader(good)); !errors.Is(err, ErrBadExport) {
+		t.Errorf("sector-size mismatch: got %v, want ErrBadExport", err)
+	}
+}
+
 func TestDestageThenDeleteFreesFlash(t *testing.T) {
 	// The destage workflow: export a snapshot, delete it, verify the
 	// cleaner can then reclaim its blocks (the device keeps working under

@@ -507,9 +507,12 @@ func (f *FTL) gcFixup(victim int, old, dst nand.PageAddr, h header.Header, pinne
 			}
 		}
 	}
-	// Keep in-flight activations coherent.
+	// Keep in-flight activations and exports coherent.
 	for _, a := range f.activations {
 		a.onBlockMoved(old, dst, h)
+	}
+	for _, x := range f.exports {
+		x.onBlockMoved(old, dst, h)
 	}
 	f.stats.GCCopied++
 	if f.dev.SegmentHealth(victim) != nand.Healthy {

@@ -314,6 +314,12 @@ type Stats struct {
 	OutOfSpaceWrites int64 // writes shed with ErrOutOfSpace
 	Degraded         bool  // currently in out-of-space read-only degradation
 
+	ExportChunks     int64 // chunks shipped by snapshot exports (after dedup)
+	ExportDedupHits  int64 // chunks the receiver already held (listed, not shipped)
+	ImportRetries    int64 // replication receive/verify attempts re-driven
+	ImportResumes    int64 // receives resumed from a persisted journal
+	VerifyMismatches int64 // replica sectors that failed post-receive verification
+
 	MapMemory      int64 // active forward map bytes (refreshed by Stats())
 	ValidityMemory int64 // CoW validity pages bytes (refreshed by Stats())
 	WriteAmplify   float64
@@ -377,6 +383,7 @@ type FTL struct {
 	closed       bool
 	frozen       bool
 	activations  []*Activation // in-flight activations (cleaner keeps them consistent)
+	exports      []*Export     // in-flight snapshot exports (ditto)
 	stats        Stats
 
 	ws dataPathScratch // reusable buffers for the batched data path (datapath.go)

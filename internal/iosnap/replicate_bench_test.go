@@ -1,0 +1,143 @@
+package iosnap
+
+import (
+	"testing"
+
+	"iosnap/internal/sim"
+)
+
+// buildReplicaSource builds the replication benchmark fixture: a 128-segment
+// device with 600 written sectors frozen as snapshot s1, then a 10% overwrite
+// plus a 10-sector trim frozen as s2. Full replication of s2 ships the whole
+// image; incremental replication of s2 against s1 ships only the overwrite
+// delta — the wire-bytes and virtual-time gap between the two is the figure
+// BENCH_export.json records.
+func buildReplicaSource(b *testing.B) (*FTL, SnapshotID, SnapshotID, sim.Time) {
+	b.Helper()
+	nc := testConfig().Nand
+	nc.Segments = 128
+	nc.PagesPerSegment = 32
+	cfg := DefaultConfig(nc)
+	cfg.GCWindow = 10 * sim.Millisecond
+	cfg.BitmapPageBits = 64
+	cfg.CoWPageCost = 10 * sim.Microsecond
+	f, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss := f.SectorSize()
+	now := sim.Time(0)
+	for lba := int64(0); lba < 600; lba++ {
+		f.sched.RunUntil(now)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, 1))
+		if err != nil {
+			b.Fatalf("fill LBA %d: %v", lba, err)
+		}
+		now = d
+	}
+	s1, d, err := f.CreateSnapshot(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now = d
+	for lba := int64(0); lba < 60; lba++ {
+		f.sched.RunUntil(now)
+		d, err := f.Write(now, lba, sectorPattern(ss, lba, 2))
+		if err != nil {
+			b.Fatalf("overwrite LBA %d: %v", lba, err)
+		}
+		now = d
+	}
+	if d, err := f.Trim(now, 590, 10); err != nil {
+		b.Fatal(err)
+	} else {
+		now = d
+	}
+	s2, d, err := f.CreateSnapshot(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, s1.ID, s2.ID, d
+}
+
+// BenchmarkReplicateFull ships snapshot s2 as a full image to a bare
+// destination. The sectors/op, wirebytes/op, and vus/op metrics are
+// deterministic virtual quantities (sectors shipped, transfer stream size,
+// virtual export+receive time in µs); compare them against
+// BenchmarkReplicateIncremental for the incremental advantage.
+func BenchmarkReplicateFull(b *testing.B) {
+	src, _, s2, now := buildReplicaSource(b)
+	var sectors, wire int
+	var vtime sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, stream, t1, err := src.ExportSync(now, ExportOpts{Snapshot: s2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := New(src.cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, t2, err := ReceiveInto(dst, t1, stream, ReceiveOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sectors = len(m.Writes)
+		wire = len(stream)
+		vtime = dst.Scheduler().Drain(t2).Sub(now)
+	}
+	b.ReportMetric(float64(sectors), "sectors/op")
+	b.ReportMetric(float64(wire), "wirebytes/op")
+	b.ReportMetric(vtime.Microseconds(), "vus/op")
+}
+
+// BenchmarkReplicateIncremental seeds the destination with a full image of
+// s1 (unmeasured), then ships s2 as a delta against it — the steady-state
+// generation-to-generation transfer of a rotation scheme.
+func BenchmarkReplicateIncremental(b *testing.B) {
+	src, s1, s2, now := buildReplicaSource(b)
+	gen1, stream1, now, err := src.ExportSync(now, ExportOpts{Snapshot: s1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sectors, wire int
+	var vtime sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err := New(src.cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, t0, err := ReceiveInto(dst, now, stream1, ReceiveOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 = dst.Scheduler().Drain(t0)
+		m, stream, t1, err := src.ExportSync(t0, ExportOpts{
+			Snapshot:       s2,
+			Base:           s1,
+			BaseManifestID: gen1.ID(),
+			Have: func(lba, hash uint64) bool {
+				e, ok := gen1.Find(lba)
+				return ok && e.Hash == hash
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, t2, err := ReceiveInto(dst, t1, stream, ReceiveOpts{Base: gen1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.IsDelta() {
+			b.Fatal("incremental benchmark shipped a full image")
+		}
+		sectors = len(m.Writes)
+		wire = len(stream)
+		vtime = dst.Scheduler().Drain(t2).Sub(t0)
+	}
+	b.ReportMetric(float64(sectors), "sectors/op")
+	b.ReportMetric(float64(wire), "wirebytes/op")
+	b.ReportMetric(vtime.Microseconds(), "vus/op")
+}

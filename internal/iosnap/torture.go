@@ -9,6 +9,7 @@ import (
 	"iosnap/internal/faultinject"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/sim"
+	"iosnap/internal/xport"
 )
 
 // The torture harness drives a randomized workload — writes, trims, snapshot
@@ -54,42 +55,56 @@ type TortureOptions struct {
 	// membership, so churn runs hammer the cleaner's generation-stamped
 	// cache invalidation (gcacct.go) across GC, rescue, and scrub.
 	SnapshotChurn bool
+
+	// ExportChurn adds snapshot replication to a churn-style mix: a band of
+	// steps ships a live snapshot to a fault-free destination device through
+	// the xport transport (incremental against the previous generation when
+	// it is still live) and bit-verifies the replica against the frozen
+	// model. Export reads run on the SOURCE device with the fault plan
+	// armed, so injected transient and corrupt-data read faults hit the
+	// replication path itself.
+	ExportChurn bool
 }
 
 // opCuts are the cumulative percentile cut-points of the operation mix; an
 // op draw in [0,100) lands in the first band it is below (subject to each
 // band's guard, falling through to later bands like the switch always did).
 type opCuts struct {
-	write, trim, create, del, activate, viewWrite, deact, force, scrub int
-	maxSnaps                                                           int
+	write, trim, create, del, activate, viewWrite, deact, force, scrub, repl int
+	maxSnaps                                                                 int
 }
 
 func (o TortureOptions) cuts() opCuts {
+	if o.ExportChurn {
+		return opCuts{write: 20, trim: 26, create: 42, del: 54, activate: 64,
+			viewWrite: 68, deact: 74, force: 82, scrub: 86, repl: 94, maxSnaps: 6}
+	}
 	if o.SnapshotChurn {
 		return opCuts{write: 20, trim: 26, create: 44, del: 58, activate: 70,
-			viewWrite: 74, deact: 80, force: 90, scrub: 96, maxSnaps: 6}
+			viewWrite: 74, deact: 80, scrub: 96, repl: 96, force: 90, maxSnaps: 6}
 	}
 	// The historical mix; scrub == force makes the scrub band empty so
 	// seeded non-churn runs draw the exact same operation sequence as ever.
 	return opCuts{write: 45, trim: 52, create: 60, del: 66, activate: 74,
-		viewWrite: 78, deact: 83, force: 88, scrub: 88, maxSnaps: 3}
+		viewWrite: 78, deact: 83, force: 88, scrub: 88, repl: 88, maxSnaps: 3}
 }
 
 // TortureReport summarizes a torture run.
 type TortureReport struct {
-	Steps       int                 // operations attempted
-	OpErrors    int64               // operations that returned an error (faults doing their job)
-	Crashes     int64               // power losses taken
-	Recoveries  int64               // successful crash recoveries
-	Checks      int64               // CheckInvariants passes
-	Activations int64               // background activations started
-	Fired       []faultinject.Fired // accumulated across all armed plans
-	FinalStats  Stats
+	Steps        int                 // operations attempted
+	OpErrors     int64               // operations that returned an error (faults doing their job)
+	Crashes      int64               // power losses taken
+	Recoveries   int64               // successful crash recoveries
+	Checks       int64               // CheckInvariants passes
+	Activations  int64               // background activations started
+	Replications int64               // snapshot replications committed and bit-verified
+	Fired        []faultinject.Fired // accumulated across all armed plans
+	FinalStats   Stats
 }
 
 func (r *TortureReport) String() string {
-	return fmt.Sprintf("steps=%d opErrors=%d crashes=%d recoveries=%d checks=%d gcErrors=%d torn=%d",
-		r.Steps, r.OpErrors, r.Crashes, r.Recoveries, r.Checks,
+	return fmt.Sprintf("steps=%d opErrors=%d crashes=%d recoveries=%d checks=%d repls=%d gcErrors=%d torn=%d",
+		r.Steps, r.OpErrors, r.Crashes, r.Recoveries, r.Checks, r.Replications,
 		r.FinalStats.GCErrors, r.FinalStats.TornPagesSkipped)
 }
 
@@ -116,6 +131,10 @@ type tortureRun struct {
 	act  *Activation                   // in-flight background activation
 	view *View                         // one live activated view
 	vmod map[int64]byte                // its content model
+
+	dst      *FTL        // replication destination (fault-free, lazily built)
+	repl     *Replicator // replication driver; survives power cycles
+	lastRepl SnapshotID  // snapshot whose image is the committed generation
 
 	// plan is the currently armed fault plan (starts as opt.Plan, swapped by
 	// opt.Replan after each power-cycle; nil once faults are done).
@@ -356,6 +375,8 @@ func (t *tortureRun) step(step int) error {
 		}
 	case op < cut.scrub: // scrub pass (churn mix only)
 		f.StartScrub(t.now)
+	case op < cut.repl && len(t.snap) > 0: // replicate a snapshot (export-churn mix)
+		return t.replicate()
 	default: // verify one active LBA
 		lba := t.rng.Int63n(t.opt.Space)
 		buf := make([]byte, t.ss)
@@ -367,6 +388,62 @@ func (t *tortureRun) step(step int) error {
 		t.now = done
 		if v, ok := t.mod[lba]; ok && !bytes.Equal(buf, torturePattern(t.ss, lba, v)) {
 			return fmt.Errorf("torture: LBA %d served wrong content without error", lba)
+		}
+	}
+	return nil
+}
+
+// replicate ships one live snapshot to the fault-free destination device
+// and bit-verifies the replica against the frozen model. The export reads
+// run with the fault plan armed, so the replication path absorbs (or
+// surfaces, as OpErrors) whatever the plan injects; a committed
+// replication must serve the model exactly or the run fails.
+func (t *tortureRun) replicate() error {
+	if t.repl == nil {
+		dst, err := New(t.cfg, nil)
+		if err != nil {
+			return fmt.Errorf("torture: creating replica device: %w", err)
+		}
+		t.dst = dst
+		t.repl = &Replicator{Src: t.f, Dst: dst, Policy: t.cfg.Retry}
+	}
+	id := t.pickSnap()
+	base := SnapshotID(0)
+	if t.lastRepl != 0 && t.repl.Generation() != nil {
+		if _, live := t.snap[t.lastRepl]; live {
+			base = t.lastRepl
+		}
+	}
+	_, done, err := t.repl.Replicate(t.now, id, base)
+	if errors.Is(err, xport.ErrWrongTransfer) {
+		// A journal from an interrupted transfer of a different snapshot:
+		// explicitly drop it and restart this transfer fresh.
+		t.repl.Restore(t.repl.Generation(), nil)
+		_, done, err = t.repl.Replicate(t.now, id, base)
+	}
+	if err != nil {
+		if t.crashed() || t.planArmed() || errors.Is(err, ErrOutOfSpace) {
+			t.opErr()
+			return nil
+		}
+		return fmt.Errorf("torture: replicating snapshot %d: %w", id, err)
+	}
+	t.now = done
+	t.lastRepl = id
+	t.rep.Replications++
+	// The destination runs its own background work (cleaning) off-line.
+	t.now = t.dst.Scheduler().Drain(t.now)
+	// Bit-verify the replica against the frozen model. Acknowledged frozen
+	// content must be served exactly; no fault excuse applies — the plan is
+	// armed on the source, and end-to-end integrity is the whole point.
+	buf := make([]byte, t.ss)
+	frozen := t.snap[id]
+	for _, lba := range sortedLBAs(frozen) {
+		if _, err := t.dst.Read(t.now, lba, buf); err != nil {
+			return fmt.Errorf("torture: replica read LBA %d: %w", lba, err)
+		}
+		if !bytes.Equal(buf, torturePattern(t.ss, lba, frozen[lba])) {
+			return fmt.Errorf("torture: replica of snapshot %d LBA %d content mismatch", id, lba)
 		}
 	}
 	return nil
@@ -437,6 +514,12 @@ func (t *tortureRun) powerCycle() error {
 	t.f = f2
 	t.now = now2
 	t.rep.Recoveries++
+	// Replication state (destination contents, committed generation, any
+	// receive journal) survives the source's crash; only the source handle
+	// is re-wired to the recovered FTL.
+	if t.repl != nil {
+		t.repl.Src = f2
+	}
 	// Snapshots whose create note never became durable are gone; ones that
 	// were acknowledged must have survived.
 	for id := range t.snap {

@@ -165,6 +165,89 @@ func TestTortureDeterministicBySeed(t *testing.T) {
 	}
 }
 
+// replChurnPlan injects read-side faults only: transient errors and
+// read-path corruption both clear on a re-read, so the retry budget can
+// absorb them — the replication path must come through bit-identical
+// anyway. (Program-side corruption is genuine data loss and belongs to the
+// targeted replicate tests, not a model-checked storm.)
+func replChurnPlan(seed uint64) *faultinject.Plan {
+	return faultinject.NewPlan(seed,
+		faultinject.Rule{Kind: faultinject.KindTransient, Op: nand.OpRead, Seg: faultinject.AnySeg, Prob: 0.01, Times: 1},
+		faultinject.Rule{Kind: faultinject.KindCorruptData, Op: nand.OpRead, Seg: faultinject.AnySeg, Prob: 0.01, Times: 1})
+}
+
+// TestTortureExportChurn replicates snapshots to a second device while the
+// snapshot-lifecycle storm runs and transient + corrupt-data faults hit the
+// source's reads. Every committed replication is bit-verified against the
+// frozen model inside the harness.
+func TestTortureExportChurn(t *testing.T) {
+	rep, err := Torture(tortureConfig(), TortureOptions{
+		Seed: 42, Steps: 700, ExportChurn: true, Plan: replChurnPlan(11),
+	})
+	if err != nil {
+		t.Fatalf("%v (%s)", err, rep)
+	}
+	if rep.Replications == 0 {
+		t.Fatalf("export-churn run never replicated (%s)", rep)
+	}
+	if len(rep.Fired) == 0 {
+		t.Fatalf("fault plan never fired; storm exercised nothing (%s)", rep)
+	}
+	if rep.FinalStats.ExportChunks == 0 {
+		t.Fatalf("no chunks were ever shipped (%s)", rep)
+	}
+}
+
+// TestTortureExportChurnCrashes adds power loss: the first plan crashes at
+// a header scan (exports and activations both scan), the power-cycle swaps
+// in a corrupt-data plan via Replan, and replication must keep working
+// against the recovered source with its destination state intact.
+func TestTortureExportChurnCrashes(t *testing.T) {
+	var done bool
+	for seed := uint64(1); seed <= 8 && !done; seed++ {
+		rep, err := Torture(tortureConfig(), TortureOptions{
+			Seed: seed, Steps: 700, ExportChurn: true,
+			Plan: faultinject.CrashAtScan(3),
+			Replan: func(cycle int) *faultinject.Plan {
+				if cycle == 1 {
+					return replChurnPlan(uint64(cycle) * 101)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if rep.Crashes >= 1 && rep.Replications >= 2 {
+			done = true
+		}
+	}
+	if !done {
+		t.Fatal("no seed produced a crash plus post-crash replications")
+	}
+}
+
+// TestTortureExportChurnDeterministic re-runs the export-churn storm and
+// demands an identical report, firings and all — replication must not leak
+// map-order nondeterminism into device traffic.
+func TestTortureExportChurnDeterministic(t *testing.T) {
+	run := func() string {
+		rep, err := Torture(tortureConfig(), TortureOptions{
+			Seed: 42, Steps: 500, ExportChurn: true, Plan: replChurnPlan(11),
+		})
+		if err != nil {
+			t.Fatalf("%v (%s)", err, rep)
+		}
+		return fmt.Sprintf("%s fired=%v exported=%d deduped=%d resumed=%d",
+			rep, rep.Fired, rep.FinalStats.ExportChunks,
+			rep.FinalStats.ExportDedupHits, rep.FinalStats.ImportResumes)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seeds, different runs:\n%s\n%s", a, b)
+	}
+}
+
 // --- satellite regressions -------------------------------------------------
 
 // TestGCErrorRecordedNotSwallowed drives a background clean into an injected

@@ -117,10 +117,14 @@ func (d *Device) ProgramPages(now sim.Time, addrs []PageAddr, datas, oobs [][]by
 			return i, done, fmt.Errorf("%w: segment %d page %d (next free %d)",
 				ErrOutOfOrder, segIdx, pageIdx, seg.nextProg)
 		}
+		stored := data
 		if d.hook != nil {
 			if m := d.hook.MutateOOB(addr, oob); len(m) <= OOBSize {
 				oob = m
 			}
+			// Same post-ECC payload corruption as ProgramPage: cells store the
+			// corrupted bytes, the fingerprint captures the intended ones.
+			stored = d.corruptData(OpProgram, addr, data)
 		}
 
 		p.state = pageProgrammed
@@ -130,7 +134,7 @@ func (d *Device) ProgramPages(now sim.Time, addrs []PageAddr, datas, oobs [][]by
 		}
 		p.fp = Fingerprint(data)
 		if d.cfg.StoreData {
-			p.data = append(p.data[:0], data...)
+			p.data = append(p.data[:0], stored...)
 		}
 		seg.nextProg = pageIdx + 1
 		programmed++
@@ -196,7 +200,16 @@ func (d *Device) ReadPagesInto(now sim.Time, addrs []PageAddr, datas, oobs *[][]
 		if pageDone > done {
 			done = pageDone
 		}
-		*datas = append(*datas, p.data)
+		data := p.data
+		if d.hook != nil {
+			data = d.corruptData(OpRead, addr, data)
+			if err := d.verifyPayload(addr, p, data); err != nil {
+				// Cell and bus time for the rejected page were already
+				// charged above; the batch stops at the corrupt page.
+				return i, done, err
+			}
+		}
+		*datas = append(*datas, data)
 		*oobs = append(*oobs, p.oob[:])
 	}
 	return len(addrs), done, nil

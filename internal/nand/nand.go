@@ -46,6 +46,12 @@ var (
 	ErrDeviceFailed = errors.New("nand: injected device failure")
 	ErrTransient    = errors.New("nand: transient device error")
 	ErrRetired      = errors.New("nand: segment retired")
+	// ErrCorruptData reports a payload whose bytes no longer match the
+	// fingerprint recorded when the page was programmed — the device-level
+	// ECC/CRC analogue. Returned by reads when a corruption-injecting fault
+	// hook is armed (the check is skipped on clean devices, where stored
+	// bytes cannot diverge from the fingerprint).
+	ErrCorruptData = errors.New("nand: payload corruption detected")
 )
 
 // Health classifies a segment's media condition. Healthy segments behave
@@ -122,6 +128,24 @@ type FaultHook interface {
 	// returning oob unchanged stores the caller's header verbatim. It must
 	// not modify oob in place.
 	MutateOOB(addr PageAddr, oob []byte) []byte
+}
+
+// DataCorrupter is an optional FaultHook extension for payload corruption.
+// When the installed hook also implements it, the device consults it at the
+// two points where payload bytes are in flight:
+//
+//   - on program, the returned bytes are what the cells actually store while
+//     the page's fingerprint is still computed from the caller's intended
+//     bytes (bits flipped after ECC was computed) — so every later read of
+//     the page detects the divergence and fails with ErrCorruptData;
+//   - on read, the returned bytes are what the host receives for this one
+//     transfer; the device's stored bytes are untouched, so a re-read can
+//     succeed (a transient transfer corruption).
+//
+// Returning data unchanged injects nothing. Implementations must not modify
+// data in place — a read hands them device-owned memory.
+type DataCorrupter interface {
+	CorruptData(op Op, addr PageAddr, data []byte) []byte
 }
 
 // FaultFunc adapts a plain before-op function to FaultHook (no OOB
@@ -479,12 +503,17 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 		return now, fmt.Errorf("%w: segment %d page %d (next free %d)",
 			ErrOutOfOrder, d.SegmentOf(addr), idx, seg.nextProg)
 	}
+	stored := data
 	if d.hook != nil {
 		// Torn/corrupted header injection: the payload lands but its header
 		// bytes may be garbage, as when power fails mid-program.
 		if m := d.hook.MutateOOB(addr, oob); len(m) <= OOBSize {
 			oob = m
 		}
+		// Payload corruption on program: the cells store the corrupted bytes
+		// while the fingerprint below is computed from the intended ones
+		// (bits flipped after ECC), so reads detect the damage.
+		stored = d.corruptData(OpProgram, addr, data)
 	}
 
 	p.state = pageProgrammed
@@ -494,7 +523,7 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 	}
 	p.fp = Fingerprint(data)
 	if d.cfg.StoreData {
-		p.data = append(p.data[:0], data...)
+		p.data = append(p.data[:0], stored...)
 	}
 	seg.nextProg = idx + 1
 
@@ -530,7 +559,43 @@ func (d *Device) ReadPage(now sim.Time, addr PageAddr) (data, oob []byte, done s
 
 	_, cellDone := d.channelFor(addr).Acquire(now, d.cfg.ReadLatency)
 	done = d.readBus.acquire(cellDone, d.cfg.SectorSize)
-	return p.data, p.oob[:], done, nil
+	data = p.data
+	if d.hook != nil {
+		data = d.corruptData(OpRead, addr, data)
+		if err := d.verifyPayload(addr, p, data); err != nil {
+			// The read consumed cell and bus time before the integrity check
+			// rejected its payload, so the clock still advances.
+			return nil, nil, done, err
+		}
+	}
+	return data, p.oob[:], done, nil
+}
+
+// corruptData consults the hook's DataCorrupter extension, if any. Callers
+// gate on d.hook != nil; a hook without the extension injects nothing.
+func (d *Device) corruptData(op Op, addr PageAddr, data []byte) []byte {
+	if data == nil {
+		return nil
+	}
+	if dc, ok := d.hook.(DataCorrupter); ok {
+		if m := dc.CorruptData(op, addr, data); len(m) == len(data) {
+			return m
+		}
+	}
+	return data
+}
+
+// verifyPayload re-hashes a payload about to leave the device against the
+// page's stored fingerprint — the ECC/CRC check that turns injected payload
+// corruption into a detected error instead of silently wrong data. It runs
+// only while a fault hook is armed: on a clean device stored bytes cannot
+// diverge from the fingerprint, so the per-read hashing cost is not paid on
+// the hot path of ordinary experiments.
+func (d *Device) verifyPayload(addr PageAddr, p *page, data []byte) error {
+	if data == nil || Fingerprint(data) == p.fp {
+		return nil
+	}
+	return fmt.Errorf("%w: page %d", ErrCorruptData, addr)
 }
 
 // PageFingerprint returns the payload fingerprint of a programmed page

@@ -37,20 +37,26 @@ func Default() Policy {
 	return Policy{MaxAttempts: 3, Backoff: 100 * sim.Microsecond}
 }
 
-// Transient reports whether err is worth retrying.
+// Transient reports whether err is worth retrying. Detected payload
+// corruption counts: a corruption injected on the read path clears on the
+// next sensing pass, and only a re-read can tell it apart from bits that
+// really flipped in the cells.
 func Transient(err error) bool {
-	return errors.Is(err, nand.ErrTransient)
+	return errors.Is(err, nand.ErrTransient) ||
+		errors.Is(err, nand.ErrCorruptData)
 }
 
 // MediaFailure reports whether err is a permanent media failure that should
 // mark the affected segment suspect: wear-out, a device failure, or a
-// transient error that survived the whole retry budget. Power loss and
-// logic errors (bad address, out-of-order program, ...) are not media
-// failures — crashing is not the medium's fault, and logic errors are bugs.
+// transient/corrupt-data error that survived the whole retry budget. Power
+// loss and logic errors (bad address, out-of-order program, ...) are not
+// media failures — crashing is not the medium's fault, and logic errors are
+// bugs.
 func MediaFailure(err error) bool {
 	return errors.Is(err, nand.ErrDeviceFailed) ||
 		errors.Is(err, nand.ErrWornOut) ||
-		errors.Is(err, nand.ErrTransient)
+		errors.Is(err, nand.ErrTransient) ||
+		errors.Is(err, nand.ErrCorruptData)
 }
 
 // Do runs op, retrying transient failures within the policy's budget. op
@@ -76,6 +82,23 @@ func (p Policy) Do(now sim.Time, op func(sim.Time) (sim.Time, error)) (done sim.
 // attempts DoFrom itself performs, so a caller adding them to a stats
 // counter matches Do's accounting exactly: total attempts - 1.
 func (p Policy) DoFrom(now sim.Time, attempted int, lastErr error, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
+	return p.doFrom(now, attempted, lastErr, Transient, op)
+}
+
+// DoRetryable is Do with a caller-supplied retryability classifier, for
+// retry loops above the NAND layer — the snapshot transport re-drives a
+// transfer on stream-level errors (truncation, a bit-flipped frame, a chunk
+// hash mismatch) that the media-oriented Transient check knows nothing
+// about. The backoff schedule and accounting match Do exactly.
+func (p Policy) DoRetryable(now sim.Time, retryable func(error) bool, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
+	done, err = op(now)
+	if err == nil {
+		return done, 0, nil
+	}
+	return p.doFrom(now, 1, err, retryable, op)
+}
+
+func (p Policy) doFrom(now sim.Time, attempted int, lastErr error, retryable func(error) bool, op func(sim.Time) (sim.Time, error)) (done sim.Time, retries int64, err error) {
 	maxAttempts := p.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -88,7 +111,7 @@ func (p Policy) DoFrom(now sim.Time, attempted int, lastErr error, op func(sim.T
 		backoff *= 2
 	}
 	done, err = now, lastErr
-	for attempt := attempted; err != nil && Transient(err) && attempt < maxAttempts; attempt++ {
+	for attempt := attempted; err != nil && retryable(err) && attempt < maxAttempts; attempt++ {
 		retries++
 		now = now.Add(backoff)
 		backoff *= 2

@@ -142,3 +142,46 @@ func TestDoFromExhaustedBudget(t *testing.T) {
 }
 
 func time100() sim.Duration { return 100 * sim.Microsecond }
+
+// TestDoRetryableCustomClassifier: transport-level errors unknown to the
+// media Transient check retry under a caller-supplied classifier, and
+// non-retryable errors stop the loop immediately.
+func TestDoRetryableCustomClassifier(t *testing.T) {
+	errFrame := errors.New("xport: bad frame")
+	errFatal := errors.New("xport: manifest mismatch")
+	retryable := func(err error) bool { return errors.Is(err, errFrame) }
+
+	p := Policy{MaxAttempts: 3, Backoff: time100()}
+	calls := 0
+	_, retries, err := p.DoRetryable(0, retryable, func(at sim.Time) (sim.Time, error) {
+		calls++
+		if calls < 3 {
+			return at, errFrame
+		}
+		return at, nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("retryable frame error: err=%v retries=%d calls=%d", err, retries, calls)
+	}
+
+	calls = 0
+	_, retries, err = p.DoRetryable(0, retryable, func(at sim.Time) (sim.Time, error) {
+		calls++
+		return at, errFatal
+	})
+	if !errors.Is(err, errFatal) || retries != 0 || calls != 1 {
+		t.Fatalf("fatal error must not retry: err=%v retries=%d calls=%d", err, retries, calls)
+	}
+}
+
+// TestCorruptDataIsTransientAndMediaFailure: detected payload corruption is
+// retry-worthy (read-side damage clears on a re-read) and, if it survives
+// the budget, counts as a media failure for suspect-marking.
+func TestCorruptDataIsTransientAndMediaFailure(t *testing.T) {
+	if !Transient(nand.ErrCorruptData) {
+		t.Fatal("ErrCorruptData must be transient")
+	}
+	if !MediaFailure(nand.ErrCorruptData) {
+		t.Fatal("ErrCorruptData must be a media failure")
+	}
+}

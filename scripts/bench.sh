@@ -205,3 +205,58 @@ awk "BEGIN { exit !($scaling >= 2) }" || {
 	echo "bench.sh: 16-shard scaling $scaling below the 2x acceptance floor" >&2
 	exit 1
 }
+
+# Replication benchmark: incremental (delta against the previous committed
+# generation) vs full-image transfer of the same snapshot — sectors and
+# wire bytes shipped plus virtual transfer time. All metrics are
+# deterministic virtual quantities, so one iteration suffices.
+xout=BENCH_export.json
+
+echo "== go test -bench (incremental vs full replication)"
+go test ./internal/iosnap/ -run '^$' \
+	-bench 'BenchmarkReplicateFull$|BenchmarkReplicateIncremental$' \
+	-benchtime=1x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+/^BenchmarkReplicateFull/        { fs = metric("sectors/op"); fb = metric("wirebytes/op"); ft = metric("vus/op") }
+/^BenchmarkReplicateIncremental/ { is = metric("sectors/op"); ib = metric("wirebytes/op"); it = metric("vus/op") }
+END {
+	if (fs == "" || fb == "" || ft == "" || is == "" || ib == "" || it == "") {
+		print "bench.sh: missing replication benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"incremental-replication\",\n"
+	printf "  \"config\": \"128 segments x 32 pages, 600-sector image, 10%% overwrite + 10-sector trim between generations\",\n"
+	printf "  \"full_sectors\": %.0f,\n", fs
+	printf "  \"full_wire_bytes\": %.0f,\n", fb
+	printf "  \"full_virtual_us\": %.1f,\n", ft
+	printf "  \"incremental_sectors\": %.0f,\n", is
+	printf "  \"incremental_wire_bytes\": %.0f,\n", ib
+	printf "  \"incremental_virtual_us\": %.1f,\n", it
+	printf "  \"wire_bytes_advantage\": %.1f,\n", fb / ib
+	printf "  \"virtual_time_advantage\": %.1f\n", ft / it
+	printf "}\n"
+}' "$raw" > "$xout"
+
+echo "== wrote $xout"
+cat "$xout"
+
+xadv=$(awk -F'[:,]' '/"wire_bytes_advantage"/ { print $2 }' "$xout")
+tadv=$(awk -F'[:,]' '/"virtual_time_advantage"/ { print $2 }' "$xout")
+awk "BEGIN { exit !($xadv >= 4) }" || {
+	echo "bench.sh: incremental wire-bytes advantage $xadv below the 4x acceptance floor" >&2
+	exit 1
+}
+awk "BEGIN { exit !($tadv >= 1.5) }" || {
+	echo "bench.sh: incremental virtual-time advantage $tadv below the 1.5x acceptance floor" >&2
+	exit 1
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/sim"
+	"iosnap/internal/workload"
+)
+
+// BenchmarkMapCache traces the paged mapping table's hit-rate /
+// foreground-latency tradeoff on a TB-class device (DESIGN.md §13). The
+// full in-RAM map for such a device would not fit the paper's FTL RAM
+// budget; the paged map keeps a bounded translation-page cache instead,
+// and this bench sweeps that bound under a hot/cold read mix whose
+// locality knobs (workload.HotCold) map directly onto translation-page
+// reuse. Metrics per variant: cache hit rate, mean foreground virtual
+// latency, and resident map bytes. All are deterministic virtual
+// quantities — one iteration suffices.
+//
+// Gated by scripts/bench.sh: the largest cache must reach a 90% hit rate
+// while staying within 2x of the in-RAM map's mean latency.
+
+const (
+	// 1 TB device: 4K pages, 1024 pages/segment, 256Ki segments. Segments
+	// materialize lazily, so only the touched span costs host RAM.
+	mapBenchSegments = 1 << 18
+	// The active span: 4 GB of LBA space, every 16th sector mapped. Each
+	// 16-sector read then lands on exactly one programmed page, so the
+	// in-RAM baseline pays one NAND read per op and a translation-page
+	// miss shows up as the one extra read it really is. The span covers
+	// 4096 translation pages (256 slots each at 4K sectors) while host
+	// RAM holds only 64K payloads.
+	mapBenchSpan   = int64(1) << 20
+	mapBenchStride = int64(16)
+	mapBenchHot    = 0.95 // HotFrac: share of ops on the hot set
+	mapBenchSpanH  = 0.1  // HotSpan: hot set = first 10% of the span
+	mapBenchOps    = 100_000
+)
+
+func mapBenchConfig(cachePages int) iosnap.Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 4096
+	nc.PagesPerSegment = 1024
+	nc.Segments = mapBenchSegments
+	nc.StoreData = true
+	cfg := iosnap.DefaultConfig(nc)
+	cfg.MapCachePages = cachePages
+	return cfg
+}
+
+func benchMapCacheVariant(b *testing.B, cachePages int) {
+	for i := 0; i < b.N; i++ {
+		f, err := iosnap.New(mapBenchConfig(cachePages), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss := f.SectorSize()
+		buf := make([]byte, ss)
+		now := sim.Time(0)
+		for lba := int64(0); lba < mapBenchSpan; lba += mapBenchStride {
+			f.Scheduler().RunUntil(now)
+			d, err := f.Write(now, lba, buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now = d
+		}
+		preHits, preMisses := f.Stats().MapCacheHits, f.Stats().MapCacheMisses
+
+		spec := workload.Spec{
+			Kind: workload.Read, Pattern: workload.HotCold,
+			BlockSize: int(mapBenchStride) * ss, Threads: 1, QueueDepth: 1,
+			MaxOps: mapBenchOps, RangeHi: mapBenchSpan,
+			Seed: 42, HotFrac: mapBenchHot, HotSpan: mapBenchSpanH,
+		}
+		res, _, err := workload.Run(f, now, spec, workload.Options{Scheduler: f.Scheduler()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := f.Stats()
+		hits := st.MapCacheHits - preHits
+		misses := st.MapCacheMisses - preMisses
+		if total := hits + misses; total > 0 {
+			b.ReportMetric(float64(hits)/float64(total), "hitrate")
+		} else {
+			b.ReportMetric(1.0, "hitrate") // in-RAM map: every lookup free
+		}
+		b.ReportMetric(res.MeanLat.Microseconds(), "vus/op")
+		b.ReportMetric(float64(st.MapMemoryResident), "residentB")
+	}
+}
+
+// Variants: the unbounded in-RAM baseline plus three cache sizes. The hot
+// set spans ~410 translation pages of the span's 4096, so 128 thrashes,
+// 512 holds the hot set, and 2048 adds cold headroom.
+func BenchmarkMapCache(b *testing.B) {
+	b.Run("inram", func(b *testing.B) { benchMapCacheVariant(b, 0) })
+	for _, pages := range []int{128, 512, 2048} {
+		pages := pages
+		b.Run(fmt.Sprintf("cache%d", pages), func(b *testing.B) {
+			benchMapCacheVariant(b, pages)
+		})
+	}
+}

@@ -82,6 +82,8 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("iosnapctl", flag.ContinueOnError)
 	image := global.String("image", "", "device image path (required)")
+	mapCache := global.Int("mapcache", 0,
+		"translation-page cache size in pages (0 = in-RAM map, <0 = unbounded paged)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +108,7 @@ func run(args []string) error {
 		return cmdInit(*image, cmdArgs)
 	}
 
-	dev, f, err := load(*image)
+	dev, f, err := load(*image, *mapCache)
 	if err != nil {
 		return err
 	}
@@ -181,7 +183,7 @@ func cmdInit(image string, args []string) error {
 	return nil
 }
 
-func load(image string) (*nand.Device, *iosnap.FTL, error) {
+func load(image string, mapCachePages int) (*nand.Device, *iosnap.FTL, error) {
 	rd, err := os.Open(image)
 	if err != nil {
 		return nil, nil, err
@@ -192,6 +194,7 @@ func load(image string) (*nand.Device, *iosnap.FTL, error) {
 		return nil, nil, fmt.Errorf("loading %s: %w", image, err)
 	}
 	cfg := iosnap.DefaultConfig(dev.Config())
+	cfg.MapCachePages = mapCachePages
 	f, _, err := iosnap.Recover(cfg, dev, nil, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("recovering device state: %w", err)
@@ -479,7 +482,7 @@ func cmdReplicate(f *iosnap.FTL, now sim.Time, args []string) error {
 	if *dst == "" {
 		return fmt.Errorf("replicate: -dst is required")
 	}
-	dstDev, dstF, err := load(*dst)
+	dstDev, dstF, err := load(*dst, 0)
 	if err != nil {
 		return err
 	}
@@ -557,7 +560,9 @@ func cmdStats(f *iosnap.FTL) error {
 	fmt.Printf("snapshots (live):   %d\n", f.Tree().Live())
 	fmt.Printf("snapshots (total):  %d\n", f.Tree().Len())
 	fmt.Printf("active epoch:       %d\n", f.ActiveEpoch())
-	fmt.Printf("map memory:         %d B\n", st.MapMemory)
+	fmt.Printf("map memory:         %d B (%d B resident)\n", st.MapMemory, st.MapMemoryResident)
+	fmt.Printf("map cache:          %d hits, %d misses, %d evictions, %d pages flushed\n",
+		st.MapCacheHits, st.MapCacheMisses, st.MapCacheEvictions, st.MapPagesFlushed)
 	fmt.Printf("validity memory:    %d B\n", st.ValidityMemory)
 	fmt.Printf("gc errors:          %d\n", st.GCErrors)
 	if st.GCLastErr != "" {

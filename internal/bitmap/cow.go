@@ -171,6 +171,26 @@ func (em *epochMap) findPage(pageIdx int64) (p *vpage, owned bool) {
 	return nil, false
 }
 
+// PageIndices returns the ascending indices of the bitmap pages epoch e can
+// observe — privately owned or inherited through the parent chain. Every bit
+// outside these pages reads zero, so a sweep over a sparse epoch can restrict
+// itself to these pages instead of probing the full bit space (which on a
+// TB-class device is hundreds of millions of bits, nearly all untouched).
+func (s *Store) PageIndices(e Epoch) []int64 {
+	seen := make(map[int64]struct{})
+	for m := s.get(e); m != nil; m = m.parent {
+		for idx := range m.pages {
+			seen[idx] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for idx := range seen {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Test reports bit i as seen by epoch e.
 func (s *Store) Test(e Epoch, i int64) bool {
 	s.checkBit(i)

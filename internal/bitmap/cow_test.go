@@ -458,3 +458,40 @@ func TestImportPageValidation(t *testing.T) {
 		t.Fatal("duplicate import accepted")
 	}
 }
+
+func TestPageIndicesSparse(t *testing.T) {
+	s := newTestStore(t) // 8 pages of 128 bits
+	if got := s.PageIndices(1); len(got) != 0 {
+		t.Fatalf("fresh epoch observes pages %v, want none", got)
+	}
+	s.Set(1, 5)    // page 0
+	s.Set(1, 700)  // page 5
+	if err := s.CreateEpoch(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Set(2, 300) // page 2, owned by the child only
+	got := s.PageIndices(2)
+	want := []int64{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("PageIndices(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PageIndices(2) = %v, want %v", got, want)
+		}
+	}
+	// The parent does not see the child's private page.
+	got = s.PageIndices(1)
+	// Set(1, ...) after the fork may have pushed pages down, but epoch 1
+	// itself observes exactly the pages it touched.
+	want = []int64{0, 5}
+	if len(got) != len(want) || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("PageIndices(1) = %v, want %v", got, want)
+	}
+	// A cleared page still counts as observable (its bits read zero); the
+	// contract is a superset bound, never an undercount.
+	s.Clear(2, 300)
+	if got := s.PageIndices(2); len(got) != 3 {
+		t.Fatalf("PageIndices(2) after clear = %v, want 3 pages", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"iosnap/internal/ckpt"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
@@ -33,6 +34,7 @@ import (
 const (
 	ckptSecMap      = 1 // forward map: count, then count × (lba, addr)
 	ckptSecSegTable = 2 // segment table: count, then count × (seg, erases, prog, maxSeq)
+	ckptSecGTD      = 3 // bounded-paged map: the global translation directory
 )
 
 // ckptSegRecord is one used segment's identity at serialization time.
@@ -47,13 +49,35 @@ type ckptSegRecord struct {
 // instant and returns the checkpoint identity plus its sector-sized chunks.
 func (f *FTL) serializeCheckpoint() (uint64, [][]byte, error) {
 	ckptID := f.seq
+	// Tree and cache-unbounded maps serialize the full mapping list
+	// (byte-identical between the two — the unbounded equivalence
+	// contract). A bounded paged map serializes only the GTD: every dirty
+	// translation page was flushed before this point (writeCheckpoint /
+	// ckptTask call flushAllMapPages first), so the directory's flash
+	// copies are current.
 	var mw ckpt.Writer
-	mw.U64(uint64(f.fmap.Len()))
-	f.fmap.All(func(k, v uint64) bool {
-		mw.U64(k)
-		mw.U64(v)
-		return true
-	})
+	mapKind := uint8(ckptSecMap)
+	if c := f.fmap.Paged(); c != nil && c.Bounded() {
+		if dirty := c.DirtyPages(); len(dirty) != 0 {
+			return 0, nil, fmt.Errorf("ftl: checkpoint with %d unflushed translation pages", len(dirty))
+		}
+		mapKind = ckptSecGTD
+		ents := c.GTDEntries()
+		mw.U32(uint32(c.SlotsPerPage()))
+		mw.U32(uint32(len(ents)))
+		for _, ent := range ents {
+			mw.U64(ent.Idx)
+			mw.U64(ent.Addr)
+			mw.U32(uint32(ent.Live))
+		}
+	} else {
+		mw.U64(uint64(f.fmap.Len()))
+		f.fmap.All(func(k, v uint64) bool {
+			mw.U64(k)
+			mw.U64(v)
+			return true
+		})
+	}
 	var sw ckpt.Writer
 	sw.U32(uint32(len(f.usedSegs)))
 	for _, s := range f.usedSegs {
@@ -63,7 +87,7 @@ func (f *FTL) serializeCheckpoint() (uint64, [][]byte, error) {
 		sw.U64(f.segLastSeq[s])
 	}
 	stream := ckpt.Encode(ckptID, ckptID, []ckpt.Section{
-		{Kind: ckptSecMap, Data: mw.B},
+		{Kind: mapKind, Data: mw.B},
 		{Kind: ckptSecSegTable, Data: sw.B},
 	})
 	chunks, err := ckpt.Split(ckptID, stream, f.cfg.Nand.SectorSize)
@@ -112,12 +136,18 @@ func (f *FTL) commitCheckpoint(now sim.Time, ckptID uint64, addrs []nand.PageAdd
 	f.stats.CheckpointChunks += int64(len(addrs))
 }
 
-// pinnedInSeg counts checkpoint-chunk pins in seg. Victim scoring treats
-// them as live: a segment full of pinned chunks has zero valid bits yet
-// cleaning it reclaims nothing.
+// pinnedInSeg counts pinned pages (checkpoint chunks and live
+// GTD-referenced translation pages) in seg. Victim scoring treats them as
+// live: a segment full of pinned pages has zero valid bits yet cleaning it
+// reclaims nothing.
 func (f *FTL) pinnedInSeg(seg int) int {
 	n := 0
 	for a := range f.ckptPins {
+		if f.dev.SegmentOf(a) == seg {
+			n++
+		}
+	}
+	for a := range f.mapPins {
 		if f.dev.SegmentOf(a) == seg {
 			n++
 		}
@@ -159,14 +189,24 @@ func (f *FTL) abortCheckpoint(addrs []nand.PageAddr, err error) {
 // writeCheckpoint synchronously serializes and programs a checkpoint (the
 // Close path).
 func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
+	// ckptActive guards the whole sequence: the map flushes below advance
+	// the log head, which must not arm a second (background) checkpoint.
+	f.ckptActive = true
+	defer func() { f.ckptActive = false }()
+	if c := f.fmap.Paged(); c != nil && c.Bounded() {
+		var err error
+		if now, err = f.flushAllMapPages(now, c); err != nil {
+			f.stats.CheckpointErrors++
+			f.stats.CheckpointLastErr = err.Error()
+			return now, err
+		}
+	}
 	ckptID, chunks, err := f.serializeCheckpoint()
 	if err != nil {
 		f.stats.CheckpointErrors++
 		f.stats.CheckpointLastErr = err.Error()
 		return now, err
 	}
-	f.ckptActive = true
-	defer func() { f.ckptActive = false }()
 	var addrs []nand.PageAddr
 	for i, c := range chunks {
 		var addr nand.PageAddr
@@ -203,6 +243,21 @@ func (f *FTL) StartCheckpoint(now sim.Time) bool {
 }
 
 func (f *FTL) startCheckpoint(now sim.Time) bool {
+	if c := f.fmap.Paged(); c != nil && c.Bounded() {
+		// A bounded paged map must flush every dirty translation page before
+		// serializing, and flushing programs through the log head — which
+		// cannot happen here: startCheckpoint fires from the head-advance
+		// path, possibly mid-program under SequentialProg. Defer both the
+		// flush and the serialization to the task's first run.
+		f.ckptActive = true
+		f.ckptInflight = nil
+		f.sched.Schedule(now, &ckptTask{
+			f:       f,
+			pending: true,
+			budget:  ratelimit.NewBudget(f.cfg.CheckpointLimit),
+		})
+		return true
+	}
 	ckptID, chunks, err := f.serializeCheckpoint()
 	if err != nil {
 		f.stats.CheckpointErrors++
@@ -225,11 +280,12 @@ func (f *FTL) startCheckpoint(now sim.Time) bool {
 // that land between quanta carry seq > ckptSeq and are replayed on top at
 // recovery — the checkpoint stays consistent without stalling writers.
 type ckptTask struct {
-	f      *FTL
-	id     uint64
-	chunks [][]byte
-	next   int
-	budget *ratelimit.Budget
+	f       *FTL
+	id      uint64
+	chunks  [][]byte
+	next    int
+	pending bool // bounded-paged mode: flush + serialize on first run
+	budget  *ratelimit.Budget
 }
 
 // Name implements sim.Task.
@@ -246,6 +302,22 @@ func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
 		f.ckptInflight = nil
 		f.ckptActive = false
 		return 0, true
+	}
+	if t.pending {
+		var err error
+		if c := f.fmap.Paged(); c != nil && c.Bounded() {
+			now, err = f.flushAllMapPages(now, c)
+		}
+		if err == nil {
+			t.id, t.chunks, err = f.serializeCheckpoint()
+		}
+		if err != nil {
+			f.stats.CheckpointErrors++
+			f.stats.CheckpointLastErr = err.Error()
+			f.ckptActive = false
+			return 0, true
+		}
+		t.pending = false
 	}
 	start := now
 	for programmed := 0; t.next < len(t.chunks) && programmed < f.cfg.GCChunk; programmed++ {
@@ -272,9 +344,12 @@ func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
 	return 0, true
 }
 
-// decodeCheckpointSections parses a decoded stream's sections into map
-// entries and the segment table.
-func decodeCheckpointSections(secs []ckpt.Section) (entries [][2]uint64, table []ckptSegRecord, err error) {
+// decodeCheckpointSections parses a decoded stream's sections into the map
+// state and the segment table. The map section comes in either layout: the
+// full mapping list (tree / cache-unbounded checkpoints, ckptSecMap) or
+// the global translation directory (bounded-paged checkpoints,
+// ckptSecGTD); exactly one of entries / gtd is populated on success.
+func decodeCheckpointSections(secs []ckpt.Section) (entries [][2]uint64, gtd []mapcache.GTDEnt, slotsPer int, table []ckptSegRecord, err error) {
 	var sawMap, sawTable bool
 	for _, s := range secs {
 		switch s.Kind {
@@ -287,7 +362,19 @@ func decodeCheckpointSections(secs []ckpt.Section) (entries [][2]uint64, table [
 				entries = append(entries, [2]uint64{lba, addr})
 			}
 			if r.Err() != nil {
-				return nil, nil, fmt.Errorf("ftl: checkpoint map section: %w", r.Err())
+				return nil, nil, 0, nil, fmt.Errorf("ftl: checkpoint map section: %w", r.Err())
+			}
+		case ckptSecGTD:
+			sawMap = true
+			r := ckpt.Reader{B: s.Data}
+			slotsPer = int(r.U32())
+			n := r.U32()
+			gtd = make([]mapcache.GTDEnt, 0, n)
+			for i := uint32(0); i < n; i++ {
+				gtd = append(gtd, mapcache.GTDEnt{Idx: r.U64(), Addr: r.U64(), Live: int(r.U32())})
+			}
+			if r.Err() != nil {
+				return nil, nil, 0, nil, fmt.Errorf("ftl: checkpoint GTD section: %w", r.Err())
 			}
 		case ckptSecSegTable:
 			sawTable = true
@@ -303,14 +390,14 @@ func decodeCheckpointSections(secs []ckpt.Section) (entries [][2]uint64, table [
 				table = append(table, rec)
 			}
 			if r.Err() != nil {
-				return nil, nil, fmt.Errorf("ftl: checkpoint segment table: %w", r.Err())
+				return nil, nil, 0, nil, fmt.Errorf("ftl: checkpoint segment table: %w", r.Err())
 			}
 		}
 	}
 	if !sawMap || !sawTable {
-		return nil, nil, fmt.Errorf("ftl: checkpoint missing required sections")
+		return nil, nil, 0, nil, fmt.Errorf("ftl: checkpoint missing required sections")
 	}
-	return entries, table, nil
+	return entries, gtd, slotsPer, table, nil
 }
 
 // checkSegTable decides whether a checkpoint's segment table still

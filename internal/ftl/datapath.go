@@ -45,6 +45,9 @@ type dataPathScratch struct {
 	vals    []uint64
 	found   []bool
 	secIdx  []int
+
+	mapMiss  []uint64        // translation-page indices to fault (mappage.go)
+	mapAddrs []nand.PageAddr // their flash addresses
 }
 
 // Read implements blockdev.Device. Unmapped sectors read as zeros. Reads
@@ -70,6 +73,9 @@ func (f *FTL) readRun(now sim.Time, lba int64, n int, buf []byte) (completed int
 	span := ftlmap.RunSpan(n)
 	f.stats.BatchDescents += int64(span)
 	t := now.Add(sim.Duration(span) * f.cfg.MapCPUCost)
+	if t, err = f.mapEnsure(t, uint64(lba), n); err != nil {
+		return 0, t, err
+	}
 	done = t
 
 	// Resolve the run's translations; unmapped sectors read as zeros.
@@ -146,7 +152,11 @@ func (f *FTL) Write(now sim.Time, lba int64, data []byte) (sim.Time, error) {
 	span := ftlmap.RunSpan(n)
 	f.stats.BatchDescents += int64(span)
 	at := now.Add(sim.Duration(span) * f.cfg.MapCPUCost)
+	at, err := f.mapEnsure(at, uint64(lba), n)
 	done := at
+	if err != nil {
+		return done, err
+	}
 	written := 0
 	var firstErr error
 	for written < n && firstErr == nil {
@@ -328,6 +338,10 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 	}
 	span := ftlmap.RunSpan(int(n))
 	f.stats.BatchDescents += int64(span)
+	t, err := f.mapEnsureRange(now, uint64(lba), uint64(lba)+uint64(n))
+	if err != nil {
+		return t, err
+	}
 	if f.cfg.ReferenceDataPath {
 		for i := int64(0); i < n; i++ {
 			if prev, existed := f.fmap.Delete(uint64(lba + i)); existed {
@@ -342,7 +356,7 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 		f.markInvalidRuns(f.ws.prevs)
 	}
 	f.stats.Trims += n
-	return now.Add(sim.Duration(span) * f.cfg.MapCPUCost), nil
+	return t.Add(sim.Duration(span) * f.cfg.MapCPUCost), nil
 }
 
 // lookupScratch returns the reusable LookupRange buffers, grown to n and

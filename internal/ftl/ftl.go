@@ -15,7 +15,7 @@ import (
 	"fmt"
 
 	"iosnap/internal/bitmap"
-	"iosnap/internal/ftlmap"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
@@ -67,6 +67,19 @@ type Config struct {
 	// spans in a maximally-packed tree (ftlmap.RunSpan), not once per sector — the batched data
 	// path's cost model (DESIGN.md §10).
 	MapCPUCost sim.Duration
+
+	// MapCachePages selects the forward map's memory layout (DESIGN.md
+	// §13). 0 (the default) keeps the in-RAM B+tree. Non-zero switches to
+	// the flash-resident paged map: translation pages of
+	// mapcache.SlotsFor(SectorSize) slots each, a RAM-pinned global
+	// translation directory, and a CLOCK cache of resident pages. A
+	// positive value bounds the cache to that many resident translation
+	// pages — dirty pages write back through the log head on eviction and
+	// the map's host footprint becomes O(cache + GTD) instead of O(map) —
+	// and requires a data-storing device (Nand.StoreData). A negative
+	// value runs the paged layout cache-unbounded: nothing is ever written
+	// to flash, which keeps it lockstep bit-exact with the tree.
+	MapCachePages int
 
 	// ReferenceDataPath selects the per-sector reference implementation of
 	// the data path: per-key map operations, per-bit validity flips, and
@@ -165,7 +178,19 @@ func (c Config) Validate() error {
 	if c.RescueReserve < 0 || c.RescueReserve >= c.Nand.Segments {
 		return fmt.Errorf("ftl: RescueReserve %d out of range", c.RescueReserve)
 	}
+	if c.MapCachePages > 0 && !c.Nand.StoreData {
+		return fmt.Errorf("ftl: MapCachePages %d requires a data-storing device (translation pages live on flash)", c.MapCachePages)
+	}
 	return nil
+}
+
+// mapLimit converts MapCachePages to the cache's residency-limit parameter
+// (<=0 = unbounded).
+func (c Config) mapLimit() int {
+	if c.MapCachePages < 0 {
+		return 0
+	}
+	return c.MapCachePages
 }
 
 // Stats counts FTL-level activity.
@@ -185,8 +210,14 @@ type Stats struct {
 	GCMergeTime  sim.Duration // host time spent computing block validity
 	GCTotalTime  sim.Duration // virtual time from victim selection to erase
 	GCLastAt     sim.Time     // completion time of the most recent clean
-	MapMemory    int64        // bytes, refreshed on Stats()
+	MapMemory    int64        // forward map bytes, as if fully resident (refreshed on Stats())
 	WriteAmplify float64      // (user+gc programs)/user programs, refreshed on Stats()
+
+	MapMemoryResident int64 // host RAM the map actually holds: resident pages + GTD (refreshed on Stats())
+	MapCacheHits      int64 // translation pages served from the cache (paged mode)
+	MapCacheMisses    int64 // translation pages faulted from flash (paged mode)
+	MapCacheEvictions int64 // resident translation pages evicted (paged mode)
+	MapPagesFlushed   int64 // dirty translation pages written back to the log (paged mode)
 
 	Retries          int64 // NAND operations re-attempted by the retry policy
 	MediaFailures    int64 // permanent media failures (each marks a segment suspect)
@@ -222,7 +253,7 @@ type FTL struct {
 	dev   *nand.Device
 	sched *sim.Scheduler
 
-	fmap     *ftlmap.Tree
+	fmap     *mapcache.Map
 	validity *bitmap.Bitmap
 
 	headSeg    int      // segment currently absorbing appends
@@ -255,6 +286,12 @@ type FTL struct {
 	anchorID     uint64
 	anchorAddrs  []nand.PageAddr
 	ckptInflight []nand.PageAddr
+
+	// mapPins protects on-flash translation pages (paged map mode) the
+	// same way ckptPins protects checkpoint chunks: translation pages are
+	// never valid in the bitmap, so the pin is their only cleaning
+	// protection. Keyed by flash address, valued by translation-page index.
+	mapPins map[nand.PageAddr]uint64
 }
 
 // markValid sets a validity bit and keeps the per-segment counters exact.
@@ -290,12 +327,13 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 		cfg:        cfg,
 		dev:        nand.New(cfg.Nand),
 		sched:      sched,
-		fmap:       ftlmap.New(),
 		validity:   bitmap.New(cfg.Nand.TotalPages()),
 		gcVictim:   -1,
 		segLastSeq: make([]uint64, cfg.Nand.Segments),
 		ckptPins:   make(map[nand.PageAddr]bool),
+		mapPins:    make(map[nand.PageAddr]uint64),
 	}
+	f.fmap = f.newActiveMap()
 	for s := cfg.Nand.Segments - 1; s >= 1; s-- {
 		f.freeSegs = append(f.freeSegs, s)
 	}
@@ -325,6 +363,14 @@ func (f *FTL) Sectors() int64 { return f.cfg.UserSectors }
 func (f *FTL) Stats() Stats {
 	s := f.stats
 	s.MapMemory = f.fmap.MemoryBytes()
+	s.MapMemoryResident = f.fmap.ResidentBytes()
+	if c := f.fmap.Paged(); c != nil {
+		cs := c.Stats()
+		s.MapCacheHits = cs.Hits
+		s.MapCacheMisses = cs.Misses
+		s.MapCacheEvictions = cs.Evictions
+		s.MapPagesFlushed = cs.Flushed
+	}
 	if s.UserWrites > 0 {
 		s.WriteAmplify = float64(s.UserWrites+s.GCCopied) / float64(s.UserWrites)
 	}

@@ -205,11 +205,12 @@ func (f *FTL) copyForward(now sim.Time, victim, cursor, max int) (int, sim.Time,
 			idx := cursor
 			cursor++
 			old := f.dev.Addr(victim, idx)
-			// Checkpoint chunks are never valid in the bitmap (they are
-			// consumed at recovery, not translated) but the pinned generation
-			// must survive cleaning: pinned pages are copied like valid ones
-			// and the anchor follows them.
-			pinned := f.ckptPins[old]
+			// Checkpoint chunks and translation pages are never valid in the
+			// bitmap (they are consumed at recovery or faulted by the map
+			// cache, not translated) but pinned pages must survive cleaning:
+			// they are copied like valid ones and the anchor / GTD follows.
+			_, mapPinned := f.mapPins[old]
+			pinned := f.ckptPins[old] || mapPinned
 			if !f.validity.Test(int64(old)) && !pinned {
 				continue
 			}
@@ -281,7 +282,8 @@ func (f *FTL) copyForwardRef(now sim.Time, victim, cursor, max int) (int, sim.Ti
 		idx := cursor
 		cursor++
 		old := f.dev.Addr(victim, idx)
-		pinned := f.ckptPins[old]
+		_, mapPinned := f.mapPins[old]
+		pinned := f.ckptPins[old] || mapPinned
 		if !f.validity.Test(int64(old)) && !pinned {
 			continue
 		}
@@ -323,9 +325,13 @@ func (f *FTL) gcFixup(old, dst nand.PageAddr, h header.Header, pinned bool) {
 		f.segLastSeq[dseg] = h.Seq
 	}
 	if pinned {
-		// The pin and the anchor (or in-flight chunk list) follow the
-		// page; no translation or validity bit exists to move.
-		f.movePin(old, dst)
+		// The pin and the anchor (or in-flight chunk list, or GTD entry)
+		// follow the page; no translation or validity bit exists to move.
+		if h.Type == header.TypeMapPage {
+			f.moveMapPin(old, dst)
+		} else {
+			f.movePin(old, dst)
+		}
 	} else {
 		// Re-point the translation and move the validity bit.
 		if h.Type == header.TypeData {

@@ -1,0 +1,244 @@
+package ftl
+
+import (
+	"fmt"
+
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
+	"iosnap/internal/nand"
+	"iosnap/internal/retry"
+	"iosnap/internal/sim"
+)
+
+// Flash-resident paged mapping table (DESIGN.md §13), vanilla-FTL side.
+// The forward map is cut into translation pages (mapcache); this file is
+// the FTL-side glue: charged foreground faults through the batched read
+// path, CLOCK eviction with dirty write-back through the log head, and the
+// pin bookkeeping that protects on-flash translation pages from the
+// cleaner (they are never valid in the bitmap, exactly like checkpoint
+// chunks).
+
+// newActiveMap builds the forward map per the configured layout: the
+// legacy in-RAM tree, or the paged translation-page cache (bounded when
+// MapCachePages > 0, unbounded — and therefore lockstep bit-exact with the
+// tree — when negative).
+func (f *FTL) newActiveMap() *mapcache.Map {
+	if f.cfg.MapCachePages == 0 {
+		return mapcache.NewTree()
+	}
+	return mapcache.NewPaged(mapcache.SlotsFor(f.cfg.Nand.SectorSize), f.cfg.mapLimit(), f.newMapFault())
+}
+
+// recoveredMap builds the forward map from recovery output: sorted entries
+// (the full scan or a legacy full-map checkpoint) plus, in bounded-paged
+// mode, an optional GTD from a paged checkpoint. GTD pages stay on flash
+// and fault in lazily; entries become resident dirty pages (the cache may
+// start over-limit — the first foreground op shrinks it).
+func (f *FTL) recoveredMap(entries []ftlmap.Entry, gtd []mapcache.GTDEnt) *mapcache.Map {
+	if f.cfg.MapCachePages == 0 {
+		return mapcache.FromTree(ftlmap.BulkLoad(entries, 1.0))
+	}
+	m := mapcache.NewPaged(mapcache.SlotsFor(f.cfg.Nand.SectorSize), f.cfg.mapLimit(), f.newMapFault())
+	c := m.Paged()
+	if len(gtd) > 0 {
+		c.LoadGTD(gtd)
+		for _, ent := range gtd {
+			f.mapPins[nand.PageAddr(ent.Addr)] = ent.Idx
+		}
+	}
+	c.LoadEntries(entries)
+	return m
+}
+
+// newMapFault serves host-side translation-page faults (background
+// decodes, cleaner fix-ups): an untimed payload read straight off the
+// device. Foreground faults never come here — they go through mapEnsure's
+// charged batch read before the map operation runs.
+func (f *FTL) newMapFault() mapcache.FaultFunc {
+	return func(idx, addr uint64) ([]uint64, error) {
+		payload, err := f.dev.PageData(nand.PageAddr(addr))
+		if err != nil {
+			return nil, err
+		}
+		gotIdx, slots, err := mapcache.DecodePage(payload)
+		if err != nil {
+			return nil, err
+		}
+		if gotIdx != idx {
+			return nil, fmt.Errorf("ftl: translation page %d decoded as %d", idx, gotIdx)
+		}
+		return slots, nil
+	}
+}
+
+// mapEnsure makes the translation pages covering [lba, lba+n) resident
+// before a foreground operation, charging the fault reads to the
+// operation's timeline, then evicts back down to the residency limit.
+// Tree-mode and unbounded maps pass through untouched (no GTD entries ⇒
+// no misses ⇒ no added virtual time).
+func (f *FTL) mapEnsure(now sim.Time, lba uint64, n int) (sim.Time, error) {
+	c := f.fmap.Paged()
+	if c == nil {
+		return now, nil
+	}
+	f.ws.mapMiss = c.TouchRange(lba, n, f.ws.mapMiss[:0])
+	now, err := f.mapFill(now, c, f.ws.mapMiss)
+	if err != nil {
+		return now, err
+	}
+	if !c.Bounded() {
+		return now, nil
+	}
+	return f.mapShrink(now, c, c.PageOf(lba), c.PageOf(lba+uint64(n)-1))
+}
+
+// mapEnsureRange is mapEnsure for sparse spans (trims): only translation
+// pages that exist are faulted, so a discard over a huge hole costs
+// O(existing pages), not O(range).
+func (f *FTL) mapEnsureRange(now sim.Time, lo, hi uint64) (sim.Time, error) {
+	c := f.fmap.Paged()
+	if c == nil {
+		return now, nil
+	}
+	loIdx, hiIdx := c.PageOf(lo), c.PageOf(hi-1)
+	f.ws.mapMiss = c.MissingInRange(loIdx, hiIdx, f.ws.mapMiss[:0])
+	now, err := f.mapFill(now, c, f.ws.mapMiss)
+	if err != nil {
+		return now, err
+	}
+	if !c.Bounded() {
+		return now, nil
+	}
+	return f.mapShrink(now, c, loIdx, hiIdx)
+}
+
+// mapFill faults the missed translation pages with one charged batch read
+// and installs the decoded slots.
+func (f *FTL) mapFill(now sim.Time, c *mapcache.Cache, miss []uint64) (sim.Time, error) {
+	if len(miss) == 0 {
+		return now, nil
+	}
+	addrs := f.ws.mapAddrs[:0]
+	for _, idx := range miss {
+		a, ok := c.AddrOf(idx)
+		if !ok {
+			panic(fmt.Sprintf("ftl: missed translation page %d has no flash address", idx))
+		}
+		addrs = append(addrs, nand.PageAddr(a))
+	}
+	f.ws.mapAddrs = addrs
+	datas, _, k, done, err := f.devReadPages(now, addrs)
+	for i := 0; i < k; i++ {
+		gotIdx, slots, derr := mapcache.DecodePage(datas[i])
+		if derr != nil {
+			return done, fmt.Errorf("ftl: translation page %d at %d: %w", miss[i], addrs[i], derr)
+		}
+		if gotIdx != miss[i] {
+			return done, fmt.Errorf("ftl: translation page %d decoded as %d", miss[i], gotIdx)
+		}
+		c.Absorb(miss[i], slots)
+	}
+	if err != nil {
+		return done, fmt.Errorf("ftl: faulting translation page %d: %w", miss[k], err)
+	}
+	return done, nil
+}
+
+// mapShrink evicts resident translation pages until the cache is back
+// under its limit, skipping the pages the in-flight operation needs
+// ([keepLo, keepHi]). Eviction follows the CLOCK hand: emptied pages are
+// dropped everywhere (their flash copy is unpinned and becomes garbage),
+// dirty ones are flushed through the log head first. A failed flush stops
+// shrinking (soft over-limit; the next operation retries).
+func (f *FTL) mapShrink(now sim.Time, c *mapcache.Cache, keepLo, keepHi uint64) (sim.Time, error) {
+	for c.Resident() > c.Limit() {
+		idx, ok := c.ClockVictim(func(idx uint64) bool {
+			return idx >= keepLo && idx <= keepHi
+		})
+		if !ok {
+			return now, nil
+		}
+		dirty, live, _ := c.PageState(idx)
+		if live == 0 {
+			if prev, had := c.DropPage(idx); had {
+				delete(f.mapPins, nand.PageAddr(prev))
+			}
+			continue
+		}
+		if dirty {
+			var err error
+			now, err = f.flushMapPage(now, c, idx)
+			if err != nil {
+				return now, nil
+			}
+		}
+		c.DropResident(idx)
+		c.NoteEviction()
+	}
+	return now, nil
+}
+
+// flushMapPage writes one dirty translation page through the log head:
+// an ordinary log append under a TypeMapPage header (LBA = page index,
+// epoch 0 — translation pages are never valid in the bitmap; the pin in
+// f.mapPins is their only cleaning protection).
+func (f *FTL) flushMapPage(now sim.Time, c *mapcache.Cache, idx uint64) (sim.Time, error) {
+	addr, now, err := f.allocPage(now)
+	if err != nil {
+		return now, fmt.Errorf("ftl: allocating translation page: %w", err)
+	}
+	f.seq++
+	h := header.Header{Type: header.TypeMapPage, LBA: idx, Epoch: 0, Seq: f.seq}
+	payload := mapcache.EncodePage(idx, f.seq, c.Slots(idx), f.cfg.Nand.SectorSize)
+	done, err := f.devProgramPage(now, addr, payload, h.Marshal())
+	if err != nil {
+		f.ungetPage(addr)
+		if retry.MediaFailure(err) {
+			f.sealHead()
+		}
+		return now, fmt.Errorf("ftl: writing translation page %d: %w", idx, err)
+	}
+	f.segLastSeq[f.dev.SegmentOf(addr)] = f.seq
+	if prev, had := c.MarkFlushed(idx, uint64(addr)); had {
+		delete(f.mapPins, nand.PageAddr(prev))
+	}
+	f.mapPins[addr] = idx
+	c.NoteFlushed(1)
+	return done, nil
+}
+
+// flushAllMapPages writes back every dirty translation page (checkpoint
+// prologue: the GTD a checkpoint serializes must reference current
+// copies). It loops to convergence because a forced clean inside a flush
+// can re-point mappings on already-flushed pages (gcFixup inserts through
+// the live map, re-dirtying them).
+func (f *FTL) flushAllMapPages(now sim.Time, c *mapcache.Cache) (sim.Time, error) {
+	for {
+		dirty := c.DirtyPages()
+		if len(dirty) == 0 {
+			return now, nil
+		}
+		for _, idx := range dirty {
+			var err error
+			now, err = f.flushMapPage(now, c, idx)
+			if err != nil {
+				return now, err
+			}
+		}
+	}
+}
+
+// moveMapPin re-points a translation page's pin and GTD entry after the
+// cleaner copied it from old to dst.
+func (f *FTL) moveMapPin(old, dst nand.PageAddr) {
+	idx, ok := f.mapPins[old]
+	if !ok {
+		return
+	}
+	delete(f.mapPins, old)
+	f.mapPins[dst] = idx
+	if c := f.fmap.Paged(); c != nil {
+		c.Relocate(idx, uint64(old), uint64(dst))
+	}
+}

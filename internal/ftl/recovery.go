@@ -8,6 +8,7 @@ import (
 	"iosnap/internal/ckpt"
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/sim"
 )
@@ -81,12 +82,13 @@ func recoverShell(cfg Config, dev *nand.Device, sched *sim.Scheduler) *FTL {
 		cfg:        cfg,
 		dev:        dev,
 		sched:      sched,
-		fmap:       ftlmap.New(),
 		validity:   bitmap.New(cfg.Nand.TotalPages()),
 		gcVictim:   -1,
 		segLastSeq: make([]uint64, cfg.Nand.Segments),
 		ckptPins:   make(map[nand.PageAddr]bool),
+		mapPins:    make(map[nand.PageAddr]uint64),
 	}
+	f.fmap = f.newActiveMap()
 	f.acct = newGCAcct(f)
 	return f
 }
@@ -260,8 +262,14 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 	if err != nil || id != anchor.ID {
 		return nil, now, false
 	}
-	mapEntries, table, err := decodeCheckpointSections(secs)
+	mapEntries, gtdEnts, gtdSlots, table, err := decodeCheckpointSections(secs)
 	if err != nil {
+		return nil, now, false
+	}
+	if gtdEnts != nil && !f.gtdUsable(gtdSlots) {
+		// A GTD checkpoint under a tree-mode config (or a foreign page
+		// geometry) cannot be consumed lazily; the full scan rebuilds the
+		// map from data headers instead.
 		return nil, now, false
 	}
 	recorded, ok := checkSegTable(dev, table)
@@ -308,7 +316,10 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 	}
 	f.seq = maxSeq
 
-	f.loadMapEntries(mapEntries)
+	f.loadMapEntries(mapEntries, gtdEnts)
+	if now, err = f.markValidFromGTD(now, gtdEnts); err != nil {
+		return nil, now, false
+	}
 	newer := entries[:0]
 	for _, e := range entries {
 		if e.seq > ckptSeq {
@@ -393,17 +404,60 @@ func (f *FTL) rebuildGeometry(now sim.Time, segUsed []bool, segMaxSeq []uint64) 
 }
 
 // loadMapEntries bulk-loads checkpointed translations and marks their
-// backing pages valid.
-func (f *FTL) loadMapEntries(pairs [][2]uint64) {
+// backing pages valid. A bounded-paged checkpoint supplies a GTD instead
+// of entries; its pages stay on flash (pinned via recoveredMap) and the
+// caller marks their mappings valid via markValidFromGTD.
+func (f *FTL) loadMapEntries(pairs [][2]uint64, gtd []mapcache.GTDEnt) {
 	entries := make([]ftlmap.Entry, 0, len(pairs))
 	for _, p := range pairs {
 		entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	f.fmap = ftlmap.BulkLoad(entries, 1.0)
+	f.fmap = f.recoveredMap(entries, gtd)
 	for _, e := range entries {
 		f.markValid(int64(e.Val))
 	}
+}
+
+// markValidFromGTD rebuilds the validity bits a GTD checkpoint implies.
+// Unlike iosnap — whose checkpoints carry an explicit validity stream —
+// the vanilla bitmap is derived from the forward map, so recovery must
+// read every GTD-referenced translation page (a charged batch read) and
+// mark each mapping it holds. The pages are decoded and discarded, not
+// made resident: the cache stays empty and bounded.
+func (f *FTL) markValidFromGTD(now sim.Time, gtd []mapcache.GTDEnt) (sim.Time, error) {
+	if len(gtd) == 0 {
+		return now, nil
+	}
+	addrs := make([]nand.PageAddr, len(gtd))
+	for i, ent := range gtd {
+		addrs[i] = nand.PageAddr(ent.Addr)
+	}
+	datas, _, k, done, err := f.devReadPages(now, addrs)
+	if err != nil {
+		return done, fmt.Errorf("ftl: reading GTD translation page %d: %w", gtd[k].Idx, err)
+	}
+	for i := 0; i < k; i++ {
+		gotIdx, slots, derr := mapcache.DecodePage(datas[i])
+		if derr != nil {
+			return done, fmt.Errorf("ftl: translation page %d at %d: %w", gtd[i].Idx, addrs[i], derr)
+		}
+		if gotIdx != gtd[i].Idx {
+			return done, fmt.Errorf("ftl: translation page %d decoded as %d", gtd[i].Idx, gotIdx)
+		}
+		for _, v := range slots {
+			if v != mapcache.Unmapped {
+				f.markValid(int64(v))
+			}
+		}
+	}
+	return done, nil
+}
+
+// gtdUsable reports whether a GTD map section can serve this FTL's
+// configuration: the map must be paged and the page geometry must match.
+func (f *FTL) gtdUsable(slotsPer int) bool {
+	return f.cfg.MapCachePages != 0 && slotsPer == mapcache.SlotsFor(f.cfg.Nand.SectorSize)
 }
 
 // loadCheckpoint tries to decode the newest complete checkpoint found by
@@ -501,14 +555,20 @@ func (f *FTL) loadCheckpoint(now sim.Time, chunks []ckptChunk) (bool, uint64, si
 		if err != nil || decID != id {
 			continue
 		}
-		mapEntries, table, err := decodeCheckpointSections(secs)
+		mapEntries, gtdEnts, gtdSlots, table, err := decodeCheckpointSections(secs)
 		if err != nil {
 			continue
+		}
+		if gtdEnts != nil && !f.gtdUsable(gtdSlots) {
+			continue // GTD layout this config cannot consume; scan replays instead
 		}
 		if _, ok := checkSegTable(f.dev, table); !ok {
 			continue // the cleaner moved pre-cut-off blocks since; stale
 		}
-		f.loadMapEntries(mapEntries)
+		f.loadMapEntries(mapEntries, gtdEnts)
+		if now, err = f.markValidFromGTD(now, gtdEnts); err != nil {
+			return false, 0, now, err
+		}
 		// Re-pin and re-anchor the winning generation so the cleaner keeps
 		// honoring it after this reopen.
 		f.anchorID = id
@@ -556,5 +616,5 @@ func (f *FTL) replayEntries(entries []scanEntry) {
 	for lba, e := range winners {
 		pairs = append(pairs, [2]uint64{lba, uint64(e.addr)})
 	}
-	f.loadMapEntries(pairs)
+	f.loadMapEntries(pairs, nil)
 }

@@ -34,6 +34,14 @@ const (
 	TypeCkptMap   // active forward map
 	TypeCkptTree  // snapshot tree, epoch graph, counters, segment table
 	TypeCkptValid // per-epoch CoW validity pages
+
+	// TypeMapPage tags a flash-resident translation page of the paged
+	// forward map: LBA holds the translation-page index, Epoch is unused
+	// (always 0). Map pages are not user data (no validity bits, skipped by
+	// replay) and not checkpoint chunks (they are reached through the GTD,
+	// not the anchor); the live copy of each translation page is pinned
+	// against cleaning like a checkpoint chunk.
+	TypeMapPage
 )
 
 // IsCheckpoint reports whether t tags a checkpoint chunk of either FTL —
@@ -67,6 +75,8 @@ func (t Type) String() string {
 		return "ckpt-tree"
 	case TypeCkptValid:
 		return "ckpt-valid"
+	case TypeMapPage:
+		return "map-page"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -8,6 +8,7 @@ import (
 	"iosnap/internal/bitmap"
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/sim"
@@ -354,8 +355,10 @@ func (a *Activation) Run(now sim.Time) (sim.Time, bool) {
 		}
 	}
 
-	// Build the compact (bulk-loaded) tree and publish the view.
-	fm := ftlmap.BulkLoad(a.sorted, 1.0)
+	// Build the compact (bulk-loaded) tree and publish the view. Activated
+	// views always get the in-RAM tree: only the active view's map is paged
+	// (the paper's design choice — snapshot maps are rebuilt on demand).
+	fm := mapcache.FromTree(ftlmap.BulkLoad(a.sorted, 1.0))
 	v := &view{fmap: fm, epoch: a.epoch, writable: a.writable, parent: a.snap, fromActivation: true}
 	f.views = append(f.views, v)
 	// The view's epoch just moved from the "frozen" to the "backs a view"

@@ -7,6 +7,7 @@ import (
 	"iosnap/internal/bitmap"
 	"iosnap/internal/ckpt"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
@@ -46,6 +47,7 @@ const (
 	ckptSecMap   = 1 // active map: count, then count × (lba, addr)
 	ckptSecTree  = 2 // counter, active epoch, snapshots, segment table
 	ckptSecValid = 3 // per-epoch parent/deleted/owned validity pages
+	ckptSecGTD   = 4 // bounded-paged map: the global translation directory
 )
 
 // ckptSnapRec is one serialized snapshot-tree node.
@@ -114,14 +116,35 @@ func (f *FTL) ckptEpochDies(e bitmap.Epoch) bool {
 func (f *FTL) serializeCheckpoint() (uint64, []ckptChunkJob, error) {
 	ckptID := f.seq
 
-	// Stream 1: the active forward map.
+	// Stream 1: the active forward map. Tree and cache-unbounded maps
+	// serialize the full mapping list (byte-identical between the two —
+	// the unbounded equivalence contract). A bounded paged map serializes
+	// only the GTD: every dirty translation page was flushed before this
+	// point (writeCheckpoint / ckptTask call flushAllMapPages first), so
+	// the directory's flash copies are current.
 	var mw ckpt.Writer
-	mw.U64(uint64(f.active.fmap.Len()))
-	f.active.fmap.All(func(lba, addr uint64) bool {
-		mw.U64(lba)
-		mw.U64(addr)
-		return true
-	})
+	mapKind := uint8(ckptSecMap)
+	if c := f.pagedActive(); c != nil && c.Bounded() {
+		if dirty := c.DirtyPages(); len(dirty) != 0 {
+			return 0, nil, fmt.Errorf("iosnap: checkpoint with %d unflushed translation pages", len(dirty))
+		}
+		mapKind = ckptSecGTD
+		ents := c.GTDEntries()
+		mw.U32(uint32(c.SlotsPerPage()))
+		mw.U32(uint32(len(ents)))
+		for _, ent := range ents {
+			mw.U64(ent.Idx)
+			mw.U64(ent.Addr)
+			mw.U32(uint32(ent.Live))
+		}
+	} else {
+		mw.U64(uint64(f.active.fmap.Len()))
+		f.active.fmap.All(func(lba, addr uint64) bool {
+			mw.U64(lba)
+			mw.U64(addr)
+			return true
+		})
+	}
 
 	// Stream 2: epoch counter, active epoch, snapshot tree, segment table.
 	var tw ckpt.Writer
@@ -189,7 +212,7 @@ func (f *FTL) serializeCheckpoint() (uint64, []ckptChunkJob, error) {
 		kind uint8
 		data []byte
 	}{
-		{header.TypeCkptMap, ckptSecMap, mw.B},
+		{header.TypeCkptMap, mapKind, mw.B},
 		{header.TypeCkptTree, ckptSecTree, tw.B},
 		{header.TypeCkptValid, ckptSecValid, vw.B},
 	} {
@@ -278,14 +301,24 @@ func (f *FTL) abortCheckpoint(addrs []nand.PageAddr, err error) {
 // writeCheckpoint synchronously serializes and programs a checkpoint (the
 // Close path).
 func (f *FTL) writeCheckpoint(now sim.Time) (sim.Time, error) {
+	// ckptActive guards the whole sequence: the map flushes below advance
+	// the log head, which must not arm a second (background) checkpoint.
+	f.ckptActive = true
+	defer func() { f.ckptActive = false }()
+	if c := f.pagedActive(); c != nil && c.Bounded() {
+		var err error
+		if now, err = f.flushAllMapPages(now, c); err != nil {
+			f.stats.CheckpointErrors++
+			f.stats.CheckpointLastErr = err.Error()
+			return now, err
+		}
+	}
 	ckptID, jobs, err := f.serializeCheckpoint()
 	if err != nil {
 		f.stats.CheckpointErrors++
 		f.stats.CheckpointLastErr = err.Error()
 		return now, err
 	}
-	f.ckptActive = true
-	defer func() { f.ckptActive = false }()
 	var addrs []nand.PageAddr
 	for _, job := range jobs {
 		var addr nand.PageAddr
@@ -325,6 +358,21 @@ func (f *FTL) StartCheckpoint(now sim.Time) bool {
 func (f *FTL) CheckpointActive() bool { return f.ckptActive }
 
 func (f *FTL) startCheckpoint(now sim.Time) bool {
+	if c := f.pagedActive(); c != nil && c.Bounded() {
+		// A bounded paged map must flush every dirty translation page before
+		// serializing, and flushing programs through the log head — which
+		// cannot happen here: startCheckpoint fires from the head-advance
+		// path, possibly mid-program under SequentialProg. Defer both the
+		// flush and the serialization to the task's first run.
+		f.ckptActive = true
+		f.ckptInflight = nil
+		f.sched.Schedule(now, &ckptTask{
+			f:       f,
+			pending: true,
+			budget:  ratelimit.NewBudget(f.cfg.CheckpointLimit),
+		})
+		return true
+	}
 	ckptID, jobs, err := f.serializeCheckpoint()
 	if err != nil {
 		f.stats.CheckpointErrors++
@@ -348,11 +396,12 @@ func (f *FTL) startCheckpoint(now sim.Time) bool {
 // top at recovery — the checkpoint stays consistent without stalling
 // writers.
 type ckptTask struct {
-	f      *FTL
-	id     uint64
-	jobs   []ckptChunkJob
-	next   int
-	budget *ratelimit.Budget
+	f       *FTL
+	id      uint64
+	jobs    []ckptChunkJob
+	next    int
+	pending bool // bounded-paged mode: flush + serialize on first run
+	budget  *ratelimit.Budget
 }
 
 // Name implements sim.Task.
@@ -369,6 +418,22 @@ func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
 		f.ckptInflight = nil
 		f.ckptActive = false
 		return 0, true
+	}
+	if t.pending {
+		var err error
+		if c := f.pagedActive(); c != nil && c.Bounded() {
+			now, err = f.flushAllMapPages(now, c)
+		}
+		if err == nil {
+			t.id, t.jobs, err = f.serializeCheckpoint()
+		}
+		if err != nil {
+			f.stats.CheckpointErrors++
+			f.stats.CheckpointLastErr = err.Error()
+			f.ckptActive = false
+			return 0, true
+		}
+		t.pending = false
 	}
 	start := now
 	for programmed := 0; t.next < len(t.jobs) && programmed < f.cfg.GCChunk; programmed++ {
@@ -395,25 +460,36 @@ func (t *ckptTask) Run(now sim.Time) (sim.Time, bool) {
 	return 0, true
 }
 
-// orPinsInto overlays the victim's pinned chunk pages onto its merged
-// validity clone so the cleaner's copy order visits them: chunks are valid
-// in no epoch, but the committed (or in-flight) generation must survive
-// cleaning.
+// orPinsInto overlays the victim's pinned pages — checkpoint chunks and
+// live GTD-referenced translation pages — onto its merged validity clone
+// so the cleaner's copy order visits them: both are valid in no epoch,
+// but both must survive cleaning.
 func (f *FTL) orPinsInto(victim int, merged *bitmap.Bitmap) {
 	for a := range f.ckptPins {
 		if f.dev.SegmentOf(a) == victim {
 			merged.Set(int64(f.dev.PageIndexOf(a)))
 		}
 	}
+	for a := range f.mapPins {
+		if f.dev.SegmentOf(a) == victim {
+			merged.Set(int64(f.dev.PageIndexOf(a)))
+		}
+	}
 }
 
-// pinnedInSeg counts checkpoint-chunk pins in seg. Victim scoring must
-// treat them as live: a segment full of pinned chunks has zero valid bits
-// yet cleaning it reclaims nothing — picking it anyway would let the
-// emergency-clean loop churn forever moving pins from segment to segment.
+// pinnedInSeg counts pinned pages (checkpoint chunks and translation
+// pages) in seg. Victim scoring must treat them as live: a segment full
+// of pinned pages has zero valid bits yet cleaning it reclaims nothing —
+// picking it anyway would let the emergency-clean loop churn forever
+// moving pins from segment to segment.
 func (f *FTL) pinnedInSeg(seg int) int {
 	n := 0
 	for a := range f.ckptPins {
+		if f.dev.SegmentOf(a) == seg {
+			n++
+		}
+	}
+	for a := range f.mapPins {
 		if f.dev.SegmentOf(a) == seg {
 			n++
 		}
@@ -423,24 +499,40 @@ func (f *FTL) pinnedInSeg(seg int) int {
 
 // ---- Decode helpers (recovery side). ----
 
-func decodeCkptMap(secs []ckpt.Section) ([][2]uint64, error) {
+// decodeCkptMapStream decodes the map stream in either layout: the full
+// mapping list (tree / cache-unbounded checkpoints, ckptSecMap) or the
+// global translation directory (bounded-paged checkpoints, ckptSecGTD).
+// Exactly one of entries / gtd is non-nil on success.
+func decodeCkptMapStream(secs []ckpt.Section) (entries [][2]uint64, gtd []mapcache.GTDEnt, slotsPer int, err error) {
 	for _, s := range secs {
-		if s.Kind != ckptSecMap {
-			continue
+		switch s.Kind {
+		case ckptSecMap:
+			r := ckpt.Reader{B: s.Data}
+			n := r.U64()
+			entries = make([][2]uint64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				lba, addr := r.U64(), r.U64()
+				entries = append(entries, [2]uint64{lba, addr})
+			}
+			if r.Err() != nil {
+				return nil, nil, 0, fmt.Errorf("iosnap: checkpoint map section: %w", r.Err())
+			}
+			return entries, nil, 0, nil
+		case ckptSecGTD:
+			r := ckpt.Reader{B: s.Data}
+			slotsPer = int(r.U32())
+			n := r.U32()
+			gtd = make([]mapcache.GTDEnt, 0, n)
+			for i := uint32(0); i < n; i++ {
+				gtd = append(gtd, mapcache.GTDEnt{Idx: r.U64(), Addr: r.U64(), Live: int(r.U32())})
+			}
+			if r.Err() != nil {
+				return nil, nil, 0, fmt.Errorf("iosnap: checkpoint GTD section: %w", r.Err())
+			}
+			return nil, gtd, slotsPer, nil
 		}
-		r := ckpt.Reader{B: s.Data}
-		n := r.U64()
-		entries := make([][2]uint64, 0, n)
-		for i := uint64(0); i < n; i++ {
-			lba, addr := r.U64(), r.U64()
-			entries = append(entries, [2]uint64{lba, addr})
-		}
-		if r.Err() != nil {
-			return nil, fmt.Errorf("iosnap: checkpoint map section: %w", r.Err())
-		}
-		return entries, nil
 	}
-	return nil, fmt.Errorf("iosnap: checkpoint map section missing")
+	return nil, nil, 0, fmt.Errorf("iosnap: checkpoint map section missing")
 }
 
 func decodeCkptTree(secs []ckpt.Section) (*ckptTreeState, error) {

@@ -45,6 +45,9 @@ type dataPathScratch struct {
 	vals    []uint64
 	found   []bool
 	secIdx  []int
+
+	mapMiss  []uint64        // translation-page fault lists (mappage.go)
+	mapAddrs []nand.PageAddr // their flash addresses for the batch read
 }
 
 // readVia serves a run read against any view. It returns the number of
@@ -62,6 +65,11 @@ func (f *FTL) readVia(v *view, now sim.Time, lba int64, buf []byte) (completed i
 	span := ftlmap.RunSpan(n)
 	f.stats.BatchDescents += int64(span)
 	t := now.Add(sim.Duration(span) * f.cfg.MapCPUCost)
+	// Paged map: fault the run's translation pages in (charged) before the
+	// map is consulted. Tree and unbounded-paged maps pass through untimed.
+	if t, err = f.mapEnsure(t, v, uint64(lba), n); err != nil {
+		return 0, t, err
+	}
 	done = t
 
 	// Resolve the run's translations; unmapped sectors read as zeros.
@@ -141,6 +149,9 @@ func (f *FTL) writeVia(v *view, now sim.Time, lba int64, data []byte) (completed
 	span := ftlmap.RunSpan(n)
 	f.stats.BatchDescents += int64(span)
 	at := now.Add(sim.Duration(span) * f.cfg.MapCPUCost)
+	if at, err = f.mapEnsure(at, v, uint64(lba), n); err != nil {
+		return 0, at, err
+	}
 	done = at
 	written := 0
 	totalCows := 0
@@ -333,6 +344,12 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 	}
 	span := ftlmap.RunSpan(int(n))
 	f.stats.BatchDescents += int64(span)
+	// Paged map: fault only the translation pages that exist inside the
+	// trimmed range (a discard over a hole touches nothing).
+	t, err := f.mapEnsureRange(now, f.active, uint64(lba), uint64(lba)+uint64(n))
+	if err != nil {
+		return t, err
+	}
 	if f.cfg.ReferenceDataPath {
 		for i := int64(0); i < n; i++ {
 			if prev, existed := f.active.fmap.Delete(uint64(lba + i)); existed {
@@ -348,7 +365,7 @@ func (f *FTL) Trim(now sim.Time, lba int64, n int64) (sim.Time, error) {
 		f.clearViewRuns(f.active.epoch, f.ws.prevs)
 	}
 	f.stats.Trims += n
-	return now.Add(sim.Duration(span) * f.cfg.MapCPUCost), nil
+	return t.Add(sim.Duration(span) * f.cfg.MapCPUCost), nil
 }
 
 // lookupScratch returns the reusable LookupRange buffers, grown to n and

@@ -202,6 +202,7 @@ func TestDataPathEquivalenceWithSnapshots(t *testing.T) {
 			// Bulk-loaded leaves pack tighter than organically grown ones, so
 			// tree size is the one sanctioned divergence.
 			bs.MapMemory, rs.MapMemory = 0, 0
+			bs.MapMemoryResident, rs.MapMemoryResident = 0, 0
 			if bs != rs {
 				t.Fatalf("Stats diverge:\nbatched:   %+v\nreference: %+v", bs, rs)
 			}

@@ -364,7 +364,8 @@ func (f *FTL) copyForward(now sim.Time, victim int, merged *bitmap.Bitmap, order
 			froms = append(froms, old)
 			tos = append(tos, dst)
 			hs = append(hs, h)
-			pins = append(pins, f.ckptPins[old])
+			_, mapPinned := f.mapPins[old]
+			pins = append(pins, f.ckptPins[old] || mapPinned)
 			if len(froms) == 1 {
 				// Confine the batch to the current head segment so a
 				// mid-batch failure rolls back with a plain headIdx walk.
@@ -427,7 +428,8 @@ func (f *FTL) copyForwardRef(now sim.Time, victim int, merged *bitmap.Bitmap, or
 			f.ungetPage(dst)
 			return cursor, maxDone, fmt.Errorf("iosnap: cleaner decoding header: %w", err)
 		}
-		pinned := f.ckptPins[old]
+		_, mapPinned := f.mapPins[old]
+		pinned := f.ckptPins[old] || mapPinned
 		done, err := f.devCopyPage(submit, old, dst)
 		if err != nil {
 			f.ungetPage(dst)
@@ -454,13 +456,18 @@ func (f *FTL) gcFixup(victim int, old, dst nand.PageAddr, h header.Header, pinne
 		f.segLastSeq[dseg] = h.Seq
 	}
 	// Checkpoint chunks carry chunk geometry in the Epoch field, not an
-	// epoch: they contribute nothing to presence, and their pin follows
-	// the page instead of validity bits.
-	if !h.Type.IsCheckpoint() {
+	// epoch, and translation pages are valid in no epoch: neither
+	// contributes to presence, and their pins follow the page instead of
+	// validity bits.
+	if !h.Type.IsCheckpoint() && h.Type != header.TypeMapPage {
 		f.presence.add(dseg, bitmap.Epoch(h.Epoch))
 	}
 	if pinned {
-		f.movePin(old, dst)
+		if h.Type == header.TypeMapPage {
+			f.moveMapPin(old, dst)
+		} else {
+			f.movePin(old, dst)
+		}
 	}
 
 	// Step 3: re-point every live epoch that saw the old block. In the

@@ -2,6 +2,7 @@ package iosnap
 
 import (
 	"fmt"
+	"sort"
 
 	"iosnap/internal/bitmap"
 	"iosnap/internal/header"
@@ -56,7 +57,53 @@ func (f *FTL) CheckInvariants() error {
 	if err := f.checkCheckpointPins(); err != nil {
 		return err
 	}
+	if err := f.checkMapPins(); err != nil {
+		return err
+	}
 	return f.checkGCAccounting()
+}
+
+// checkMapPins validates the paged map's cleaner-protection state: the pin
+// set and the GTD must be a bijection (pin addr ↔ directory addr), and
+// every pinned page must hold a parseable translation-page header whose
+// LBA field names the pinned index.
+func (f *FTL) checkMapPins() error {
+	c := f.pagedActive()
+	if c == nil {
+		if len(f.mapPins) != 0 {
+			return fmt.Errorf("invariant: %d translation-page pins with no paged map", len(f.mapPins))
+		}
+		return nil
+	}
+	for a, idx := range f.mapPins {
+		want, ok := c.AddrOf(idx)
+		if !ok {
+			return fmt.Errorf("invariant: pinned translation page %d (addr %d) not in the GTD", idx, a)
+		}
+		if want != uint64(a) {
+			return fmt.Errorf("invariant: translation page %d pinned at %d but GTD says %d", idx, a, want)
+		}
+		oob, err := f.dev.PageOOB(a)
+		if err != nil {
+			return fmt.Errorf("invariant: pinned translation page %d not programmed: %v", a, err)
+		}
+		h, err := header.Unmarshal(oob)
+		if err != nil {
+			return fmt.Errorf("invariant: pinned translation page %d header: %v", a, err)
+		}
+		if h.Type != header.TypeMapPage {
+			return fmt.Errorf("invariant: pinned page %d holds %v, not a translation page", a, h.Type)
+		}
+		if h.LBA != idx {
+			return fmt.Errorf("invariant: pinned page %d header names translation page %d, pin says %d", a, h.LBA, idx)
+		}
+	}
+	for _, ent := range c.GTDEntries() {
+		if _, ok := f.mapPins[nand.PageAddr(ent.Addr)]; !ok {
+			return fmt.Errorf("invariant: GTD page %d at %d not pinned", ent.Idx, ent.Addr)
+		}
+	}
+	return nil
 }
 
 // checkCheckpointPins validates the cleaner-protection state of checkpoint
@@ -279,33 +326,58 @@ func (f *FTL) checkValidity() error {
 			live = append(live, e)
 		}
 	}
+	// Validity bits live only in bitmap pages some live epoch observes; every
+	// other physical page reads invalid in all of them. Sweeping those pages
+	// instead of the raw page space keeps this check proportional to touched
+	// state, so it still runs in bounded time on a TB-class device whose
+	// physical page count dwarfs its working set.
+	pageSet := make(map[int64]struct{})
+	for _, e := range live {
+		for _, idx := range f.vstore.PageIndices(e) {
+			pageSet[idx] = struct{}{}
+		}
+	}
+	bitPages := make([]int64, 0, len(pageSet))
+	for idx := range pageSet {
+		bitPages = append(bitPages, idx)
+	}
+	sort.Slice(bitPages, func(i, j int) bool { return bitPages[i] < bitPages[j] })
+
+	bpp := f.vstore.BitsPerPage()
+	total := f.cfg.Nand.TotalPages()
 	pps := int64(f.cfg.Nand.PagesPerSegment)
-	for p := int64(0); p < f.cfg.Nand.TotalPages(); p++ {
-		validIn := bitmap.Epoch(0)
-		for _, e := range live {
-			if f.vstore.Test(e, p) {
-				validIn = e
-				break
+	for _, bi := range bitPages {
+		lo, hi := bi*bpp, (bi+1)*bpp
+		if hi > total {
+			hi = total
+		}
+		for p := lo; p < hi; p++ {
+			validIn := bitmap.Epoch(0)
+			for _, e := range live {
+				if f.vstore.Test(e, p) {
+					validIn = e
+					break
+				}
 			}
-		}
-		if validIn == 0 {
-			continue
-		}
-		oob, err := f.dev.PageOOB(nand.PageAddr(p))
-		if err != nil {
-			return fmt.Errorf("invariant: page %d valid in epoch %d but not programmed: %v", p, validIn, err)
-		}
-		h, err := header.Unmarshal(oob)
-		if err != nil {
-			return fmt.Errorf("invariant: page %d valid in epoch %d with unparseable header: %v", p, validIn, err)
-		}
-		seg := int(p / pps)
-		if h.Type == header.TypeData {
-			if _, ok := f.presence.segs[seg][bitmap.Epoch(h.Epoch)]; !ok {
-				return fmt.Errorf("invariant: valid page %d (epoch %d) missing from segment %d presence summary", p, h.Epoch, seg)
+			if validIn == 0 {
+				continue
 			}
-			if f.vstore.Test(f.active.epoch, p) && !activeRefs[p] {
-				return fmt.Errorf("invariant: active-valid data page %d (LBA %d) unreferenced by the active map", p, h.LBA)
+			oob, err := f.dev.PageOOB(nand.PageAddr(p))
+			if err != nil {
+				return fmt.Errorf("invariant: page %d valid in epoch %d but not programmed: %v", p, validIn, err)
+			}
+			h, err := header.Unmarshal(oob)
+			if err != nil {
+				return fmt.Errorf("invariant: page %d valid in epoch %d with unparseable header: %v", p, validIn, err)
+			}
+			seg := int(p / pps)
+			if h.Type == header.TypeData {
+				if _, ok := f.presence.segs[seg][bitmap.Epoch(h.Epoch)]; !ok {
+					return fmt.Errorf("invariant: valid page %d (epoch %d) missing from segment %d presence summary", p, h.Epoch, seg)
+				}
+				if f.vstore.Test(f.active.epoch, p) && !activeRefs[p] {
+					return fmt.Errorf("invariant: active-valid data page %d (LBA %d) unreferenced by the active map", p, h.LBA)
+				}
 			}
 		}
 	}

@@ -26,8 +26,8 @@ import (
 	"fmt"
 
 	"iosnap/internal/bitmap"
-	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/retry"
@@ -99,6 +99,18 @@ type Config struct {
 	// not once per sector — the batched data path's cost model (DESIGN.md
 	// §10).
 	MapCPUCost sim.Duration
+	// MapCachePages selects the active forward map's memory layout
+	// (DESIGN.md §13). 0 (the default) keeps the in-RAM B+tree. Non-zero
+	// switches to the flash-resident paged map: translation pages of
+	// mapcache.SlotsFor(SectorSize) slots each, a RAM-pinned global
+	// translation directory, and a CLOCK cache of resident pages. A
+	// positive value bounds the cache to that many resident translation
+	// pages — dirty pages write back through the log head on eviction and
+	// the map's host footprint becomes O(cache + GTD) instead of O(map) —
+	// and requires a data-storing device (Nand.StoreData). A negative
+	// value runs the paged layout cache-unbounded: nothing is ever written
+	// to flash, which keeps it lockstep bit-exact with the tree.
+	MapCachePages int
 	// ReferenceDataPath selects the per-sector reference implementation of
 	// the data path: per-key map operations, per-bit validity flips, and
 	// per-page device calls, on the exact virtual-time skeleton the batched
@@ -249,7 +261,19 @@ func (c Config) Validate() error {
 	if c.CheckpointInterval < 0 {
 		return fmt.Errorf("iosnap: CheckpointInterval must not be negative")
 	}
+	if c.MapCachePages > 0 && !c.Nand.StoreData {
+		return fmt.Errorf("iosnap: MapCachePages %d requires a data-storing device (translation pages live on flash)", c.MapCachePages)
+	}
 	return nil
+}
+
+// mapLimit converts MapCachePages to the cache's residency-limit parameter
+// (<=0 = unbounded).
+func (c Config) mapLimit() int {
+	if c.MapCachePages < 0 {
+		return 0
+	}
+	return c.MapCachePages
 }
 
 // Stats counts ioSnap activity.
@@ -320,15 +344,20 @@ type Stats struct {
 	ImportResumes    int64 // receives resumed from a persisted journal
 	VerifyMismatches int64 // replica sectors that failed post-receive verification
 
-	MapMemory      int64 // active forward map bytes (refreshed by Stats())
-	ValidityMemory int64 // CoW validity pages bytes (refreshed by Stats())
-	WriteAmplify   float64
+	MapMemory         int64 // active forward map bytes, as if fully resident (refreshed by Stats())
+	MapMemoryResident int64 // host RAM the map actually holds: resident pages + GTD (refreshed by Stats())
+	MapCacheHits      int64 // translation pages served from the cache (paged mode)
+	MapCacheMisses    int64 // translation pages faulted from flash (paged mode)
+	MapCacheEvictions int64 // resident translation pages evicted (paged mode)
+	MapPagesFlushed   int64 // dirty translation pages written back to the log (paged mode)
+	ValidityMemory    int64 // CoW validity pages bytes (refreshed by Stats())
+	WriteAmplify      float64
 }
 
 // view is one writable-or-readable mapping of the device: the active tree,
 // or an activated snapshot.
 type view struct {
-	fmap     *ftlmap.Tree
+	fmap     *mapcache.Map
 	epoch    bitmap.Epoch
 	writable bool
 	closed   bool
@@ -376,6 +405,11 @@ type FTL struct {
 	ckptActive   bool
 	lastCkpt     sim.Time               // completion time of the last committed checkpoint
 	ckptPins     map[nand.PageAddr]bool // chunk pages the cleaner must preserve
+	// mapPins maps each live GTD-referenced translation page to its
+	// translation-page index. Like checkpoint chunks, translation pages are
+	// valid in no epoch, so the pin is their only cleaning protection; the
+	// cleaner copies them forward and re-points the GTD (mappage.go).
+	mapPins map[nand.PageAddr]uint64
 	anchorID     uint64                 // committed checkpoint generation (0 = none)
 	anchorAddrs  []nand.PageAddr        // the committed generation's chunk addresses
 	ckptInflight []nand.PageAddr        // chunks of the generation being written
@@ -409,11 +443,12 @@ func New(cfg Config, sched *sim.Scheduler) (*FTL, error) {
 		segLastSeq:   make([]uint64, cfg.Nand.Segments),
 		presence:     newEpochPresence(cfg.Nand.Segments),
 		ckptPins:     make(map[nand.PageAddr]bool),
+		mapPins:      make(map[nand.PageAddr]uint64),
 	}
 	if err := f.vstore.CreateEpoch(1, bitmap.NoParent); err != nil {
 		return nil, err
 	}
-	f.active = &view{fmap: ftlmap.New(), epoch: 1, writable: true}
+	f.active = &view{fmap: f.newActiveMap(), epoch: 1, writable: true}
 	f.views = []*view{f.active}
 	for s := cfg.Nand.Segments - 1; s >= 1; s-- {
 		f.freeSegs = append(f.freeSegs, s)
@@ -460,6 +495,14 @@ func (f *FTL) Stats() Stats {
 	s := f.stats
 	s.CoWPageCopies = f.vstore.CoWCopies()
 	s.MapMemory = f.active.fmap.MemoryBytes()
+	s.MapMemoryResident = f.active.fmap.ResidentBytes()
+	if c := f.pagedActive(); c != nil {
+		cs := c.Stats()
+		s.MapCacheHits = cs.Hits
+		s.MapCacheMisses = cs.Misses
+		s.MapCacheEvictions = cs.Evictions
+		s.MapPagesFlushed = cs.Flushed
+	}
 	s.ValidityMemory = f.vstore.MemoryBytes()
 	s.SegmentsSuspect, s.SegmentsRetired = f.dev.HealthCounts()
 	s.Degraded = f.degraded

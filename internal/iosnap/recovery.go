@@ -8,6 +8,7 @@ import (
 	"iosnap/internal/ckpt"
 	"iosnap/internal/ftlmap"
 	"iosnap/internal/header"
+	"iosnap/internal/mapcache"
 	"iosnap/internal/nand"
 	"iosnap/internal/sim"
 )
@@ -110,6 +111,7 @@ func recoverShell(cfg Config, dev *nand.Device, sched *sim.Scheduler) *FTL {
 		segLastSeq:  make([]uint64, cfg.Nand.Segments),
 		presence:    newEpochPresence(cfg.Nand.Segments),
 		ckptPins:    make(map[nand.PageAddr]bool),
+		mapPins:     make(map[nand.PageAddr]uint64),
 	}
 	f.acct = newGCAcct(f)
 	return f
@@ -294,7 +296,7 @@ func fullScanRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim
 		entries = append(entries, ftlmap.Entry{Key: lba, Val: uint64(w.addr)})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	f.active = &view{fmap: ftlmap.BulkLoad(entries, 1.0), epoch: activeEpoch, writable: true}
+	f.active = &view{fmap: f.recoveredMap(entries, nil), epoch: activeEpoch, writable: true}
 	if s := f.nearestSnapshotAncestorInclusive(activeEpoch); s != nil {
 		f.active.parent = s
 	}
@@ -424,9 +426,17 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 		}
 		decoded[typ] = secs
 	}
-	mapEntries, err := decodeCkptMap(decoded[header.TypeCkptMap])
+	mapEntries, gtdEnts, gtdSlots, err := decodeCkptMapStream(decoded[header.TypeCkptMap])
 	if err != nil {
 		return nil, now, false
+	}
+	if gtdEnts != nil {
+		// A GTD checkpoint is only loadable into a paged map with the same
+		// translation-page geometry; any other configuration falls back to
+		// the full scan, which handles every mode.
+		if f.cfg.MapCachePages == 0 || gtdSlots != mapcache.SlotsFor(cfg.Nand.SectorSize) {
+			return nil, now, false
+		}
 	}
 	treeState, err := decodeCkptTree(decoded[header.TypeCkptTree])
 	if err != nil {
@@ -572,7 +582,7 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 		entries = append(entries, ftlmap.Entry{Key: p[0], Val: p[1]})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	f.active = &view{fmap: ftlmap.BulkLoad(entries, 1.0), epoch: treeState.active, writable: true}
+	f.active = &view{fmap: f.recoveredMap(entries, gtdEnts), epoch: treeState.active, writable: true}
 	f.views = []*view{f.active}
 
 	if !f.replayTail(notes, data) {
@@ -590,7 +600,7 @@ func tryTailRecover(cfg Config, dev *nand.Device, sched *sim.Scheduler, now sim.
 		f.ckptPins[a] = true
 	}
 
-	out, done, err := finishRecovery(f, now, segUsed, segMaxSeq, len(mapEntries)+len(notes)+len(data))
+	out, done, err := finishRecovery(f, now, segUsed, segMaxSeq, len(mapEntries)+len(gtdEnts)+len(notes)+len(data))
 	if err != nil {
 		return nil, done, false
 	}

@@ -64,6 +64,14 @@ type TortureOptions struct {
 	// armed, so injected transient and corrupt-data read faults hit the
 	// replication path itself.
 	ExportChurn bool
+
+	// MapThrash widens the data bands (writes, trims, reads) while keeping
+	// snapshot churn, so a run with a tiny MapCachePages config and a large
+	// Space constantly faults, dirties, flushes, and evicts translation
+	// pages — with checkpoints, cleans, and crash replans landing mid-churn.
+	// The flag only changes the mix when set, so every existing seeded run
+	// draws its historical operation sequence.
+	MapThrash bool
 }
 
 // opCuts are the cumulative percentile cut-points of the operation mix; an
@@ -75,6 +83,10 @@ type opCuts struct {
 }
 
 func (o TortureOptions) cuts() opCuts {
+	if o.MapThrash {
+		return opCuts{write: 30, trim: 38, create: 50, del: 60, activate: 68,
+			viewWrite: 72, deact: 76, force: 82, scrub: 86, repl: 86, maxSnaps: 6}
+	}
 	if o.ExportChurn {
 		return opCuts{write: 20, trim: 26, create: 42, del: 54, activate: 64,
 			viewWrite: 68, deact: 74, force: 82, scrub: 86, repl: 94, maxSnaps: 6}

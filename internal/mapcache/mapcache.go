@@ -1,0 +1,826 @@
+// Package mapcache implements the flash-resident paged forward map
+// (DFTL-style, after Dayan & Bonnet's flash-resident page-mapping FTLs).
+//
+// The forward map is cut into fixed-size translation pages of K
+// consecutive LBA slots (K a power of two chosen so one encoded page fits
+// a NAND sector). Translation pages live on flash in ordinary log pages
+// (header.TypeMapPage); a bounded CLOCK cache keeps the hot ones resident
+// in host RAM, and a global translation directory (GTD) — pinned in RAM
+// and persisted through the checkpoint — maps each translation-page index
+// to its newest flash address. Dirty resident pages are written back
+// through the log head by the owning FTL; this package only tracks state.
+//
+// Map is the FTL-facing handle. It has two modes behind one API:
+//
+//   - tree mode wraps the plain in-RAM ftlmap.Tree (the legacy layout);
+//   - paged mode runs the translation-page cache. With no residency limit
+//     ("cache-unbounded") every page stays resident and nothing is ever
+//     written to flash, which is what makes unbounded paged mode lockstep
+//     bit-exact with tree mode — it is purely a host memory layout change.
+//
+// The on-flash wire format reuses the ckpt sectioned codec: one encoded
+// stream per translation page (checkpoint ID field carries the page
+// index), zero-padded to the sector size.
+package mapcache
+
+import (
+	"fmt"
+	"sort"
+
+	"iosnap/internal/ckpt"
+	"iosnap/internal/ftlmap"
+)
+
+// Unmapped is the slot sentinel for an LBA with no mapping.
+const Unmapped = ^uint64(0)
+
+// FaultFunc resolves a translation-page fault host-side: given the page
+// index and its flash address (from the GTD), it returns the page's K
+// decoded slots. The owning FTL installs one reading via nand.PageData;
+// timed foreground faults instead go through the FTL's charged batch read
+// and land via Absorb.
+type FaultFunc func(idx, addr uint64) ([]uint64, error)
+
+// GTDEnt is one global-translation-directory entry: translation page idx
+// lives at flash address Addr and holds Live mappings.
+type GTDEnt struct {
+	Idx  uint64
+	Addr uint64
+	Live int
+}
+
+// CacheStats counts translation-page cache traffic.
+type CacheStats struct {
+	Hits      int64 // touched translation pages served from RAM (or empty)
+	Misses    int64 // touched translation pages faulted from flash
+	Evictions int64 // resident pages evicted by the CLOCK policy
+	Flushed   int64 // dirty pages written back to the log
+}
+
+// SlotsFor returns the translation-page slot count for a sector size: the
+// largest power of two whose encoded page (codec framing + 8 bytes per
+// slot) fits one sector. 512-byte sectors give 32 slots; 4K gives 256.
+func SlotsFor(sectorSize int) int {
+	k := 1
+	for 2*k*8+pageOverhead <= sectorSize {
+		k *= 2
+	}
+	if k*8+pageOverhead > sectorSize {
+		panic(fmt.Sprintf("mapcache: sector size %d too small for a translation page", sectorSize))
+	}
+	return k
+}
+
+// pageOverhead is the codec framing around the slot array: the ckpt
+// stream header and checksum, one section header, and the idx/count
+// fields of the section body.
+const pageOverhead = 29 + 8 + 5 + 8 + 4
+
+// secSlots is the ckpt section kind of a translation page's slot array.
+const secSlots = 1
+
+// EncodePage encodes one translation page for programming: a ckpt stream
+// (ID = page index) holding the dense slot array, zero-padded to
+// sectorSize. seq is the log sequence number the page is written under.
+func EncodePage(idx, seq uint64, slots []uint64, sectorSize int) []byte {
+	var w ckpt.Writer
+	w.U64(idx)
+	w.U32(uint32(len(slots)))
+	for _, s := range slots {
+		w.U64(s)
+	}
+	stream := ckpt.Encode(idx, seq, []ckpt.Section{{Kind: secSlots, Data: w.B}})
+	if len(stream) > sectorSize {
+		panic(fmt.Sprintf("mapcache: encoded translation page %d bytes exceeds sector %d", len(stream), sectorSize))
+	}
+	out := make([]byte, sectorSize)
+	copy(out, stream)
+	return out
+}
+
+// DecodePage decodes a translation page payload (the codec's explicit
+// length makes the sector padding harmless).
+func DecodePage(payload []byte) (idx uint64, slots []uint64, err error) {
+	id, _, secs, err := ckpt.Decode(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(secs) != 1 || secs[0].Kind != secSlots {
+		return 0, nil, fmt.Errorf("mapcache: translation page has %d sections", len(secs))
+	}
+	r := ckpt.Reader{B: secs[0].Data}
+	idx = r.U64()
+	n := int(r.U32())
+	if idx != id {
+		return 0, nil, fmt.Errorf("mapcache: translation page id %d / body idx %d mismatch", id, idx)
+	}
+	if n <= 0 || r.Rest() < n*8 {
+		return 0, nil, fmt.Errorf("mapcache: translation page %d slot count %d truncated", idx, n)
+	}
+	slots = make([]uint64, n)
+	for i := range slots {
+		slots[i] = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	return idx, slots, nil
+}
+
+// tpage is one resident translation page.
+type tpage struct {
+	idx     uint64
+	slots   []uint64 // Unmapped = no translation
+	live    int      // non-Unmapped slots
+	dirty   bool     // diverged from the flash copy (or never flushed)
+	ref     bool     // CLOCK reference bit
+	ringIdx int
+}
+
+// Cache is the paged forward map: resident translation pages, the CLOCK
+// ring over them, and the RAM-pinned GTD of flash-resident pages.
+type Cache struct {
+	slotsPer int
+	shift    uint
+	mask     uint64
+	limit    int // >0: residency bound in pages; <=0: unbounded
+
+	pages map[uint64]*tpage
+	ring  []*tpage
+	hand  int
+	gtd   map[uint64]GTDEnt
+	size  int // live mappings across resident and flash-only pages
+
+	fault FaultFunc
+	stats CacheStats
+}
+
+// NewCache creates a paged map with slotsPer slots per translation page
+// (a power of two, from SlotsFor) and a residency limit in pages
+// (<=0 = unbounded). fault serves host-side page faults; it may be nil
+// only if the map is never populated from flash.
+func NewCache(slotsPer, limit int, fault FaultFunc) *Cache {
+	if slotsPer <= 0 || slotsPer&(slotsPer-1) != 0 {
+		panic(fmt.Sprintf("mapcache: slots per page %d not a power of two", slotsPer))
+	}
+	shift := uint(0)
+	for 1<<shift != slotsPer {
+		shift++
+	}
+	return &Cache{
+		slotsPer: slotsPer,
+		shift:    shift,
+		mask:     uint64(slotsPer - 1),
+		limit:    limit,
+		pages:    make(map[uint64]*tpage),
+		gtd:      make(map[uint64]GTDEnt),
+		fault:    fault,
+	}
+}
+
+// SetFault installs the host-side fault handler (recovery wires it after
+// the device handle exists).
+func (c *Cache) SetFault(fault FaultFunc) { c.fault = fault }
+
+// SlotsPerPage returns K.
+func (c *Cache) SlotsPerPage() int { return c.slotsPer }
+
+// Bounded reports whether a residency limit is in force.
+func (c *Cache) Bounded() bool { return c.limit > 0 }
+
+// Limit returns the residency limit in pages (<=0 = unbounded).
+func (c *Cache) Limit() int { return c.limit }
+
+// Resident returns the number of resident translation pages.
+func (c *Cache) Resident() int { return len(c.pages) }
+
+// PageOf returns the translation-page index covering lba.
+func (c *Cache) PageOf(lba uint64) uint64 { return lba >> c.shift }
+
+// Stats returns the cache traffic counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// NoteEviction / NoteFlushed let the owning FTL attribute policy events
+// (it drives eviction and owns the write-back I/O).
+func (c *Cache) NoteEviction()     { c.stats.Evictions++ }
+func (c *Cache) NoteFlushed(n int) { c.stats.Flushed += int64(n) }
+
+// peek returns the page at idx if it is resident or can be faulted from
+// flash host-side; nil when no such page exists anywhere.
+func (c *Cache) peek(idx uint64) *tpage {
+	if tp := c.pages[idx]; tp != nil {
+		tp.ref = true
+		return tp
+	}
+	ent, ok := c.gtd[idx]
+	if !ok {
+		return nil
+	}
+	if c.fault == nil {
+		panic(fmt.Sprintf("mapcache: fault of translation page %d with no fault handler", idx))
+	}
+	slots, err := c.fault(idx, ent.Addr)
+	if err != nil {
+		panic(fmt.Sprintf("mapcache: translation page %d at addr %d unreadable: %v", idx, ent.Addr, err))
+	}
+	c.stats.Misses++
+	return c.install(idx, slots)
+}
+
+// mutable is peek that materializes an empty page when none exists (the
+// insert path; an absent page simply means "no mappings in this range").
+func (c *Cache) mutable(idx uint64) *tpage {
+	if tp := c.peek(idx); tp != nil {
+		return tp
+	}
+	slots := make([]uint64, c.slotsPer)
+	for i := range slots {
+		slots[i] = Unmapped
+	}
+	tp := c.install(idx, slots)
+	tp.dirty = true
+	return tp
+}
+
+// install makes a page resident (ref set, clean) from decoded slots.
+func (c *Cache) install(idx uint64, slots []uint64) *tpage {
+	if len(slots) != c.slotsPer {
+		panic(fmt.Sprintf("mapcache: translation page %d has %d slots, want %d", idx, len(slots), c.slotsPer))
+	}
+	live := 0
+	for _, s := range slots {
+		if s != Unmapped {
+			live++
+		}
+	}
+	tp := &tpage{idx: idx, slots: slots, live: live, ref: true, ringIdx: len(c.ring)}
+	c.pages[idx] = tp
+	c.ring = append(c.ring, tp)
+	return tp
+}
+
+// Absorb installs a page faulted by the FTL's charged foreground read.
+func (c *Cache) Absorb(idx uint64, slots []uint64) {
+	if c.pages[idx] != nil {
+		return
+	}
+	c.install(idx, slots)
+}
+
+// AddrOf returns the flash address of translation page idx, if on flash.
+func (c *Cache) AddrOf(idx uint64) (uint64, bool) {
+	ent, ok := c.gtd[idx]
+	return ent.Addr, ok
+}
+
+// TouchRange walks the translation pages covering n consecutive LBAs from
+// lba, setting reference bits and counting hits/misses. Non-resident
+// pages that are on flash are appended to miss (ascending) for the caller
+// to fault with a charged batch read; absent pages (no mappings there)
+// and resident pages count as hits.
+func (c *Cache) TouchRange(lba uint64, n int, miss []uint64) []uint64 {
+	if n <= 0 {
+		return miss
+	}
+	lo, hi := lba>>c.shift, (lba+uint64(n)-1)>>c.shift
+	for idx := lo; ; idx++ {
+		if tp := c.pages[idx]; tp != nil {
+			tp.ref = true
+			c.stats.Hits++
+		} else if _, ok := c.gtd[idx]; ok {
+			c.stats.Misses++
+			miss = append(miss, idx)
+		} else {
+			c.stats.Hits++
+		}
+		if idx == hi {
+			return miss
+		}
+	}
+}
+
+// MissingInRange is TouchRange for sparse spans (trims): it visits only
+// translation pages that exist — resident or in the GTD — inside
+// [lo, hi] (page indices, inclusive), so a discard over a huge hole
+// costs O(map) instead of O(range). Resident pages get their reference
+// bit set and count as hits; flash-only pages are appended to miss
+// (ascending) and count as misses.
+func (c *Cache) MissingInRange(lo, hi uint64, miss []uint64) []uint64 {
+	for idx, tp := range c.pages {
+		if idx >= lo && idx <= hi {
+			tp.ref = true
+			c.stats.Hits++
+		}
+	}
+	for idx := range c.gtd {
+		if idx >= lo && idx <= hi && c.pages[idx] == nil {
+			c.stats.Misses++
+			miss = append(miss, idx)
+		}
+	}
+	sort.Slice(miss, func(i, j int) bool { return miss[i] < miss[j] })
+	return miss
+}
+
+// ClockVictim runs the CLOCK hand to the next eviction candidate whose
+// index skip doesn't reject, clearing reference bits as it passes. It
+// returns ok=false when every resident page is referenced-and-skipped
+// twice over (nothing evictable).
+func (c *Cache) ClockVictim(skip func(idx uint64) bool) (idx uint64, ok bool) {
+	for step := 0; step < 2*len(c.ring)+1; step++ {
+		if len(c.ring) == 0 {
+			return 0, false
+		}
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		tp := c.ring[c.hand]
+		if skip != nil && skip(tp.idx) {
+			c.hand++
+			continue
+		}
+		if tp.ref {
+			tp.ref = false
+			c.hand++
+			continue
+		}
+		return tp.idx, true
+	}
+	return 0, false
+}
+
+// PageState reports a resident page's write-back state.
+func (c *Cache) PageState(idx uint64) (dirty bool, live int, resident bool) {
+	tp := c.pages[idx]
+	if tp == nil {
+		return false, 0, false
+	}
+	return tp.dirty, tp.live, true
+}
+
+// Slots returns a resident page's slot array (caller must not modify).
+func (c *Cache) Slots(idx uint64) []uint64 {
+	tp := c.pages[idx]
+	if tp == nil {
+		panic(fmt.Sprintf("mapcache: Slots of non-resident page %d", idx))
+	}
+	return tp.slots
+}
+
+// MarkFlushed records that idx's current content landed on flash at addr:
+// the page becomes clean and the GTD points at the new copy. It returns
+// the superseded flash address for unpinning.
+func (c *Cache) MarkFlushed(idx, addr uint64) (prevAddr uint64, hadPrev bool) {
+	tp := c.pages[idx]
+	if tp == nil {
+		panic(fmt.Sprintf("mapcache: MarkFlushed of non-resident page %d", idx))
+	}
+	prev, had := c.gtd[idx]
+	c.gtd[idx] = GTDEnt{Idx: idx, Addr: addr, Live: tp.live}
+	tp.dirty = false
+	return prev.Addr, had
+}
+
+// Relocate updates the GTD after the cleaner copied translation page idx
+// from old to dst (the page content is unchanged).
+func (c *Cache) Relocate(idx, old, dst uint64) bool {
+	ent, ok := c.gtd[idx]
+	if !ok || ent.Addr != old {
+		return false
+	}
+	ent.Addr = dst
+	c.gtd[idx] = ent
+	return true
+}
+
+// DropResident evicts a clean (or just-flushed) page from RAM; its flash
+// copy, if any, stays reachable through the GTD.
+func (c *Cache) DropResident(idx uint64) {
+	tp := c.pages[idx]
+	if tp == nil {
+		return
+	}
+	if tp.dirty && tp.live > 0 {
+		panic(fmt.Sprintf("mapcache: evicting dirty page %d without flush", idx))
+	}
+	c.ringRemove(tp)
+	delete(c.pages, idx)
+}
+
+// DropPage removes an emptied page everywhere (RAM and GTD), returning
+// its flash address for unpinning.
+func (c *Cache) DropPage(idx uint64) (prevAddr uint64, hadPrev bool) {
+	if tp := c.pages[idx]; tp != nil {
+		if tp.live != 0 {
+			panic(fmt.Sprintf("mapcache: DropPage of page %d with %d live slots", idx, tp.live))
+		}
+		c.ringRemove(tp)
+		delete(c.pages, idx)
+	}
+	ent, had := c.gtd[idx]
+	delete(c.gtd, idx)
+	return ent.Addr, had
+}
+
+func (c *Cache) ringRemove(tp *tpage) {
+	last := len(c.ring) - 1
+	c.ring[tp.ringIdx] = c.ring[last]
+	c.ring[tp.ringIdx].ringIdx = tp.ringIdx
+	c.ring = c.ring[:last]
+	if c.hand > last {
+		c.hand = 0
+	}
+}
+
+// DirtyPages returns the resident dirty page indices, ascending (the
+// checkpoint's flush-all order).
+func (c *Cache) DirtyPages() []uint64 {
+	var out []uint64
+	for idx, tp := range c.pages {
+		if tp.dirty {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GTDEntries returns the directory sorted by page index (the checkpoint's
+// serialization order).
+func (c *Cache) GTDEntries() []GTDEnt {
+	out := make([]GTDEnt, 0, len(c.gtd))
+	for _, ent := range c.gtd {
+		out = append(out, ent)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Idx < out[j].Idx })
+	return out
+}
+
+// LoadGTD primes the directory from a checkpoint (recovery). No pages
+// become resident; they fault in on first touch.
+func (c *Cache) LoadGTD(ents []GTDEnt) {
+	for _, ent := range ents {
+		c.gtd[ent.Idx] = ent
+		c.size += ent.Live
+	}
+}
+
+// LoadEntries builds resident (dirty, never-flushed) pages from sorted
+// map entries — full-scan recovery's bottom-up rebuild.
+func (c *Cache) LoadEntries(entries []ftlmap.Entry) {
+	for _, e := range entries {
+		tp := c.mutable(e.Key >> c.shift)
+		slot := e.Key & c.mask
+		if tp.slots[slot] == Unmapped {
+			tp.live++
+			c.size++
+		}
+		tp.slots[slot] = e.Val
+		tp.dirty = true
+	}
+}
+
+// ---- forward-map operations (the ftlmap.Tree-compatible surface) ----
+
+// Lookup returns the mapping for lba.
+func (c *Cache) Lookup(lba uint64) (uint64, bool) {
+	tp := c.pages[lba>>c.shift]
+	if tp == nil {
+		if _, onFlash := c.gtd[lba>>c.shift]; !onFlash {
+			return 0, false
+		}
+		tp = c.peek(lba >> c.shift)
+	}
+	v := tp.slots[lba&c.mask]
+	if v == Unmapped {
+		return 0, false
+	}
+	return v, true
+}
+
+// LookupRange fills vals/found for the len(vals) consecutive LBAs from
+// lo, returning the number found (the tree's batched-read contract).
+func (c *Cache) LookupRange(lo uint64, vals []uint64, found []bool) int {
+	if len(vals) != len(found) {
+		panic("mapcache: LookupRange vals/found length mismatch")
+	}
+	hits := 0
+	n := uint64(len(vals))
+	for off := uint64(0); off < n; {
+		idx := (lo + off) >> c.shift
+		end := (idx+1)<<c.shift - lo // offset of the next page boundary
+		if end > n {
+			end = n
+		}
+		tp := c.pages[idx]
+		if tp == nil {
+			if _, onFlash := c.gtd[idx]; onFlash {
+				tp = c.peek(idx)
+			}
+		}
+		if tp != nil {
+			for ; off < end; off++ {
+				if v := tp.slots[(lo+off)&c.mask]; v != Unmapped {
+					vals[off] = v
+					found[off] = true
+					hits++
+				}
+			}
+		} else {
+			off = end
+		}
+	}
+	return hits
+}
+
+// Insert maps lba to val, returning any previous mapping.
+func (c *Cache) Insert(lba, val uint64) (prev uint64, existed bool) {
+	tp := c.mutable(lba >> c.shift)
+	slot := lba & c.mask
+	prev = tp.slots[slot]
+	existed = prev != Unmapped
+	if !existed {
+		prev = 0
+		tp.live++
+		c.size++
+	}
+	tp.slots[slot] = val
+	tp.dirty = true
+	return prev, existed
+}
+
+// InsertRun inserts strictly-ascending entries, grouped so each touched
+// translation page is resolved once (the batched data path's contract:
+// one cache fill per touched page, not per sector).
+func (c *Cache) InsertRun(entries []ftlmap.Entry, onPrev func(i int, prev uint64)) {
+	for i := 0; i < len(entries); {
+		idx := entries[i].Key >> c.shift
+		tp := c.mutable(idx)
+		for ; i < len(entries) && entries[i].Key>>c.shift == idx; i++ {
+			slot := entries[i].Key & c.mask
+			prev := tp.slots[slot]
+			if prev != Unmapped {
+				if onPrev != nil {
+					onPrev(i, prev)
+				}
+			} else {
+				tp.live++
+				c.size++
+			}
+			tp.slots[slot] = entries[i].Val
+		}
+		tp.dirty = true
+	}
+}
+
+// Delete removes lba's mapping, returning it.
+func (c *Cache) Delete(lba uint64) (uint64, bool) {
+	idx := lba >> c.shift
+	if c.pages[idx] == nil {
+		if _, onFlash := c.gtd[idx]; !onFlash {
+			return 0, false
+		}
+	}
+	tp := c.peek(idx)
+	slot := lba & c.mask
+	prev := tp.slots[slot]
+	if prev == Unmapped {
+		return 0, false
+	}
+	tp.slots[slot] = Unmapped
+	tp.live--
+	c.size--
+	tp.dirty = true
+	return prev, true
+}
+
+// DeleteRange removes every mapping in [lo, hi), calling onDel in
+// ascending key order, and returns the count. Only translation pages that
+// exist are visited, so a trim over a huge hole costs nothing.
+func (c *Cache) DeleteRange(lo, hi uint64, onDel func(key, val uint64)) int {
+	if hi <= lo {
+		return 0
+	}
+	loIdx, hiIdx := lo>>c.shift, (hi-1)>>c.shift
+	var cand []uint64
+	for idx := range c.pages {
+		if idx >= loIdx && idx <= hiIdx {
+			cand = append(cand, idx)
+		}
+	}
+	for idx := range c.gtd {
+		if idx >= loIdx && idx <= hiIdx && c.pages[idx] == nil {
+			cand = append(cand, idx)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	deleted := 0
+	for _, idx := range cand {
+		tp := c.peek(idx)
+		if tp == nil || tp.live == 0 {
+			continue
+		}
+		slotLo, slotHi := uint64(0), c.mask
+		if idx == loIdx {
+			slotLo = lo & c.mask
+		}
+		if idx == hiIdx {
+			slotHi = (hi - 1) & c.mask
+		}
+		touched := false
+		for s := slotLo; s <= slotHi; s++ {
+			if v := tp.slots[s]; v != Unmapped {
+				if onDel != nil {
+					onDel(idx<<c.shift|s, v)
+				}
+				tp.slots[s] = Unmapped
+				tp.live--
+				c.size--
+				deleted++
+				touched = true
+			}
+		}
+		if touched {
+			tp.dirty = true
+		}
+	}
+	return deleted
+}
+
+// Len returns the number of live mappings (resident and flash-resident).
+func (c *Cache) Len() int { return c.size }
+
+// All visits every mapping in ascending key order. Non-resident pages are
+// decoded transiently through the fault handler without being installed,
+// so invariant walks don't disturb the cache.
+func (c *Cache) All(fn func(key, val uint64) bool) {
+	idxs := make([]uint64, 0, len(c.pages)+len(c.gtd))
+	for idx := range c.pages {
+		idxs = append(idxs, idx)
+	}
+	for idx := range c.gtd {
+		if c.pages[idx] == nil {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		var slots []uint64
+		if tp := c.pages[idx]; tp != nil {
+			slots = tp.slots
+		} else {
+			ent := c.gtd[idx]
+			if c.fault == nil {
+				panic(fmt.Sprintf("mapcache: walk of translation page %d with no fault handler", idx))
+			}
+			var err error
+			slots, err = c.fault(idx, ent.Addr)
+			if err != nil {
+				panic(fmt.Sprintf("mapcache: translation page %d at addr %d unreadable: %v", idx, ent.Addr, err))
+			}
+		}
+		for s, v := range slots {
+			if v == Unmapped {
+				continue
+			}
+			if !fn(idx<<c.shift|uint64(s), v) {
+				return
+			}
+		}
+	}
+}
+
+// pageBytes is the modeled RAM cost of one resident translation page:
+// the slot array plus struct/map/ring overhead.
+func (c *Cache) pageBytes() int64 { return int64(c.slotsPer)*8 + 64 }
+
+// gtdEntBytes is the modeled RAM cost of one GTD entry.
+const gtdEntBytes = 40
+
+// MemoryBytes returns the as-if-fully-resident footprint: what the paged
+// map would cost with every translation page in RAM. This is the "total"
+// side of the resident-vs-total split.
+func (c *Cache) MemoryBytes() int64 {
+	n := len(c.pages)
+	for idx := range c.gtd {
+		if c.pages[idx] == nil {
+			n++
+		}
+	}
+	return int64(n)*c.pageBytes() + int64(len(c.gtd))*gtdEntBytes
+}
+
+// ResidentBytes returns the actual host RAM held: resident pages plus the
+// RAM-pinned GTD.
+func (c *Cache) ResidentBytes() int64 {
+	return int64(len(c.pages))*c.pageBytes() + int64(len(c.gtd))*gtdEntBytes
+}
+
+// ---- Map: the two-mode FTL-facing handle ----
+
+// Map is the forward-map handle both FTLs hold: either a plain in-RAM
+// B+tree or the paged translation-page cache, behind the tree's API.
+type Map struct {
+	tree *ftlmap.Tree
+	c    *Cache
+}
+
+// NewTree returns a tree-mode map (the legacy in-RAM layout).
+func NewTree() *Map { return &Map{tree: ftlmap.New()} }
+
+// FromTree wraps an existing tree (bulk-loaded recovery/activation paths).
+func FromTree(t *ftlmap.Tree) *Map { return &Map{tree: t} }
+
+// NewPaged returns a paged-mode map (see NewCache).
+func NewPaged(slotsPer, limit int, fault FaultFunc) *Map {
+	return &Map{c: NewCache(slotsPer, limit, fault)}
+}
+
+// Paged returns the underlying cache, or nil in tree mode.
+func (m *Map) Paged() *Cache { return m.c }
+
+// Tree returns the underlying tree, or nil in paged mode.
+func (m *Map) Tree() *ftlmap.Tree { return m.tree }
+
+// Lookup returns the mapping for lba.
+func (m *Map) Lookup(lba uint64) (uint64, bool) {
+	if m.c != nil {
+		return m.c.Lookup(lba)
+	}
+	return m.tree.Lookup(lba)
+}
+
+// LookupRange resolves len(vals) consecutive keys from lo (tree contract).
+func (m *Map) LookupRange(lo uint64, vals []uint64, found []bool) int {
+	if m.c != nil {
+		return m.c.LookupRange(lo, vals, found)
+	}
+	return m.tree.LookupRange(lo, vals, found)
+}
+
+// Insert maps lba to val.
+func (m *Map) Insert(lba, val uint64) (prev uint64, existed bool) {
+	if m.c != nil {
+		return m.c.Insert(lba, val)
+	}
+	return m.tree.Insert(lba, val)
+}
+
+// InsertRun inserts strictly-ascending entries (tree contract).
+func (m *Map) InsertRun(entries []ftlmap.Entry, onPrev func(i int, prev uint64)) {
+	if m.c != nil {
+		m.c.InsertRun(entries, onPrev)
+		return
+	}
+	m.tree.InsertRun(entries, onPrev)
+}
+
+// Delete removes lba's mapping.
+func (m *Map) Delete(lba uint64) (uint64, bool) {
+	if m.c != nil {
+		return m.c.Delete(lba)
+	}
+	return m.tree.Delete(lba)
+}
+
+// DeleteRange removes [lo, hi), calling onDel ascending (tree contract).
+func (m *Map) DeleteRange(lo, hi uint64, onDel func(key, val uint64)) int {
+	if m.c != nil {
+		return m.c.DeleteRange(lo, hi, onDel)
+	}
+	return m.tree.DeleteRange(lo, hi, onDel)
+}
+
+// Len returns the number of mappings.
+func (m *Map) Len() int {
+	if m.c != nil {
+		return m.c.Len()
+	}
+	return m.tree.Len()
+}
+
+// All visits every mapping in ascending key order.
+func (m *Map) All(fn func(key, val uint64) bool) {
+	if m.c != nil {
+		m.c.All(fn)
+		return
+	}
+	m.tree.All(fn)
+}
+
+// MemoryBytes returns the as-if-fully-resident map footprint.
+func (m *Map) MemoryBytes() int64 {
+	if m.c != nil {
+		return m.c.MemoryBytes()
+	}
+	return m.tree.MemoryBytes()
+}
+
+// ResidentBytes returns the actual host RAM held by the map. In tree mode
+// (and unbounded paged mode) it equals MemoryBytes.
+func (m *Map) ResidentBytes() int64 {
+	if m.c != nil {
+		return m.c.ResidentBytes()
+	}
+	return m.tree.MemoryBytes()
+}

@@ -1,0 +1,285 @@
+package mapcache
+
+import (
+	"testing"
+
+	"iosnap/internal/ftlmap"
+	"iosnap/internal/sim"
+)
+
+func TestSlotsFor(t *testing.T) {
+	if k := SlotsFor(512); k != 32 {
+		t.Fatalf("SlotsFor(512) = %d, want 32", k)
+	}
+	if k := SlotsFor(4096); k != 256 {
+		t.Fatalf("SlotsFor(4096) = %d, want 256", k)
+	}
+}
+
+func TestPageCodecRoundTrip(t *testing.T) {
+	const sector = 512
+	k := SlotsFor(sector)
+	slots := make([]uint64, k)
+	for i := range slots {
+		slots[i] = Unmapped
+	}
+	slots[3] = 12345
+	slots[k-1] = 99
+	payload := EncodePage(7, 42, slots, sector)
+	if len(payload) != sector {
+		t.Fatalf("payload %d bytes, want %d", len(payload), sector)
+	}
+	idx, got, err := DecodePage(payload)
+	if err != nil {
+		t.Fatalf("DecodePage: %v", err)
+	}
+	if idx != 7 {
+		t.Fatalf("idx %d, want 7", idx)
+	}
+	for i := range slots {
+		if got[i] != slots[i] {
+			t.Fatalf("slot %d: %d, want %d", i, got[i], slots[i])
+		}
+	}
+	payload[10] ^= 0xFF
+	if _, _, err := DecodePage(payload); err == nil {
+		t.Fatal("corrupted page decoded without error")
+	}
+}
+
+// opMix drives the same random operation sequence through a Map and a
+// reference ftlmap.Tree and checks full agreement.
+func opMix(t *testing.T, m *Map, seed uint64, space uint64, steps int) {
+	t.Helper()
+	ref := ftlmap.New()
+	rng := sim.NewRNG(seed)
+	vals := make([]uint64, 16)
+	found := make([]bool, 16)
+	rvals := make([]uint64, 16)
+	rfound := make([]bool, 16)
+	for step := 0; step < steps; step++ {
+		lba := uint64(rng.Int63n(int64(space)))
+		switch uint64(rng.Int63n(int64(10))) {
+		case 0, 1, 2: // single insert
+			val := uint64(rng.Int63n(int64(1 << 40)))
+			p1, e1 := m.Insert(lba, val)
+			p2, e2 := ref.Insert(lba, val)
+			if p1 != p2 || e1 != e2 {
+				t.Fatalf("step %d: Insert(%d) -> (%d,%v), ref (%d,%v)", step, lba, p1, e1, p2, e2)
+			}
+		case 3, 4: // run insert
+			n := 1 + uint64(rng.Int63n(int64(40)))
+			entries := make([]ftlmap.Entry, 0, n)
+			for i := uint64(0); i < n; i++ {
+				entries = append(entries, ftlmap.Entry{Key: lba + i, Val: uint64(rng.Int63n(int64(1 << 40)))})
+			}
+			var prevs1, prevs2 []uint64
+			m.InsertRun(entries, func(i int, prev uint64) { prevs1 = append(prevs1, uint64(i)<<48|prev) })
+			ref.InsertRun(entries, func(i int, prev uint64) { prevs2 = append(prevs2, uint64(i)<<48|prev) })
+			if len(prevs1) != len(prevs2) {
+				t.Fatalf("step %d: InsertRun prev count %d vs %d", step, len(prevs1), len(prevs2))
+			}
+			for i := range prevs1 {
+				if prevs1[i] != prevs2[i] {
+					t.Fatalf("step %d: InsertRun prev %d: %x vs %x", step, i, prevs1[i], prevs2[i])
+				}
+			}
+		case 5: // delete
+			v1, ok1 := m.Delete(lba)
+			v2, ok2 := ref.Delete(lba)
+			if v1 != v2 || ok1 != ok2 {
+				t.Fatalf("step %d: Delete(%d) -> (%d,%v), ref (%d,%v)", step, lba, v1, ok1, v2, ok2)
+			}
+		case 6: // range delete
+			n := 1 + uint64(rng.Int63n(int64(60)))
+			var dels1, dels2 []uint64
+			n1 := m.DeleteRange(lba, lba+n, func(k, v uint64) { dels1 = append(dels1, k, v) })
+			n2 := ref.DeleteRange(lba, lba+n, func(k, v uint64) { dels2 = append(dels2, k, v) })
+			if n1 != n2 || len(dels1) != len(dels2) {
+				t.Fatalf("step %d: DeleteRange count %d vs %d", step, n1, n2)
+			}
+			for i := range dels1 {
+				if dels1[i] != dels2[i] {
+					t.Fatalf("step %d: DeleteRange seq %d: %d vs %d", step, i, dels1[i], dels2[i])
+				}
+			}
+		case 7, 8: // range lookup
+			n := 1 + uint64(rng.Int63n(int64(16)))
+			for i := uint64(0); i < n; i++ {
+				vals[i], rvals[i] = 0, 0
+				found[i], rfound[i] = false, false
+			}
+			h1 := m.LookupRange(lba, vals[:n], found[:n])
+			h2 := ref.LookupRange(lba, rvals[:n], rfound[:n])
+			if h1 != h2 {
+				t.Fatalf("step %d: LookupRange hits %d vs %d", step, h1, h2)
+			}
+			for i := uint64(0); i < n; i++ {
+				if found[i] != rfound[i] || (found[i] && vals[i] != rvals[i]) {
+					t.Fatalf("step %d: LookupRange[%d] (%d,%v) vs (%d,%v)",
+						step, i, vals[i], found[i], rvals[i], rfound[i])
+				}
+			}
+		default: // point lookup
+			v1, ok1 := m.Lookup(lba)
+			v2, ok2 := ref.Lookup(lba)
+			if v1 != v2 || ok1 != ok2 {
+				t.Fatalf("step %d: Lookup(%d) -> (%d,%v), ref (%d,%v)", step, lba, v1, ok1, v2, ok2)
+			}
+		}
+		if m.Len() != ref.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, m.Len(), ref.Len())
+		}
+	}
+	var got, want []uint64
+	m.All(func(k, v uint64) bool { got = append(got, k, v); return true })
+	ref.All(func(k, v uint64) bool { want = append(want, k, v); return true })
+	if len(got) != len(want) {
+		t.Fatalf("All: %d vs %d values", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("All[%d]: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnboundedPagedMatchesTree(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		m := NewPaged(32, 0, nil)
+		opMix(t, m, seed, 4096, 3000)
+		if c := m.Paged(); c.Stats().Misses != 0 {
+			t.Fatalf("unbounded cache faulted %d pages", c.Stats().Misses)
+		}
+	}
+}
+
+// flashSim backs a bounded cache with an in-memory "flash": a map from
+// fake address to encoded page, exercising the real wire codec.
+type flashSim struct {
+	t      *testing.T
+	sector int
+	next   uint64
+	store  map[uint64][]byte
+}
+
+func (fs *flashSim) fault(idx, addr uint64) ([]uint64, error) {
+	payload, ok := fs.store[addr]
+	if !ok {
+		fs.t.Fatalf("fault of page %d at unknown addr %d", idx, addr)
+	}
+	gotIdx, slots, err := DecodePage(payload)
+	if err != nil {
+		return nil, err
+	}
+	if gotIdx != idx {
+		fs.t.Fatalf("fault of page %d decoded page %d", idx, gotIdx)
+	}
+	return slots, nil
+}
+
+// trim evicts down to the residency limit the way the FTL glue does:
+// CLOCK victim, flush if dirty, drop.
+func (fs *flashSim) trim(c *Cache) {
+	for c.Bounded() && c.Resident() > c.Limit() {
+		idx, ok := c.ClockVictim(nil)
+		if !ok {
+			fs.t.Fatal("no evictable page while over limit")
+		}
+		dirty, live, resident := c.PageState(idx)
+		if !resident {
+			fs.t.Fatalf("victim %d not resident", idx)
+		}
+		switch {
+		case live == 0:
+			if _, had := c.DropPage(idx); had {
+				// flash copy released; nothing to unpin in this harness
+				_ = had
+			}
+		case dirty:
+			fs.next++
+			fs.store[fs.next] = EncodePage(idx, 0, c.Slots(idx), fs.sector)
+			if prev, had := c.MarkFlushed(idx, fs.next); had {
+				delete(fs.store, prev)
+			}
+			c.NoteFlushed(1)
+			fallthrough
+		default:
+			c.DropResident(idx)
+			c.NoteEviction()
+		}
+	}
+}
+
+func TestBoundedCacheMatchesTree(t *testing.T) {
+	const sector = 512
+	for seed := uint64(1); seed <= 4; seed++ {
+		fs := &flashSim{t: t, sector: sector, store: make(map[uint64][]byte)}
+		m := NewPaged(SlotsFor(sector), 4, fs.fault)
+		c := m.Paged()
+		ref := ftlmap.New()
+		rng := sim.NewRNG(seed ^ 0x9E3779B9)
+		for step := 0; step < 4000; step++ {
+			lba := uint64(rng.Int63n(int64(2048)))
+			switch uint64(rng.Int63n(int64(6))) {
+			case 0, 1, 2:
+				val := uint64(rng.Int63n(int64(1 << 40)))
+				p1, e1 := m.Insert(lba, val)
+				p2, e2 := ref.Insert(lba, val)
+				if p1 != p2 || e1 != e2 {
+					t.Fatalf("seed %d step %d: Insert mismatch", seed, step)
+				}
+			case 3:
+				v1, ok1 := m.Delete(lba)
+				v2, ok2 := ref.Delete(lba)
+				if v1 != v2 || ok1 != ok2 {
+					t.Fatalf("seed %d step %d: Delete mismatch", seed, step)
+				}
+			default:
+				v1, ok1 := m.Lookup(lba)
+				v2, ok2 := ref.Lookup(lba)
+				if v1 != v2 || ok1 != ok2 {
+					t.Fatalf("seed %d step %d: Lookup(%d) (%d,%v) vs (%d,%v)",
+						seed, step, lba, v1, ok1, v2, ok2)
+				}
+			}
+			fs.trim(c)
+			if m.Len() != ref.Len() {
+				t.Fatalf("seed %d step %d: Len %d vs %d", seed, step, m.Len(), ref.Len())
+			}
+		}
+		if c.Resident() > c.Limit() {
+			t.Fatalf("resident %d over limit %d", c.Resident(), c.Limit())
+		}
+		if c.Stats().Misses == 0 || c.Stats().Flushed == 0 {
+			t.Fatalf("bounded run saw no cache traffic: %+v", c.Stats())
+		}
+		// Full-content audit via the transient walk (faults without install).
+		before := c.Resident()
+		var got, want []uint64
+		m.All(func(k, v uint64) bool { got = append(got, k, v); return true })
+		ref.All(func(k, v uint64) bool { want = append(want, k, v); return true })
+		if c.Resident() != before {
+			t.Fatalf("All changed residency %d -> %d", before, c.Resident())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("All: %d vs %d values", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("All[%d]: %d vs %d", i, got[i], want[i])
+			}
+		}
+		if c.ResidentBytes() >= c.MemoryBytes() {
+			t.Fatalf("resident bytes %d not below total %d", c.ResidentBytes(), c.MemoryBytes())
+		}
+	}
+}
+
+func TestTreeModeDelegates(t *testing.T) {
+	m := NewTree()
+	if m.Paged() != nil {
+		t.Fatal("tree-mode map reports a cache")
+	}
+	opMix(t, m, 11, 4096, 1500)
+}

@@ -98,6 +98,9 @@ func (d *Device) ProgramPages(now sim.Time, addrs []PageAddr, datas, oobs [][]by
 			pageIdx = d.PageIndexOf(addr)
 			ch = int(addr) % nch
 			seg = &d.segs[segIdx]
+			if seg.pages == nil {
+				seg.pages = make([]page, pps)
+			}
 		}
 		p := &seg.pages[pageIdx]
 		if seg.health == Retired {

@@ -20,7 +20,7 @@ func (d *Device) CopyPage(now sim.Time, from, to PageAddr) (sim.Time, error) {
 	if src.state != pageProgrammed {
 		return now, fmt.Errorf("%w: copy source %d", ErrReadErased, from)
 	}
-	dstSeg, dst, err := d.check(to)
+	dstSeg, dst, err := d.checkProg(to)
 	if err != nil {
 		return now, err
 	}
@@ -81,4 +81,24 @@ func (d *Device) PageOOB(addr PageAddr) ([]byte, error) {
 		return nil, fmt.Errorf("%w: page %d", ErrReadErased, addr)
 	}
 	return p.oob[:], nil
+}
+
+// PageData returns the stored payload of a programmed page without
+// modelling device time. It requires StoreData mode. The paged mapping
+// table uses it to interpret translation pages in host-side contexts (GC
+// fix-up, invariant walks, tail replay) where the timed read either
+// happened elsewhere or is deliberately not part of the foreground charge.
+// The returned slice aliases device memory and must not be modified.
+func (d *Device) PageData(addr PageAddr) ([]byte, error) {
+	if !d.cfg.StoreData {
+		return nil, fmt.Errorf("nand: PageData on a fingerprint-mode device")
+	}
+	_, p, err := d.check(addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.state != pageProgrammed {
+		return nil, fmt.Errorf("%w: page %d", ErrReadErased, addr)
+	}
+	return p.data, nil
 }

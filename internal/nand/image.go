@@ -98,6 +98,9 @@ func LoadImage(r io.Reader) (*Device, error) {
 		s.nextProg = is.NextProg
 		s.erases = is.Erases
 		s.health = is.Health
+		if len(is.Pages) > 0 && s.pages == nil {
+			s.pages = make([]page, hdr.Cfg.PagesPerSegment)
+		}
 		for _, ip := range is.Pages {
 			if ip.Index < 0 || ip.Index >= hdr.Cfg.PagesPerSegment {
 				return nil, fmt.Errorf("nand: image page index %d out of range", ip.Index)

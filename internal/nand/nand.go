@@ -349,9 +349,9 @@ func New(cfg Config) *Device {
 		readBus:  busModel{nsPerByte: mbpsToNsPerByte(cfg.ReadBusMBps)},
 		writeBus: busModel{nsPerByte: mbpsToNsPerByte(cfg.WriteBusMBps)},
 	}
-	for i := range d.segs {
-		d.segs[i].pages = make([]page, cfg.PagesPerSegment)
-	}
+	// Per-segment page arrays are materialized lazily on first program
+	// (checkProg): a TB-class geometry mounts in O(touched-segments) host
+	// memory instead of paying ~sizeof(page) per physical page up front.
 	if cfg.WearOutThreshold > 0 {
 		d.wearRNG = sim.NewRNG(cfg.WearSeed)
 	}
@@ -413,11 +413,33 @@ func (d *Device) Addr(seg, idx int) PageAddr {
 	return PageAddr(seg*d.cfg.PagesPerSegment + idx)
 }
 
+// erasedPage stands in for any page of a segment whose backing array has
+// not been materialized (nothing was ever programmed there): reads observe
+// it as erased. It must never be written through — write paths go via
+// checkProg, which materializes the real array first.
+var erasedPage page
+
 func (d *Device) check(addr PageAddr) (*segment, *page, error) {
 	if int64(addr) >= d.cfg.TotalPages() {
 		return nil, nil, fmt.Errorf("%w: %d", ErrBadAddress, addr)
 	}
 	s := &d.segs[d.SegmentOf(addr)]
+	if s.pages == nil {
+		return s, &erasedPage, nil
+	}
+	return s, &s.pages[d.PageIndexOf(addr)], nil
+}
+
+// checkProg is check for write paths: it materializes the segment's page
+// array on first touch (lazy allocation keeps untouched segments free).
+func (d *Device) checkProg(addr PageAddr) (*segment, *page, error) {
+	if int64(addr) >= d.cfg.TotalPages() {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	s := &d.segs[d.SegmentOf(addr)]
+	if s.pages == nil {
+		s.pages = make([]page, d.cfg.PagesPerSegment)
+	}
 	return s, &s.pages[d.PageIndexOf(addr)], nil
 }
 
@@ -482,7 +504,7 @@ func (d *Device) ProgramPage(now sim.Time, addr PageAddr, data, oob []byte) (sim
 			return now, err
 		}
 	}
-	seg, p, err := d.check(addr)
+	seg, p, err := d.checkProg(addr)
 	if err != nil {
 		return now, err
 	}

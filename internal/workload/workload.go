@@ -21,6 +21,12 @@ const (
 	Sequential Pattern = iota
 	Random
 	Zipf
+	// HotCold splits the range into a hot head and a cold tail: a HotFrac
+	// share of the ops lands uniformly in the first HotSpan share of the
+	// range, the rest uniformly in the remainder. The two knobs dial
+	// translation-page locality directly — the map-cache benchmarks sweep
+	// them to trace hit-rate versus cache size.
+	HotCold
 )
 
 func (p Pattern) String() string {
@@ -31,6 +37,8 @@ func (p Pattern) String() string {
 		return "random"
 	case Zipf:
 		return "zipf"
+	case HotCold:
+		return "hotcold"
 	default:
 		return fmt.Sprintf("pattern(%d)", int(p))
 	}
@@ -76,6 +84,10 @@ type Spec struct {
 	Seed uint64
 	// ZipfS is the zipf exponent (>1) when Pattern == Zipf.
 	ZipfS float64
+	// HotFrac and HotSpan parameterize Pattern == HotCold: HotFrac of the
+	// ops (0 < HotFrac < 1) target the hot set, which occupies the first
+	// HotSpan of the range (0 < HotSpan < 1).
+	HotFrac, HotSpan float64
 	// SubmitCost models per-op host submission overhead for async runs.
 	SubmitCost sim.Duration
 }
@@ -126,6 +138,8 @@ func (s Spec) validate(dev blockdev.Device) error {
 		return fmt.Errorf("%w: no stopping condition", ErrBadSpec)
 	case s.Pattern == Zipf && s.ZipfS <= 1:
 		return fmt.Errorf("%w: ZipfS %v must be > 1", ErrBadSpec, s.ZipfS)
+	case s.Pattern == HotCold && !(s.HotFrac > 0 && s.HotFrac < 1 && s.HotSpan > 0 && s.HotSpan < 1):
+		return fmt.Errorf("%w: HotCold needs 0 < HotFrac (%v) < 1 and 0 < HotSpan (%v) < 1", ErrBadSpec, s.HotFrac, s.HotSpan)
 	}
 	return nil
 }
@@ -159,6 +173,19 @@ func Run(dev blockdev.Device, start sim.Time, spec Spec, opts Options) (Result, 
 	var zipf *sim.Zipf
 	if spec.Pattern == Zipf {
 		zipf = sim.NewZipf(rng, spec.ZipfS, span/sectorsPerOp)
+	}
+	// HotCold geometry, in whole ops so every draw stays block-aligned.
+	var hotOps, coldOps int64
+	if spec.Pattern == HotCold {
+		totalOps := span / sectorsPerOp
+		hotOps = int64(float64(totalOps) * spec.HotSpan)
+		if hotOps < 1 {
+			hotOps = 1
+		}
+		coldOps = totalOps - hotOps
+		if coldOps < 1 {
+			return Result{}, start, fmt.Errorf("%w: HotSpan %v leaves no cold set", ErrBadSpec, spec.HotSpan)
+		}
 	}
 	buf := make([]byte, spec.BlockSize)
 	rng.Bytes(buf)
@@ -216,6 +243,12 @@ func Run(dev blockdev.Device, start sim.Time, spec Spec, opts Options) (Result, 
 			lba = lba / sectorsPerOp * sectorsPerOp
 		case Zipf:
 			lba = lo + zipf.Next()*sectorsPerOp
+		case HotCold:
+			if rng.Float64() < spec.HotFrac {
+				lba = lo + rng.Int63n(hotOps)*sectorsPerOp
+			} else {
+				lba = lo + (hotOps+rng.Int63n(coldOps))*sectorsPerOp
+			}
 		}
 
 		var done sim.Time

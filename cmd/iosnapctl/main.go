@@ -24,6 +24,12 @@
 //	iosnapctl -image dev.img health
 //	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|transient|wear-out|none] [-seed N] [-steps N]
 //	iosnapctl shardbench [-shards N] [-clients N] [-ops N] [-seed N]
+//	iosnapctl -remote host:port {ping|write|read|trim|snap-create|snap-delete|snap-read|stats|shutdown} [flags]
+//
+// With -remote, the verb runs against a live iosnapd (see cmd/iosnapd)
+// instead of reloading an image: the same -lba/-count/-text/-id flags
+// apply, no -image is needed, and shutdown asks the server to checkpoint
+// and persist its images.
 //
 // The replication verbs speak the internal/xport transport. export writes a
 // self-checking chunk stream (no activation needed; with -base only the
@@ -69,8 +75,13 @@ import (
 	"iosnap/internal/retry"
 	"iosnap/internal/shard"
 	"iosnap/internal/sim"
+	"iosnap/internal/vfs"
 	"iosnap/internal/xport"
 )
+
+// fsys is the filesystem every sidecar and image write goes through.
+// Tests swap in a faulting or in-memory implementation.
+var fsys vfs.FileSystem = vfs.OS{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -81,7 +92,8 @@ func main() {
 
 func run(args []string) error {
 	global := flag.NewFlagSet("iosnapctl", flag.ContinueOnError)
-	image := global.String("image", "", "device image path (required)")
+	image := global.String("image", "", "device image path (required unless -remote)")
+	remote := global.String("remote", "", "iosnapd address (host:port); verbs run against the server instead of an image")
 	mapCache := global.Int("mapcache", 0,
 		"translation-page cache size in pages (0 = in-RAM map, <0 = unbounded paged)")
 	if err := global.Parse(args); err != nil {
@@ -99,6 +111,9 @@ func run(args []string) error {
 	}
 	if cmd == "shardbench" {
 		return cmdShardBench(cmdArgs)
+	}
+	if *remote != "" {
+		return runRemote(*remote, cmd, cmdArgs)
 	}
 	if *image == "" {
 		return fmt.Errorf("usage: iosnapctl -image FILE COMMAND [flags] (run with -h for commands)")
@@ -211,21 +226,19 @@ func save(image string, dev *nand.Device, f *iosnap.FTL, now sim.Time) error {
 	return writeImage(image, dev)
 }
 
+// writeImage streams the device image to disk through an atomic, fsynced
+// temp-file + rename, so a crash at any point leaves either the previous
+// image or the complete new one.
 func writeImage(image string, dev *nand.Device) error {
-	tmp := image + ".tmp"
-	w, err := os.Create(tmp)
+	a, err := vfs.NewAtomicFile(fsys, image)
 	if err != nil {
 		return err
 	}
-	if err := dev.SaveImage(w); err != nil {
-		w.Close()
-		os.Remove(tmp)
+	if err := dev.SaveImage(a); err != nil {
+		a.Abort()
 		return err
 	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, image)
+	return a.Commit()
 }
 
 func lbaCountFlags(fs *flag.FlagSet) (lba *int64, count *int64) {
@@ -364,7 +377,7 @@ func genPath(image string) string     { return image + ".gen" }
 func journalPath(image string) string { return image + ".journal" }
 
 func readManifest(path string) (*xport.Manifest, error) {
-	b, err := os.ReadFile(path)
+	b, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -375,12 +388,35 @@ func readManifest(path string) (*xport.Manifest, error) {
 	return m, nil
 }
 
-func writeFileAtomic(path string, b []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
+// loadSidecars reads the replica's committed generation manifest and
+// in-flight journal, distinguishing "never existed" (a fresh replica —
+// proceed bare) from "exists but unreadable/corrupt" (fail loudly: treating
+// a damaged generation as a bare destination would silently re-clear and
+// re-apply a full image over a replica whose true state is unknown).
+func loadSidecars(image string) (gen *xport.Manifest, journal []byte, err error) {
+	g, gerr := readManifest(genPath(image))
+	switch {
+	case gerr == nil:
+		gen = g
+	case vfs.IsNotExist(gerr):
+		// Fresh replica: no committed generation yet.
+	default:
+		return nil, nil, fmt.Errorf("generation sidecar: %w", gerr)
 	}
-	return os.Rename(tmp, path)
+	jb, jerr := vfs.ReadFile(fsys, journalPath(image))
+	switch {
+	case jerr == nil:
+		journal = jb
+	case vfs.IsNotExist(jerr):
+		// No interrupted transfer to resume.
+	default:
+		return nil, nil, fmt.Errorf("journal sidecar: %w", jerr)
+	}
+	return gen, journal, nil
+}
+
+func writeFileAtomic(path string, b []byte) error {
+	return vfs.WriteFileAtomic(fsys, path, b)
 }
 
 func cmdExport(f *iosnap.FTL, now sim.Time, args []string) error {
@@ -442,13 +478,13 @@ func cmdImport(image string, dev *nand.Device, f *iosnap.FTL, now sim.Time, args
 	}
 	opt := iosnap.ReceiveOpts{
 		AbortAfter: *abortAfter,
-		Persist:    func(j []byte) { _ = writeFileAtomic(journalPath(image), j) },
+		// A journal that cannot be persisted aborts the receive: resuming
+		// later would otherwise trust durability points that never hit disk.
+		Persist: func(j []byte) error { return writeFileAtomic(journalPath(image), j) },
 	}
-	if g, err := readManifest(genPath(image)); err == nil {
-		opt.Base = g
-	}
-	if jb, err := os.ReadFile(journalPath(image)); err == nil {
-		opt.Journal = jb
+	opt.Base, opt.Journal, err = loadSidecars(image)
+	if err != nil {
+		return fmt.Errorf("import: %w", err)
 	}
 	rec, done, rerr := iosnap.ReceiveInto(f, now, stream, opt)
 	if rec != nil {
@@ -490,15 +526,11 @@ func cmdReplicate(f *iosnap.FTL, now sim.Time, args []string) error {
 		Src:     f,
 		Dst:     dstF,
 		Policy:  retry.Policy{MaxAttempts: *attempts, Backoff: 100 * sim.Microsecond},
-		Persist: func(j []byte) { _ = writeFileAtomic(journalPath(*dst), j) },
+		Persist: func(j []byte) error { return writeFileAtomic(journalPath(*dst), j) },
 	}
-	var gen *xport.Manifest
-	if g, err := readManifest(genPath(*dst)); err == nil {
-		gen = g
-	}
-	var journal []byte
-	if jb, err := os.ReadFile(journalPath(*dst)); err == nil {
-		journal = jb
+	gen, journal, err := loadSidecars(*dst)
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
 	}
 	r.Restore(gen, journal)
 	m, done, rerr := r.Replicate(now, iosnap.SnapshotID(*id), iosnap.SnapshotID(*base))

@@ -451,8 +451,11 @@ type ReceiveOpts struct {
 	// Persist, when non-nil, is called with encoded journal bytes at every
 	// durability point (after the clear phase, every PersistEvery applied
 	// chunks, and at commit). This is the receiver's crash-consistency
-	// contract: what Persist saw is what a resume can rely on.
-	Persist func(journal []byte)
+	// contract: what Persist saw is what a resume can rely on — so a
+	// Persist failure aborts the receive. Swallowing it would let the
+	// receive "commit" against a journal that never became durable, and a
+	// crash after that leaves a resume trusting state that does not exist.
+	Persist func(journal []byte) error
 	// PersistEvery is the applied-chunk batch between journal persists
 	// (default 32).
 	PersistEvery int
@@ -519,10 +522,13 @@ func ReceiveInto(dst blockdev.Device, now sim.Time, stream []byte, opt ReceiveOp
 	if persistEvery <= 0 {
 		persistEvery = 32
 	}
-	persist := func() {
+	persist := func() error {
 		if opt.Persist != nil {
-			opt.Persist(j.Encode())
+			if err := opt.Persist(j.Encode()); err != nil {
+				return fmt.Errorf("iosnap: persisting receive journal: %w", err)
+			}
 		}
+		return nil
 	}
 
 	// ---- Dedup phase: verify locally-materialized entries first, while
@@ -593,7 +599,9 @@ func ReceiveInto(dst blockdev.Device, now sim.Time, stream []byte, opt ReceiveOp
 			}
 		}
 		j.DeletesDone = true
-		persist()
+		if err := persist(); err != nil {
+			return rec, now, err
+		}
 	}
 
 	// ---- Apply phase (journaled): shipped chunks land in ascending LBA
@@ -612,25 +620,34 @@ func ReceiveInto(dst blockdev.Device, now sim.Time, stream []byte, opt ReceiveOp
 		}
 		done, err := dst.Write(now, int64(lba), shipped[lba])
 		if err != nil {
-			persist()
-			return rec, now, fmt.Errorf("iosnap: applying LBA %d: %w", lba, err)
+			perr := persist() // best-effort journal of what DID land
+			return rec, now, errors.Join(fmt.Errorf("iosnap: applying LBA %d: %w", lba, err), perr)
 		}
 		now = done
 		j.MarkApplied(lba)
 		rec.Applied++
 		sincePersist++
 		if sincePersist >= persistEvery {
-			persist()
+			if err := persist(); err != nil {
+				return rec, now, err
+			}
 			sincePersist = 0
 		}
 		if opt.AbortAfter > 0 && rec.Applied >= opt.AbortAfter {
-			persist()
+			if err := persist(); err != nil {
+				return rec, now, err
+			}
 			return rec, now, ErrReceiveAborted
 		}
 	}
 
 	j.Committed = true
-	persist()
+	if err := persist(); err != nil {
+		// The commit record never became durable: the transfer is NOT
+		// complete, and the in-memory journal must say so too.
+		j.Committed = false
+		return rec, now, err
+	}
 	return rec, now, nil
 }
 
@@ -760,8 +777,10 @@ type Replicator struct {
 	// unmodified to stop injecting).
 	Mangle func(attempt int, stream []byte) []byte
 	// Persist, when non-nil, observes journal bytes at every durability
-	// point (the CLI writes them to a file).
-	Persist func(journal []byte)
+	// point (the CLI writes them to a file). A Persist failure aborts the
+	// replication attempt: the resume contract is only as good as what
+	// actually reached stable storage.
+	Persist func(journal []byte) error
 
 	gen     *xport.Manifest
 	journal []byte
@@ -844,7 +863,9 @@ func (r *Replicator) Replicate(now sim.Time, snap, base SnapshotID) (*xport.Mani
 				rec.Journal.Unmark(lba)
 			}
 			rec.Journal.Committed = false
-			r.persistJournal(rec.Journal.Encode())
+			if perr := r.persistJournal(rec.Journal.Encode()); perr != nil {
+				return d2, perr
+			}
 			return d2, fmt.Errorf("%w: %d sectors failed verification", xport.ErrHashMismatch, len(mism))
 		}
 		return d2, nil
@@ -858,9 +879,12 @@ func (r *Replicator) Replicate(now sim.Time, snap, base SnapshotID) (*xport.Mani
 	return m, done, nil
 }
 
-func (r *Replicator) persistJournal(b []byte) {
+func (r *Replicator) persistJournal(b []byte) error {
 	r.journal = b
 	if r.Persist != nil {
-		r.Persist(b)
+		if err := r.Persist(b); err != nil {
+			return fmt.Errorf("iosnap: persisting replication journal: %w", err)
+		}
 	}
+	return nil
 }

@@ -204,7 +204,7 @@ func TestCrashMidReceiveResumes(t *testing.T) {
 	}
 
 	var persisted []byte
-	keep := func(j []byte) { persisted = append([]byte(nil), j...) }
+	keep := func(j []byte) error { persisted = append([]byte(nil), j...); return nil }
 
 	// Crash after three applied chunks. The journal persisted at the abort
 	// is everything the resume may rely on.
@@ -249,6 +249,64 @@ func TestCrashMidReceiveResumes(t *testing.T) {
 	}
 }
 
+// TestPersistFailureAbortsReceive: when the journal cannot be made
+// durable, the receive must fail — not report success against a resume
+// contract that exists only in memory. (Regression: Persist errors used to
+// be unreportable by signature.)
+func TestPersistFailureAbortsReceive(t *testing.T) {
+	src, dst, _, now := replPair(t, []int64{0, 1, 2, 3, 4}, 1)
+	snap, now, err := src.FrozenSnapshot(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stream, now, err := src.ExportSync(now, ExportOpts{Snapshot: snap.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sidecar device full")
+	// Fail the very first durability point.
+	rec, _, rerr := ReceiveInto(dst, now, stream, ReceiveOpts{Persist: func([]byte) error { return boom }})
+	if !errors.Is(rerr, boom) {
+		t.Fatalf("receive with failing persist returned %v, want the persist error", rerr)
+	}
+	if rec != nil && rec.Journal.Committed {
+		t.Fatal("journal claims committed although it never became durable")
+	}
+
+	// Fail only the final (commit) persist: everything applied, but the
+	// commit record was lost — the call must still fail and the journal
+	// must not claim Committed.
+	calls := 0
+	var last error
+	rec, _, rerr = ReceiveInto(dst, now, stream, ReceiveOpts{
+		PersistEvery: 1000, // only the clear-phase and commit persists fire
+		Persist: func(j []byte) error {
+			calls++
+			if calls >= 2 {
+				last = boom
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(rerr, boom) || last == nil {
+		t.Fatalf("receive with failing commit persist returned %v (persist calls %d)", rerr, calls)
+	}
+	if rec.Journal.Committed {
+		t.Fatal("journal claims committed although the commit record was lost")
+	}
+
+	// The replicator propagates the same failure instead of committing a
+	// generation whose journal never persisted.
+	r := &Replicator{Src: src, Dst: dst, Persist: func([]byte) error { return boom }}
+	if _, _, err := r.Replicate(now, snap.ID, 0); !errors.Is(err, boom) {
+		t.Fatalf("replicate with failing persist returned %v, want the persist error", err)
+	}
+	if r.Generation() != nil {
+		t.Fatal("failed replication must not advance the committed generation")
+	}
+}
+
 func TestDamagedStreamFailsAtomically(t *testing.T) {
 	src, dst, _, now := replPair(t, []int64{0, 1, 2, 3, 4}, 1)
 	snap, now, err := src.FrozenSnapshot(now)
@@ -281,7 +339,7 @@ func TestDamagedStreamFailsAtomically(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var persisted bool
-		_, _, err := ReceiveInto(dst, now, tc.mangle(stream), ReceiveOpts{Persist: func([]byte) { persisted = true }})
+		_, _, err := ReceiveInto(dst, now, tc.mangle(stream), ReceiveOpts{Persist: func([]byte) error { persisted = true; return nil }})
 		if !errors.Is(err, tc.want) {
 			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
 	"iosnap/internal/ratelimit"
 	"iosnap/internal/sim"
 )
@@ -52,8 +53,25 @@ type serviceState struct {
 	closed bool
 }
 
-// NewService builds the shards and starts one worker per shard.
+// NewService builds fresh shards and starts one worker per shard.
 func NewService(cfg Config) (*Service, error) {
+	return newService(cfg, nil)
+}
+
+// NewServiceFrom recovers one FTL per already-loaded device and serves
+// them as shards: devs[i] becomes shard i, crash-recovered under shard i's
+// derived configuration. This is the storage server's mount path — the
+// daemon loads each shard's image, recovers here, serves traffic, and
+// saves the same devices back out at shutdown. Each shard's virtual clock
+// starts at its recovery completion time.
+func NewServiceFrom(cfg Config, devs []*nand.Device) (*Service, error) {
+	if len(devs) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d devices for %d shards", len(devs), cfg.Shards)
+	}
+	return newService(cfg, devs)
+}
+
+func newService(cfg Config, devs []*nand.Device) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,15 +81,22 @@ func NewService(cfg Config) (*Service, error) {
 		in.gov = NewGovernor(cfg.GCConcurrency)
 		gate = in.gov
 	}
+	in.vnow = make([]sim.Time, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		f, err := iosnap.New(cfg.shardConfig(i, gate), nil)
+		sc := cfg.shardConfig(i, gate)
+		var f *iosnap.FTL
+		var err error
+		if devs == nil {
+			f, err = iosnap.New(sc, nil)
+		} else {
+			f, in.vnow[i], err = iosnap.Recover(sc, devs[i], nil, 0)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		in.shards = append(in.shards, f)
 		in.queues = append(in.queues, make(chan func(), 64))
 	}
-	in.vnow = make([]sim.Time, cfg.Shards)
 	s := &Service{r: in}
 	for i := range in.queues {
 		in.wg.Add(1)
@@ -83,6 +108,54 @@ func NewService(cfg Config) (*Service, error) {
 		}(in.queues[i])
 	}
 	return s, nil
+}
+
+// ConfigForDevices derives the service configuration whose per-shard split
+// reproduces exactly the geometry of the given (identically-configured)
+// devices — the inverse of shardConfig, used when mounting existing
+// per-shard images. Contiguous partitioning is selected: shard boundaries
+// must match what the images were written under, and contiguous is the
+// layout the daemon initializes.
+func ConfigForDevices(devs []*nand.Device) (Config, error) {
+	if len(devs) == 0 {
+		return Config{}, fmt.Errorf("shard: no devices")
+	}
+	nc := devs[0].Config()
+	for i, d := range devs {
+		if d.Config() != nc {
+			return Config{}, fmt.Errorf("shard: device %d geometry differs from device 0", i)
+		}
+	}
+	n := len(devs)
+	per := iosnap.DefaultConfig(nc)
+	base := per
+	base.Nand.Segments = nc.Segments * n
+	base.Nand.Channels = nc.Channels * n
+	base.UserSectors = per.UserSectors * int64(n)
+	base.ReserveSegments = per.ReserveSegments * n
+	base.RescueReserve = per.RescueReserve * n
+	return Config{Base: base, Shards: n}, nil
+}
+
+// LiveSnapshots returns the number of live snapshots (shard 0's count;
+// cross-shard snapshot IDs are aligned by the create barrier). It takes
+// the barrier lock, so it observes a quiescent point.
+func (s *Service) LiveSnapshots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.shards[0].Tree().Live()
+}
+
+// MappedSectors sums the mapped-sector counts across shards at a quiescent
+// point.
+func (s *Service) MappedSectors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, f := range s.r.shards {
+		total += int64(f.MappedSectors())
+	}
+	return total
 }
 
 // Shards returns the number of shards.

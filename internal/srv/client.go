@@ -1,0 +1,126 @@
+package srv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client speaks the block protocol to a Server over one connection. All
+// methods are safe for concurrent use: each request/response round-trip
+// holds the connection for its duration.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one round-trip and returns the success body, or the
+// server-reported error.
+func (c *Client) call(op byte, parts ...[]byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, append([][]byte{{op}}, parts...)...); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("srv: empty response")
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusErr:
+		return nil, fmt.Errorf("%s", resp[1:])
+	default:
+		return nil, fmt.Errorf("srv: unknown status %d", resp[0])
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(opPing)
+	return err
+}
+
+// Read returns n sectors starting at lba from the live image.
+func (c *Client) Read(lba int64, n int) ([]byte, error) {
+	return c.call(opRead, putU64(uint64(lba)), putU32(uint32(n)))
+}
+
+// Write stores sector-aligned data at lba.
+func (c *Client) Write(lba int64, data []byte) error {
+	_, err := c.call(opWrite, putU64(uint64(lba)), data)
+	return err
+}
+
+// Trim invalidates n sectors starting at lba.
+func (c *Client) Trim(lba, n int64) error {
+	_, err := c.call(opTrim, putU64(uint64(lba)), putU64(uint64(n)))
+	return err
+}
+
+// SnapCreate takes a consistent snapshot across all shards and returns
+// its ID.
+func (c *Client) SnapCreate() (uint64, error) {
+	b, err := c.call(opSnapCreate)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("srv: snap-create response %d bytes, want 8", len(b))
+	}
+	return be64(b), nil
+}
+
+// SnapDelete tombstones a snapshot.
+func (c *Client) SnapDelete(id uint64) error {
+	_, err := c.call(opSnapDelete, putU64(id))
+	return err
+}
+
+// SnapRead returns n sectors starting at lba from snapshot id's frozen
+// image.
+func (c *Client) SnapRead(id uint64, lba int64, n int) ([]byte, error) {
+	return c.call(opSnapRead, putU64(id), putU64(uint64(lba)), putU32(uint32(n)))
+}
+
+// Stats fetches the server's aggregate statistics.
+func (c *Client) Stats() (ServerStats, error) {
+	b, err := c.call(opStats)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		return ServerStats{}, fmt.Errorf("srv: stats decode: %w", err)
+	}
+	return st, nil
+}
+
+// Shutdown asks the server to stop. The call returns once the server has
+// acknowledged; Serve on the server side returns after in-flight work
+// drains.
+func (c *Client) Shutdown() error {
+	_, err := c.call(opShutdown)
+	return err
+}

@@ -1,0 +1,112 @@
+// Package srv is the storage-service front-end: a long-running TCP block
+// server that multiplexes many client connections onto one shard.Service,
+// plus the matching client. The wire protocol is deliberately minimal —
+// length-prefixed binary frames, one request/response pair at a time per
+// connection — because the interesting concurrency lives in the sharded
+// service behind it, not in the transport.
+package srv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format. Every frame, in both directions, is
+//
+//	[u32 big-endian length][payload of exactly that many bytes]
+//
+// A request payload is [u8 op][op-specific body]; a response payload is
+// [u8 status][body], where status 0 is success (body is the op's result)
+// and status 1 is an error (body is the error text).
+//
+// Op bodies (all integers big-endian):
+//
+//	ping        ->                               <- (empty)
+//	read        -> u64 lba, u32 sectors          <- data
+//	write       -> u64 lba, data                 <- (empty)
+//	trim        -> u64 lba, u64 sectors          <- (empty)
+//	snapCreate  ->                               <- u64 id
+//	snapDelete  -> u64 id                        <- (empty)
+//	snapRead    -> u64 id, u64 lba, u32 sectors  <- data
+//	stats       ->                               <- JSON ServerStats
+//	shutdown    ->                               <- (empty; server stops)
+const (
+	opPing       byte = 1
+	opRead       byte = 2
+	opWrite      byte = 3
+	opTrim       byte = 4
+	opSnapCreate byte = 5
+	opSnapDelete byte = 6
+	opSnapRead   byte = 7
+	opStats      byte = 8
+	opShutdown   byte = 9
+)
+
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxFrame bounds a single frame. It caps request sizes (a hostile or
+// buggy peer cannot make the server allocate gigabytes) and therefore the
+// largest single read/write a client may issue.
+const maxFrame = 1 << 26 // 64 MiB
+
+// writeFrame sends one length-prefixed frame built from the given parts.
+func writeFrame(w io.Writer, parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > maxFrame {
+		return fmt.Errorf("srv: frame of %d bytes exceeds limit %d", total, maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame. io.EOF is returned only at a
+// clean frame boundary; a frame cut off mid-payload is ErrUnexpectedEOF.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("srv: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+func be64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+func be32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+
+func putU64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func putU32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}

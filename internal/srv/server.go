@@ -1,0 +1,227 @@
+package srv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/shard"
+)
+
+// ServerStats is the stats-op response: an aggregate view of the service
+// plus the per-shard counters, JSON-encoded on the wire so the CLI can
+// print it without sharing Go types beyond this package.
+type ServerStats struct {
+	Shards        int
+	SectorSize    int
+	Sectors       int64
+	LiveSnapshots int
+	MappedSectors int64
+	PerShard      []iosnap.Stats
+}
+
+// Server serves the block protocol over a listener, dispatching every
+// request onto one shard.Service. Connections are handled concurrently —
+// the service's own barrier model provides the consistency — and a
+// graceful shutdown (Shutdown call or shutdown op) stops the accept loop,
+// waits for in-flight requests to finish, and returns from Serve with the
+// service still open, so the owner can checkpoint and persist it.
+type Server struct {
+	svc *shard.Service
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	stopping bool
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps svc behind ln. The server does not own svc: Serve
+// returns with the service open, and closing it (checkpointing the FTLs)
+// is the caller's job.
+func NewServer(svc *shard.Service, ln net.Listener) *Server {
+	return &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{}), stopped: make(chan struct{})}
+}
+
+// Addr returns the listener address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Shutdown is called (directly or via the
+// shutdown op), then waits for in-flight connections to drain. It returns
+// nil on a clean shutdown.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.stopping
+			s.mu.Unlock()
+			if stopping {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.stopping {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			c.Close()
+		}()
+	}
+}
+
+// Shutdown stops the accept loop. In-flight requests finish; idle
+// connections are closed. Safe to call more than once and from request
+// handlers. It does not wait — Serve's return is the completion signal.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return
+	}
+	s.stopping = true
+	close(s.stopped)
+	s.ln.Close()
+	// Close connections so their readFrame unblocks. A request being
+	// executed right now still writes its response: the write races the
+	// close harmlessly (worst case the client sees a reset after its
+	// response, exactly like a server crash after commit).
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// serveConn runs the request loop for one connection. Any protocol error
+// (as opposed to an op error, which is reported in-band) ends the
+// connection.
+func (s *Server) serveConn(c net.Conn) {
+	for {
+		req, err := readFrame(c)
+		if err != nil {
+			return // client went away or spoke garbage; nothing to answer
+		}
+		if len(req) == 0 {
+			return
+		}
+		op, body := req[0], req[1:]
+		if op == opShutdown {
+			// Acknowledge before stopping: Shutdown closes every
+			// connection, so the response must already be on the wire.
+			writeFrame(c, []byte{statusOK})
+			s.Shutdown()
+			return
+		}
+		result, err := s.dispatch(op, body)
+		if err != nil {
+			if werr := writeFrame(c, []byte{statusErr}, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(c, []byte{statusOK}, result); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(op byte, body []byte) ([]byte, error) {
+	switch op {
+	case opPing:
+		return nil, nil
+
+	case opRead:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("srv: read body %d bytes, want 12", len(body))
+		}
+		lba := int64(be64(body))
+		n := int64(be32(body[8:]))
+		size := n * int64(s.svc.SectorSize())
+		if n <= 0 || size > maxFrame-1 {
+			return nil, fmt.Errorf("srv: read of %d sectors out of range", n)
+		}
+		buf := make([]byte, size)
+		if err := s.svc.Read(lba, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+
+	case opWrite:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("srv: write body %d bytes, want >= 8", len(body))
+		}
+		return nil, s.svc.Write(int64(be64(body)), body[8:])
+
+	case opTrim:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("srv: trim body %d bytes, want 16", len(body))
+		}
+		return nil, s.svc.Trim(int64(be64(body)), int64(be64(body[8:])))
+
+	case opSnapCreate:
+		id, err := s.svc.CreateSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		return putU64(uint64(id)), nil
+
+	case opSnapDelete:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("srv: snap-delete body %d bytes, want 8", len(body))
+		}
+		return nil, s.svc.DeleteSnapshot(iosnap.SnapshotID(be64(body)))
+
+	case opSnapRead:
+		if len(body) != 20 {
+			return nil, fmt.Errorf("srv: snap-read body %d bytes, want 20", len(body))
+		}
+		id := iosnap.SnapshotID(be64(body))
+		lba := int64(be64(body[8:]))
+		n := int64(be32(body[16:]))
+		size := n * int64(s.svc.SectorSize())
+		if n <= 0 || size > maxFrame-1 {
+			return nil, fmt.Errorf("srv: snap-read of %d sectors out of range", n)
+		}
+		view, err := s.svc.ActivateSync(id, false)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, size)
+		rerr := view.Read(lba, buf)
+		derr := view.Deactivate()
+		if err := errors.Join(rerr, derr); err != nil {
+			return nil, err
+		}
+		return buf, nil
+
+	case opStats:
+		per, _ := s.svc.ShardStats()
+		st := ServerStats{
+			Shards:        s.svc.Shards(),
+			SectorSize:    s.svc.SectorSize(),
+			Sectors:       s.svc.Sectors(),
+			LiveSnapshots: s.svc.LiveSnapshots(),
+			MappedSectors: s.svc.MappedSectors(),
+			PerShard:      per,
+		}
+		return json.Marshal(st)
+
+	default:
+		return nil, fmt.Errorf("srv: unknown op %d", op)
+	}
+}

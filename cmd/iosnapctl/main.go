@@ -24,12 +24,17 @@
 //	iosnapctl -image dev.img health
 //	iosnapctl faultdemo [-plan gc-copy|torn-note|crash-scan|random|transient|wear-out|none] [-seed N] [-steps N]
 //	iosnapctl shardbench [-shards N] [-clients N] [-ops N] [-seed N]
-//	iosnapctl -remote host:port {ping|write|read|trim|snap-create|snap-delete|snap-read|stats|shutdown} [flags]
+//	iosnapctl -remote host:port {ping|write|read|trim|snap-create|snap-delete|snap-read|stats|loadgen|shutdown} [flags]
 //
 // With -remote, the verb runs against a live iosnapd (see cmd/iosnapd)
 // instead of reloading an image: the same -lba/-count/-text/-id flags
 // apply, no -image is needed, and shutdown asks the server to checkpoint
-// and persist its images.
+// and persist its images. Remote connections negotiate wire protocol v2
+// and pipeline automatically; loadgen drives wall-clock load (N
+// connections x depth-D pipelines with a read/write/snapshot mix, e.g.
+// `iosnapctl -remote :7621 loadgen -conns 4 -depth 16 -ops 5000`) and
+// prints the measured ops/s; stats additionally reports per-shard virtual
+// clocks (shard skew) and snapshot-view-cache effectiveness.
 //
 // The replication verbs speak the internal/xport transport. export writes a
 // self-checking chunk stream (no activation needed; with -base only the

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	iosnapd -image dev.img [-addr 127.0.0.1:7621] [-shards 4] [-megabytes 64] [-sector 4096]
+//	iosnapd -image dev.img [-addr 127.0.0.1:7621] [-shards 4] [-megabytes 64] [-sector 4096] [-window 128] [-viewttl 2s]
 //
 // The logical device is partitioned contiguously across -shards shards;
 // shard i's NAND lives in dev.img.shard<i>. On first start the per-shard
@@ -25,6 +25,12 @@
 //	iosnapctl -remote 127.0.0.1:7621 snap-read -id 1 -lba 0
 //	iosnapctl -remote 127.0.0.1:7621 stats
 //	iosnapctl -remote 127.0.0.1:7621 shutdown
+//
+// Connections negotiate wire protocol v2 and may keep up to -window
+// requests in flight each (old v1 clients keep working serially).
+// Activated snapshot views are cached server-side and expire after
+// -viewttl idle; -viewttl -1ns disables the cache. Measure throughput
+// with `iosnapctl -remote ADDR loadgen`.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"iosnap/internal/iosnap"
 	"iosnap/internal/nand"
@@ -58,6 +65,8 @@ type options struct {
 	shards    int
 	megabytes int
 	sector    int
+	window    int
+	viewTTL   time.Duration
 }
 
 func run(args []string) error {
@@ -68,6 +77,8 @@ func run(args []string) error {
 	fs.IntVar(&opt.shards, "shards", 4, "number of shards (fixed at init; later starts must match)")
 	fs.IntVar(&opt.megabytes, "megabytes", 64, "per-shard raw size in MiB (first start only)")
 	fs.IntVar(&opt.sector, "sector", 4096, "sector size in bytes (first start only)")
+	fs.IntVar(&opt.window, "window", 0, "max in-flight pipelined requests per connection (0 = default)")
+	fs.DurationVar(&opt.viewTTL, "viewttl", 0, "idle TTL for cached snapshot views (0 = default, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +129,8 @@ func serve(opt options, sig <-chan os.Signal, started func(net.Addr)) error {
 		return err
 	}
 	server := srv.NewServer(svc, ln)
+	server.Window = opt.window
+	server.ViewTTL = opt.viewTTL
 	if started != nil {
 		started(ln.Addr())
 	}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+
+	"iosnap/internal/iosnap"
+	"iosnap/internal/nand"
+	"iosnap/internal/shard"
+	"iosnap/internal/sim"
+	"iosnap/internal/srv"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "wire",
+		Title: "Wire protocol v2: pipelined throughput vs serial v1 (wall clock)",
+		Paper: "not a paper artifact — ROADMAP item 1: wall-clock load against the TCP daemon",
+		Run:   runWire,
+	})
+}
+
+// runWire is the one wall-clock experiment in the harness: everything else
+// measures virtual device time, this one measures the real network stack —
+// an in-process server on loopback, load-generator clients, identical
+// geometry and op mix across rows, varying only protocol and pipeline
+// depth.
+func runWire(rc RunConfig) (*Report, error) {
+	ops := int(4000 * rc.scale())
+	if ops < 200 {
+		ops = 200
+	}
+	rows := []struct {
+		name  string
+		depth int
+		v1    bool
+	}{
+		{"serial v1", 1, true},
+		{"pipelined depth-4", 4, false},
+		{"pipelined depth-16", 16, false},
+	}
+	tbl := Table{
+		Title:  fmt.Sprintf("Loopback TCP, 2 connections, %d ops/conn, 20%% writes 5%% snapshot ops", ops),
+		Header: []string{"Protocol", "Ops/s", "Speedup vs serial"},
+	}
+	var base float64
+	var last srv.ServerStats
+	for _, row := range rows {
+		// Each row gets a fresh service and server: rows must differ only
+		// in protocol and depth, not in how full (and GC-pressured) the
+		// previous rows left the device.
+		rep, st, err := wireRow(srv.LoadConfig{
+			Conns: 2, Depth: row.depth, Ops: ops,
+			WritePct: 20, SnapPct: 5, Seed: 11, V1: row.v1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wire %s: %w", row.name, err)
+		}
+		last = st
+		ops := rep.OpsPerSec()
+		if base == 0 {
+			base = ops
+		}
+		rc.logf("wire: %s -> %.0f ops/s (proto v%d)", row.name, ops, rep.Proto)
+		tbl.Rows = append(tbl.Rows, []string{
+			row.name, fmt.Sprintf("%.0f", ops), fmt.Sprintf("%.2fx", ops/base),
+		})
+	}
+
+	// View-cache effectiveness during the depth-16 row's snap-read loop.
+	st := last
+	total := st.ViewCacheHits + st.ViewCacheMisses
+	hitrate := 0.0
+	if total > 0 {
+		hitrate = float64(st.ViewCacheHits) / float64(total)
+	}
+	var acts int64
+	for _, p := range st.PerShard {
+		acts += p.SnapshotActivations
+	}
+	cache := Table{
+		Title:  "Server-side snapshot-view cache during the depth-16 row",
+		Header: []string{"Lookups", "Hit rate", "Activations", "Invalidations"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", total), fmt.Sprintf("%.3f", hitrate),
+			fmt.Sprintf("%d", acts), fmt.Sprintf("%d", st.ViewCacheInvalidations),
+		}},
+	}
+
+	return &Report{
+		ID:     "wire",
+		Title:  "Pipelined wire protocol throughput",
+		Paper:  "wall-clock: v2 tagging should beat one-op-per-RTT v1 by >=3x at depth 16",
+		Tables: []Table{tbl, cache},
+		Notes: []string{
+			"absolute ops/s depend on the host; the speedup column is the result",
+		},
+	}, nil
+}
+
+// wireRow runs one load row against a fresh service and server, fetching
+// the server stats before teardown.
+func wireRow(cfg srv.LoadConfig) (srv.LoadReport, srv.ServerStats, error) {
+	svc, err := shard.NewService(wireServiceConfig())
+	if err != nil {
+		return srv.LoadReport{}, srv.ServerStats{}, err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return srv.LoadReport{}, srv.ServerStats{}, err
+	}
+	s := srv.NewServer(svc, ln)
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+	defer func() { s.Shutdown(); <-served }()
+	cfg.Addr = ln.Addr().String()
+
+	rep, err := srv.RunLoad(cfg)
+	if err != nil {
+		return rep, srv.ServerStats{}, err
+	}
+	c, err := srv.Dial(cfg.Addr)
+	if err != nil {
+		return rep, srv.ServerStats{}, err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	return rep, st, err
+}
+
+// wireServiceConfig is a small 4-shard geometry sized for wall-clock load
+// (virtual device time is irrelevant here; request count is what matters).
+func wireServiceConfig() shard.Config {
+	nc := nand.DefaultConfig()
+	nc.SectorSize = 512
+	nc.PagesPerSegment = 32
+	nc.Segments = 128
+	nc.Channels = 4
+	nc.StoreData = true
+	base := iosnap.DefaultConfig(nc)
+	base.UserSectors = 1536
+	base.BitmapPageBits = 64
+	base.GCWindow = 10 * sim.Millisecond
+	base.CoWPageCost = 10 * sim.Microsecond
+	return shard.Config{Base: base, Shards: 4, StripeSectors: 16}
+}

@@ -439,6 +439,43 @@ func (v *ServiceView) Deactivate() error {
 	return await(replies)
 }
 
+// Summary is a single-barrier snapshot of everything a stats consumer
+// wants: geometry, aggregate counts, and the per-shard counters plus
+// virtual clocks (whose skew is the cross-shard load imbalance).
+type Summary struct {
+	Shards        int
+	SectorSize    int
+	Sectors       int64
+	LiveSnapshots int
+	MappedSectors int64
+	PerShard      []iosnap.Stats
+	Virtual       []sim.Time
+}
+
+// Summary collects the full statistics snapshot under one barrier, so all
+// of its fields describe the same quiescent point (unlike calling
+// LiveSnapshots, MappedSectors, and ShardStats back to back, which pays
+// three barriers and lets I/O slip between them).
+func (s *Service) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := s.r
+	sum := Summary{
+		Shards:        len(in.shards),
+		SectorSize:    in.cfg.Base.Nand.SectorSize,
+		Sectors:       in.cfg.Base.UserSectors,
+		LiveSnapshots: in.shards[0].Tree().Live(),
+		PerShard:      make([]iosnap.Stats, len(in.shards)),
+		Virtual:       make([]sim.Time, len(in.shards)),
+	}
+	for i, f := range in.shards {
+		sum.MappedSectors += int64(f.MappedSectors())
+		sum.PerShard[i] = f.Stats()
+		sum.Virtual[i] = in.vnow[i]
+	}
+	return sum
+}
+
 // ShardStats returns each shard's statistics plus its virtual clock. It
 // takes the barrier lock, so it observes a quiescent point.
 func (s *Service) ShardStats() ([]iosnap.Stats, []sim.Time) {

@@ -1,39 +1,337 @@
 package srv
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
 )
 
-// Client speaks the block protocol to a Server over one connection. All
-// methods are safe for concurrent use: each request/response round-trip
-// holds the connection for its duration.
+// Client speaks the block protocol to a Server over one connection. Dial
+// negotiates protocol v2 when the server supports it: the client then
+// keeps many tagged requests in flight (a background reader demuxes
+// responses by tag) and the Go* methods expose the pipeline explicitly —
+// issue several calls, then Wait them. The plain blocking methods are
+// thin submit-and-wait wrappers and remain safe for concurrent use from
+// any number of goroutines. Against a v1-only server the client falls
+// back to the serial protocol transparently (every call then holds the
+// connection for its round-trip, exactly the old behavior).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	conn   net.Conn
+	v2     bool
+	window int
+
+	// v1 serial path: one round-trip at a time.
+	mu sync.Mutex
+
+	// v2 write side. Frames accumulate in bw and flush when a caller is
+	// about to block (Wait, or Do stalling on a full window), so a burst
+	// of pipelined requests coalesces into few syscalls.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// v2 demux state.
+	pmu     sync.Mutex
+	pending map[uint32]*Call
+	nextTag uint32
+	cerr    error // sticky connection error
+
+	sem    chan struct{} // window slots
+	broken chan struct{} // closed on connection failure
+	failed sync.Once
 }
 
-// Dial connects to a server.
+// DialOptions tunes the connection handshake.
+type DialOptions struct {
+	// ForceV1 skips version negotiation and speaks the serial v1
+	// protocol, byte-for-byte what pre-v2 clients sent. Useful as a
+	// baseline in benchmarks and to exercise the server's v1 path.
+	ForceV1 bool
+	// Window caps this client's in-flight pipelined requests. Zero asks
+	// for the package default; the server may grant less.
+	Window int
+}
+
+// Dial connects to a server, negotiating the newest protocol both sides
+// speak.
 func Dial(addr string) (*Client, error) {
+	return DialOpts(addr, DialOptions{})
+}
+
+// DialOpts connects with explicit handshake options.
+func DialOpts(addr string, o DialOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn}
+	if o.ForceV1 {
+		return c, nil
+	}
+	want := o.Window
+	if want <= 0 {
+		want = defaultWindow
+	}
+	if err := c.negotiate(want); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// Close closes the connection.
+// negotiate sends the hello and interprets the answer: a v2 server grants
+// a window and the connection switches to tagged framing; a v1 server
+// reports an in-band "unknown op" error, which downgrades the client to
+// serial mode on the same connection.
+func (c *Client) negotiate(wantWindow int) error {
+	parts := append([][]byte{{opHello}}, helloRequest(wantWindow)...)
+	if err := writeFrame(c.conn, parts...); err != nil {
+		return err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	defer putBuf(resp)
+	if len(resp) == 0 {
+		return fmt.Errorf("srv: empty hello response")
+	}
+	if resp[0] == statusErr {
+		// A v1 server does not know the hello op; stay serial.
+		return nil
+	}
+	if resp[0] != statusOK || len(resp) != 9 {
+		return fmt.Errorf("srv: malformed hello response (%d bytes, status %d)", len(resp), resp[0])
+	}
+	if v := be32(resp[1:]); v != protoVersion2 {
+		return fmt.Errorf("srv: server negotiated unknown protocol version %d", v)
+	}
+	granted := int(be32(resp[5:]))
+	if granted <= 0 {
+		return fmt.Errorf("srv: server granted a zero request window")
+	}
+	if granted > wantWindow {
+		granted = wantWindow
+	}
+	c.v2 = true
+	c.window = granted
+	c.bw = bufio.NewWriterSize(c.conn, 64<<10)
+	c.pending = make(map[uint32]*Call)
+	c.sem = make(chan struct{}, granted)
+	c.broken = make(chan struct{})
+	go c.reader()
+	return nil
+}
+
+// Proto reports the negotiated protocol version (1 or 2).
+func (c *Client) Proto() int {
+	if c.v2 {
+		return 2
+	}
+	return 1
+}
+
+// Window reports the granted pipeline window (0 on a v1 connection).
+func (c *Client) Window() int { return c.window }
+
+// Close closes the connection. Outstanding pipelined calls fail.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.conn.Close()
 }
 
-// call performs one round-trip and returns the success body, or the
-// server-reported error.
-func (c *Client) call(op byte, parts ...[]byte) ([]byte, error) {
+// Call is one in-flight pipelined request. Issue it with a Go* method,
+// then Wait (or select on Done) for the response.
+type Call struct {
+	c    *Client
+	done chan struct{}
+	buf  []byte // pooled response frame backing body (nil after release)
+	body []byte // [status][payload]
+	err  error
+}
+
+// Done is closed when the response (or a connection error) arrived.
+func (cl *Call) Done() <-chan struct{} { return cl.done }
+
+// Wait flushes any buffered requests, blocks for the response, and
+// returns the payload or the in-band error. The payload shares the
+// response buffer; it stays valid until release is called (the typed
+// wrappers handle that).
+func (cl *Call) Wait() ([]byte, error) {
+	select {
+	case <-cl.done:
+	default:
+		cl.c.flush()
+		<-cl.done
+	}
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	switch cl.body[0] {
+	case statusOK:
+		return cl.body[1:], nil
+	case statusErr:
+		return nil, fmt.Errorf("%s", cl.body[1:])
+	default:
+		return nil, fmt.Errorf("srv: unknown status %d", cl.body[0])
+	}
+}
+
+// release recycles the response buffer. Only wrappers that do not hand
+// the payload to the caller may use it.
+func (cl *Call) release() {
+	putBuf(cl.buf)
+	cl.buf, cl.body = nil, nil
+}
+
+// waitDiscard waits and releases the response, keeping only the error.
+func (cl *Call) waitDiscard() error {
+	_, err := cl.Wait()
+	cl.release()
+	return err
+}
+
+// failedCall returns a pre-completed Call carrying err.
+func failedCall(err error) *Call {
+	done := make(chan struct{})
+	close(done)
+	return &Call{done: done, err: err}
+}
+
+// completedCall returns a pre-completed Call carrying a v1 response body.
+func completedCall(body []byte, err error) *Call {
+	done := make(chan struct{})
+	close(done)
+	if err != nil {
+		return &Call{done: done, err: err}
+	}
+	return &Call{done: done, buf: body, body: body}
+}
+
+// do issues one request. On a v2 connection it registers a tag, writes
+// the frame (possibly leaving it buffered), and returns immediately; on a
+// v1 connection it performs the blocking round-trip right here, so the
+// pipeline API degrades to serial calls rather than failing.
+func (c *Client) do(op byte, parts ...[]byte) *Call {
+	if !c.v2 {
+		body, err := c.call1(op, parts...)
+		return completedCall(body, err)
+	}
+	// Take a window slot; if the window is full, flush first — the
+	// responses that free slots cannot arrive while their requests sit in
+	// our write buffer.
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		c.flush()
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.broken:
+			return failedCall(c.connErr())
+		}
+	}
+	cl := &Call{c: c, done: make(chan struct{})}
+	c.pmu.Lock()
+	if c.cerr != nil {
+		err := c.cerr
+		c.pmu.Unlock()
+		<-c.sem
+		return failedCall(err)
+	}
+	c.nextTag++
+	tag := c.nextTag
+	c.pending[tag] = cl
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.bw, append([][]byte{putU32(tag), {op}}, parts...)...)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+	return cl
+}
+
+// flush pushes buffered request frames onto the wire.
+func (c *Client) flush() {
+	if !c.v2 {
+		return
+	}
+	c.wmu.Lock()
+	var err error
+	if c.bw.Buffered() > 0 {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+}
+
+// reader demuxes response frames to their tags until the connection dies,
+// then fails every outstanding call. The buffered reader matters: the
+// server's writer coalesces completions, so one syscall here drains many
+// response frames.
+func (c *Client) reader() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		buf, err := readFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if len(buf) < 5 {
+			putBuf(buf)
+			c.fail(fmt.Errorf("srv: malformed tagged response (%d bytes)", len(buf)))
+			return
+		}
+		tag := be32(buf)
+		c.pmu.Lock()
+		cl := c.pending[tag]
+		delete(c.pending, tag)
+		c.pmu.Unlock()
+		if cl == nil {
+			putBuf(buf)
+			c.fail(fmt.Errorf("srv: response for unknown tag %d", tag))
+			return
+		}
+		<-c.sem // release the window slot
+		cl.buf, cl.body = buf, buf[4:]
+		close(cl.done)
+	}
+}
+
+// fail records the terminal connection error, fails every pending call,
+// and unblocks future submitters.
+func (c *Client) fail(err error) {
+	c.failed.Do(func() {
+		c.pmu.Lock()
+		c.cerr = err
+		pend := c.pending
+		c.pending = make(map[uint32]*Call)
+		c.pmu.Unlock()
+		close(c.broken)
+		c.conn.Close()
+		for _, cl := range pend {
+			cl.err = err
+			close(cl.done)
+		}
+	})
+}
+
+func (c *Client) connErr() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.cerr != nil {
+		return c.cerr
+	}
+	return fmt.Errorf("srv: connection broken")
+}
+
+// call1 performs one serial v1 round-trip and returns the success body,
+// or the server-reported error. The returned body is pooled-backed; it is
+// only handed onward by wrappers that give it to the caller.
+func (c *Client) call1(op byte, parts ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeFrame(c.conn, append([][]byte{{op}}, parts...)...); err != nil {
@@ -44,75 +342,120 @@ func (c *Client) call(op byte, parts ...[]byte) ([]byte, error) {
 		return nil, err
 	}
 	if len(resp) == 0 {
+		putBuf(resp)
 		return nil, fmt.Errorf("srv: empty response")
 	}
 	switch resp[0] {
 	case statusOK:
-		return resp[1:], nil
+		return resp, nil
 	case statusErr:
-		return nil, fmt.Errorf("%s", resp[1:])
+		err := fmt.Errorf("%s", resp[1:])
+		putBuf(resp)
+		return nil, err
 	default:
-		return nil, fmt.Errorf("srv: unknown status %d", resp[0])
+		st := resp[0]
+		putBuf(resp)
+		return nil, fmt.Errorf("srv: unknown status %d", st)
 	}
 }
 
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.call(opPing)
-	return err
+// --- pipelined (Go*) API ----------------------------------------------------
+
+// GoPing starts a liveness check.
+func (c *Client) GoPing() *Call { return c.do(opPing) }
+
+// GoRead starts a read of n sectors at lba.
+func (c *Client) GoRead(lba int64, n int) *Call {
+	return c.do(opRead, putU64(uint64(lba)), putU32(uint32(n)))
 }
+
+// GoWrite starts a write of sector-aligned data at lba. The data is
+// copied into the connection's write buffer before GoWrite returns.
+func (c *Client) GoWrite(lba int64, data []byte) *Call {
+	return c.do(opWrite, putU64(uint64(lba)), data)
+}
+
+// GoTrim starts a trim of n sectors at lba.
+func (c *Client) GoTrim(lba, n int64) *Call {
+	return c.do(opTrim, putU64(uint64(lba)), putU64(uint64(n)))
+}
+
+// GoSnapCreate starts a snapshot create. Note it barriers every shard, so
+// it serializes against all in-flight I/O.
+func (c *Client) GoSnapCreate() *Call { return c.do(opSnapCreate) }
+
+// GoSnapDelete starts a snapshot delete.
+func (c *Client) GoSnapDelete(id uint64) *Call { return c.do(opSnapDelete, putU64(id)) }
+
+// GoSnapRead starts a read of n sectors at lba from snapshot id.
+func (c *Client) GoSnapRead(id uint64, lba int64, n int) *Call {
+	return c.do(opSnapRead, putU64(id), putU64(uint64(lba)), putU32(uint32(n)))
+}
+
+// Flush pushes any buffered pipelined requests onto the wire without
+// waiting for their responses.
+func (c *Client) Flush() { c.flush() }
+
+// --- blocking API (thin wrappers over the pipeline) -------------------------
+
+// Ping checks liveness.
+func (c *Client) Ping() error { return c.GoPing().waitDiscard() }
 
 // Read returns n sectors starting at lba from the live image.
 func (c *Client) Read(lba int64, n int) ([]byte, error) {
-	return c.call(opRead, putU64(uint64(lba)), putU32(uint32(n)))
+	return c.GoRead(lba, n).Wait()
 }
 
 // Write stores sector-aligned data at lba.
 func (c *Client) Write(lba int64, data []byte) error {
-	_, err := c.call(opWrite, putU64(uint64(lba)), data)
-	return err
+	return c.GoWrite(lba, data).waitDiscard()
 }
 
 // Trim invalidates n sectors starting at lba.
 func (c *Client) Trim(lba, n int64) error {
-	_, err := c.call(opTrim, putU64(uint64(lba)), putU64(uint64(n)))
-	return err
+	return c.GoTrim(lba, n).waitDiscard()
 }
 
 // SnapCreate takes a consistent snapshot across all shards and returns
 // its ID.
 func (c *Client) SnapCreate() (uint64, error) {
-	b, err := c.call(opSnapCreate)
+	cl := c.GoSnapCreate()
+	b, err := cl.Wait()
 	if err != nil {
 		return 0, err
 	}
 	if len(b) != 8 {
+		cl.release()
 		return 0, fmt.Errorf("srv: snap-create response %d bytes, want 8", len(b))
 	}
-	return be64(b), nil
+	id := be64(b)
+	cl.release()
+	return id, nil
 }
 
 // SnapDelete tombstones a snapshot.
 func (c *Client) SnapDelete(id uint64) error {
-	_, err := c.call(opSnapDelete, putU64(id))
-	return err
+	return c.GoSnapDelete(id).waitDiscard()
 }
 
 // SnapRead returns n sectors starting at lba from snapshot id's frozen
 // image.
 func (c *Client) SnapRead(id uint64, lba int64, n int) ([]byte, error) {
-	return c.call(opSnapRead, putU64(id), putU64(uint64(lba)), putU32(uint32(n)))
+	return c.GoSnapRead(id, lba, n).Wait()
 }
 
 // Stats fetches the server's aggregate statistics.
 func (c *Client) Stats() (ServerStats, error) {
-	b, err := c.call(opStats)
+	cl := c.do(opStats)
+	b, err := cl.Wait()
 	if err != nil {
 		return ServerStats{}, err
 	}
 	var st ServerStats
-	if err := json.Unmarshal(b, &st); err != nil {
-		return ServerStats{}, fmt.Errorf("srv: stats decode: %w", err)
+	uerr := json.Unmarshal(b, &st)
+	cl.release()
+	if uerr != nil {
+		return ServerStats{}, fmt.Errorf("srv: stats decode: %w", uerr)
 	}
 	return st, nil
 }
@@ -121,6 +464,5 @@ func (c *Client) Stats() (ServerStats, error) {
 // acknowledged; Serve on the server side returns after in-flight work
 // drains.
 func (c *Client) Shutdown() error {
-	_, err := c.call(opShutdown)
-	return err
+	return c.do(opShutdown).waitDiscard()
 }

@@ -1,0 +1,252 @@
+package srv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LoadConfig describes one wall-clock load run against a live server:
+// Conns connections, each keeping up to Depth requests in flight, issuing
+// Ops requests drawn from a read/write/snapshot mix. This is real TCP —
+// the numbers it produces are wall-clock throughput of the whole stack
+// (client pipeline, wire, server dispatch, shard fan-out), which is what
+// the ROADMAP's "many client processes hammering the daemon" item asks
+// for.
+type LoadConfig struct {
+	Addr  string
+	Conns int // concurrent connections (default 1)
+	Depth int // in-flight requests per connection (default 1 = serial)
+	Ops   int // requests per connection (default 1000)
+
+	// WritePct and SnapPct are percentages of the op mix; the rest are
+	// reads. Snapshot ops cycle create → snap-read×4 → delete-oldest so a
+	// long run neither leaks snapshots nor thrashes creates.
+	WritePct int
+	SnapPct  int
+
+	Sectors int   // sectors per read/write (default 1)
+	Seed    int64 // mix RNG seed (default 1)
+	V1      bool  // force the serial v1 protocol (baseline mode)
+}
+
+// LoadReport is what a load run measured.
+type LoadReport struct {
+	Conns int
+	Depth int
+	Proto int // negotiated protocol version
+
+	Ops    int64 // requests completed successfully
+	Bytes  int64 // payload bytes moved (read + written)
+	Errors int64 // in-band op errors (any -> run fails)
+
+	SnapCreates int64
+	SnapReads   int64
+	SnapDeletes int64
+
+	Wall time.Duration
+}
+
+// OpsPerSec is the headline number: successful requests per wall-clock
+// second across all connections.
+func (r LoadReport) OpsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Wall.Seconds()
+}
+
+// RunLoad executes the configured load and reports wall-clock throughput.
+// Any op error fails the run: a load generator that shrugs off errors
+// measures the speed of error strings.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Sectors <= 0 {
+		cfg.Sectors = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.WritePct < 0 || cfg.SnapPct < 0 || cfg.WritePct+cfg.SnapPct > 100 {
+		return LoadReport{}, fmt.Errorf("srv: bad op mix: write %d%% + snap %d%%", cfg.WritePct, cfg.SnapPct)
+	}
+
+	// Probe the geometry once so each connection can stay inside its own
+	// disjoint LBA region (no cross-connection write races to reason about,
+	// and reads always land on in-range sectors).
+	probe, err := Dial(cfg.Addr)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	st, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("srv: loadgen probe: %w", err)
+	}
+	region := st.Sectors / int64(cfg.Conns)
+	if region < int64(cfg.Sectors) {
+		return LoadReport{}, fmt.Errorf("srv: %d sectors cannot give %d connections a %d-sector region",
+			st.Sectors, cfg.Conns, cfg.Sectors)
+	}
+
+	rep := LoadReport{Conns: cfg.Conns, Depth: cfg.Depth}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			r, err := runLoadConn(cfg, ci, region, st.SectorSize)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("conn %d: %w", ci, err)
+			}
+			rep.Ops += r.Ops
+			rep.Bytes += r.Bytes
+			rep.SnapCreates += r.SnapCreates
+			rep.SnapReads += r.SnapReads
+			rep.SnapDeletes += r.SnapDeletes
+			if r.Proto > rep.Proto {
+				rep.Proto = r.Proto
+			}
+		}(ci)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if firstErr != nil {
+		rep.Errors++
+		return rep, firstErr
+	}
+	return rep, nil
+}
+
+// runLoadConn drives one connection's share of the load: a ring of up to
+// Depth in-flight calls; completions are harvested oldest-first, which is
+// exactly the client-side pipelining discipline the protocol expects.
+func runLoadConn(cfg LoadConfig, ci int, region int64, sectorSize int) (LoadReport, error) {
+	c, err := DialOpts(cfg.Addr, DialOptions{ForceV1: cfg.V1, Window: cfg.Depth})
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer c.Close()
+	rep := LoadReport{Proto: c.Proto()}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+	base := region * int64(ci)
+	span := region - int64(cfg.Sectors) + 1
+	wbuf := make([]byte, cfg.Sectors*sectorSize)
+	for i := range wbuf {
+		wbuf[i] = byte(ci + i)
+	}
+
+	// Snapshot lifecycle state, private to this connection.
+	var snaps []uint64
+	snapPhase := 0 // 0 create, 1..4 snap-read, 5 delete-oldest (if >3 live)
+
+	type slot struct {
+		call  *Call
+		bytes int64
+		kind  byte // 'r', 'w', 'c' (create), 's' (snap-read), 'd' (delete)
+	}
+	ring := make([]slot, 0, cfg.Depth)
+	harvest := func(sl slot) error {
+		b, err := sl.call.Wait()
+		if err != nil {
+			return err
+		}
+		rep.Ops++
+		rep.Bytes += sl.bytes
+		switch sl.kind {
+		case 'r', 's':
+			rep.Bytes += int64(len(b))
+		case 'c':
+			if len(b) != 8 {
+				sl.call.release()
+				return fmt.Errorf("snap-create response %d bytes", len(b))
+			}
+			snaps = append(snaps, be64(b))
+		}
+		sl.call.release()
+		return nil
+	}
+
+	for issued := 0; issued < cfg.Ops; issued++ {
+		if len(ring) == cfg.Depth {
+			if err := harvest(ring[0]); err != nil {
+				return rep, err
+			}
+			ring = ring[1:]
+		}
+		lba := base + rng.Int63n(span)
+		p := rng.Intn(100)
+		var sl slot
+		switch {
+		case p < cfg.SnapPct:
+			switch {
+			case snapPhase == 0 || len(snaps) == 0:
+				// Snapshot create barriers every shard: it must not overlap
+				// this connection's own in-flight ops (other connections'
+				// ops simply serialize against it, which is the contention
+				// the mix is meant to measure).
+				for _, s := range ring {
+					if err := harvest(s); err != nil {
+						return rep, err
+					}
+				}
+				ring = ring[:0]
+				sl = slot{call: c.GoSnapCreate(), kind: 'c'}
+				snapPhase = 1
+			case snapPhase >= 5 && len(snaps) > 3:
+				id := snaps[0]
+				snaps = snaps[1:]
+				sl = slot{call: c.GoSnapDelete(id), kind: 'd'}
+				rep.SnapDeletes++
+				snapPhase = 0
+			default:
+				id := snaps[len(snaps)-1]
+				sl = slot{call: c.GoSnapRead(id, lba, cfg.Sectors), kind: 's'}
+				rep.SnapReads++
+				if snapPhase < 5 {
+					snapPhase++
+				} else {
+					snapPhase = 0
+				}
+			}
+			if sl.kind == 'c' {
+				rep.SnapCreates++
+			}
+		case p < cfg.SnapPct+cfg.WritePct:
+			sl = slot{call: c.GoWrite(lba, wbuf), bytes: int64(len(wbuf)), kind: 'w'}
+		default:
+			sl = slot{call: c.GoRead(lba, cfg.Sectors), kind: 'r'}
+		}
+		ring = append(ring, sl)
+	}
+	for _, s := range ring {
+		if err := harvest(s); err != nil {
+			return rep, err
+		}
+	}
+	// Leave no snapshots behind: a bench loop that leaks snapshots slows
+	// down run over run and measures its own garbage.
+	for _, id := range snaps {
+		if err := c.SnapDelete(id); err != nil {
+			return rep, err
+		}
+		rep.SnapDeletes++
+		rep.Ops++
+	}
+	return rep, nil
+}

@@ -1,0 +1,125 @@
+package srv
+
+import (
+	"net"
+	"testing"
+
+	"iosnap/internal/shard"
+)
+
+// The wire benchmarks measure real wall-clock throughput over loopback
+// TCP: an in-process server, load-generator clients, 1-sector ops on
+// identical geometry. The serial-v1 and pipelined legs differ ONLY in the
+// protocol — the ≥3x ratio bench.sh gates on is pure wire-path win
+// (request pipelining amortizes per-op syscalls and round-trips; the
+// server overlaps dispatch across shards).
+
+func benchService(b *testing.B) *shard.Service {
+	b.Helper()
+	svc, err := shard.NewService(testShardConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+func benchServer(b *testing.B, svc *shard.Service) (*Server, string, chan error) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewServer(svc, ln)
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+	return s, ln.Addr().String(), served
+}
+
+// runWireBench executes one load config sized to b.N and reports ops/s.
+func runWireBench(b *testing.B, cfg LoadConfig) LoadReport {
+	b.Helper()
+	svc := benchService(b)
+	defer svc.Close()
+	s, addr, served := benchServer(b, svc)
+	defer func() { s.Shutdown(); <-served }()
+	cfg.Addr = addr
+	cfg.Ops = (b.N + cfg.Conns - 1) / cfg.Conns
+	if cfg.Ops < 1 {
+		cfg.Ops = 1
+	}
+	b.ResetTimer()
+	rep, err := RunLoad(cfg)
+	b.StopTimer()
+	if err != nil {
+		b.Fatalf("load: %v (report %+v)", err, rep)
+	}
+	b.ReportMetric(rep.OpsPerSec(), "ops/s")
+	b.ReportMetric(0, "ns/op") // wall-clock ops/s is the meaningful number
+	return rep
+}
+
+// BenchmarkWireSerialV1 is the baseline: the PR 9 protocol, one request
+// per round-trip per connection.
+func BenchmarkWireSerialV1(b *testing.B) {
+	runWireBench(b, LoadConfig{Conns: 2, Depth: 1, V1: true, Seed: 7})
+}
+
+// BenchmarkWirePipelined16 is the same geometry and op mix at pipeline
+// depth 16 over protocol v2.
+func BenchmarkWirePipelined16(b *testing.B) {
+	runWireBench(b, LoadConfig{Conns: 2, Depth: 16, Seed: 7})
+}
+
+// BenchmarkWireSnapRead16 hammers snap-reads of one hot snapshot at depth
+// 16: with the view cache this costs what live reads cost; the hitrate
+// metric proves the cache (not repeated activation) served the loop.
+func BenchmarkWireSnapRead16(b *testing.B) {
+	svc := benchService(b)
+	defer svc.Close()
+	s, addr, served := benchServer(b, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(0, pattern('b', 8, svc.SectorSize())); err != nil {
+		b.Fatal(err)
+	}
+	id, err := c.SnapCreate()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	ring := make([]*Call, 0, 16)
+	for i := 0; i < b.N; i++ {
+		if len(ring) == 16 {
+			if _, err := ring[0].Wait(); err != nil {
+				b.Fatal(err)
+			}
+			ring[0].release()
+			ring = ring[1:]
+		}
+		ring = append(ring, c.GoSnapRead(id, int64(i%8), 1))
+	}
+	for _, cl := range ring {
+		if _, err := cl.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		cl.release()
+	}
+	b.StopTimer()
+
+	st, err := c.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := st.ViewCacheHits + st.ViewCacheMisses
+	if total > 0 {
+		b.ReportMetric(float64(st.ViewCacheHits)/float64(total), "hitrate")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.ReportMetric(0, "ns/op")
+}

@@ -1,0 +1,657 @@
+package srv
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iosnap/internal/shard"
+)
+
+// startServerWith is startServer with a chance to configure the Server
+// (window, TTL, preDispatch hook) before Serve starts — the hook field
+// must not be written once handler goroutines may be reading it.
+func startServerWith(t *testing.T, svc *shard.Service, setup func(*Server)) (*Server, string, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(svc, ln)
+	if setup != nil {
+		setup(s)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+	return s, ln.Addr().String(), served
+}
+
+// TestWireNegotiation: a default dial lands on protocol v2 with a granted
+// window; ForceV1 stays serial; both speak to the same server.
+func TestWireNegotiation(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Proto() != 2 || c2.Window() <= 0 {
+		t.Fatalf("negotiated proto %d window %d, want v2 with a window", c2.Proto(), c2.Window())
+	}
+	c1, err := DialOpts(addr, DialOptions{ForceV1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if c1.Proto() != 1 {
+		t.Fatalf("ForceV1 negotiated proto %d", c1.Proto())
+	}
+	ss := svc.SectorSize()
+	if err := c1.Write(0, pattern('1', 4, ss)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Read(0, 4)
+	if err != nil || !bytes.Equal(got, pattern('1', 4, ss)) {
+		t.Fatalf("v2 read of v1 write: %v", err)
+	}
+}
+
+// TestWireOutOfOrderCompletion pins the point of tagging: a slow request
+// does not block a fast one behind it. The preDispatch gate stalls the
+// read deterministically; the ping issued after it completes first.
+func TestWireOutOfOrderCompletion(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	release := make(chan struct{})
+	s, addr, served := startServerWith(t, svc, func(s *Server) {
+		s.preDispatch = func(op byte) {
+			if op == opRead {
+				<-release
+			}
+		}
+	})
+	defer func() { s.Shutdown(); <-served }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rd := c.GoRead(0, 1) // stalls server-side until release
+	pg := c.GoPing()
+	if _, err := pg.Wait(); err != nil {
+		t.Fatalf("ping behind stalled read: %v", err)
+	}
+	select {
+	case <-rd.Done():
+		t.Fatal("stalled read completed before its gate released")
+	default:
+	}
+	close(release)
+	if _, err := rd.Wait(); err != nil {
+		t.Fatalf("read after release: %v", err)
+	}
+}
+
+// TestWireMidPipelineError: an in-band failure on one tag answers that tag
+// alone — requests pipelined before and after it complete normally.
+func TestWireMidPipelineError(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss := svc.SectorSize()
+	if err := c.Write(0, pattern('e', 2, ss)); err != nil {
+		t.Fatal(err)
+	}
+
+	good1 := c.GoRead(0, 2)
+	bad := c.GoRead(svc.Sectors(), 1) // out of range -> in-band error
+	good2 := c.GoPing()
+	good3 := c.GoWrite(2, pattern('f', 1, ss))
+
+	if b, err := good1.Wait(); err != nil || !bytes.Equal(b, pattern('e', 2, ss)) {
+		t.Fatalf("read before failing tag: %v", err)
+	}
+	if _, err := bad.Wait(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("failing tag error = %v", err)
+	}
+	if _, err := good2.Wait(); err != nil {
+		t.Fatalf("ping after failing tag: %v", err)
+	}
+	if _, err := good3.Wait(); err != nil {
+		t.Fatalf("write after failing tag: %v", err)
+	}
+}
+
+// TestWireMalformedTaggedFrames: a tagged frame too short to carry tag+op,
+// an oversized header, and a frame truncated mid-payload each end only the
+// offending connection; the server keeps serving others.
+func TestWireMalformedTaggedFrames(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	// Each raw connection completes the v2 hello first, then misbehaves.
+	hello := func(t *testing.T) net.Conn {
+		t.Helper()
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := append([][]byte{{opHello}}, helloRequest(4)...)
+		if err := writeFrame(raw, parts...); err != nil {
+			t.Fatal(err)
+		}
+		ack, err := readFrame(raw)
+		if err != nil || len(ack) == 0 || ack[0] != statusOK {
+			t.Fatalf("hello ack: %v", err)
+		}
+		putBuf(ack)
+		return raw
+	}
+
+	t.Run("short", func(t *testing.T) {
+		raw := hello(t)
+		defer raw.Close()
+		// 2-byte payload: no room for tag+op. No tag to answer on, so the
+		// server must drop the connection silently.
+		writeFrame(raw, []byte{1, 2})
+		if n, _ := raw.Read(make([]byte, 16)); n != 0 {
+			t.Fatalf("server answered a short tagged frame with %d bytes", n)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		raw := hello(t)
+		defer raw.Close()
+		raw.Write([]byte{0xff, 0xff, 0xff, 0xff}) // header far past maxFrame
+		if n, _ := raw.Read(make([]byte, 16)); n != 0 {
+			t.Fatalf("server answered an oversized frame with %d bytes", n)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		raw := hello(t)
+		// Header promises 100 bytes; send 3 and hang up.
+		raw.Write([]byte{0, 0, 0, 100, 1, 2, 3})
+		raw.Close()
+	})
+
+	// The server survived all three.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after malformed connections: %v", err)
+	}
+}
+
+// TestWireV1FallbackAgainstV1Server: a v2 client dialing a server that
+// answers the hello with an in-band error (exactly what the PR 9 server
+// did) downgrades to serial v1 on the same connection.
+func TestWireV1FallbackAgainstV1Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Minimal v1-only server: ping works, every other op (the hello
+	// included) gets "unknown op".
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					req, err := readFrame(c)
+					if err != nil || len(req) == 0 {
+						return
+					}
+					op := req[0]
+					putBuf(req)
+					if op == opPing {
+						writeFrame(c, []byte{statusOK})
+					} else {
+						writeFrame(c, []byte{statusErr}, []byte(fmt.Sprintf("srv: unknown op %d", op)))
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial v1-only server: %v", err)
+	}
+	defer c.Close()
+	if c.Proto() != 1 {
+		t.Fatalf("negotiated proto %d against a v1 server", c.Proto())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping over fallback connection: %v", err)
+	}
+	// The pipeline API degrades to serial calls rather than failing.
+	if _, err := c.GoPing().Wait(); err != nil {
+		t.Fatalf("pipelined ping over v1: %v", err)
+	}
+}
+
+// TestServeDrainsOnAcceptError: when Accept fails for a non-shutdown
+// reason, Serve must not return while handler goroutines still run
+// against the service — the caller's next move is closing it.
+func TestServeDrainsOnAcceptError(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s, addr, served := startServerWith(t, svc, func(s *Server) {
+		s.preDispatch = func(op byte) {
+			if op == opRead {
+				once.Do(func() { close(entered) })
+				<-release
+			}
+		}
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rd := c.GoRead(0, 1)
+	c.Flush()
+	<-entered // the handler is now in flight
+
+	s.ln.Close() // abnormal accept failure, not a shutdown
+	select {
+	case err := <-served:
+		t.Fatalf("Serve returned %v with a handler still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-served; err == nil {
+		t.Fatal("Serve returned nil for an abnormal accept failure")
+	}
+	<-rd.Done() // the drained connection failed the call; no hang
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteValidation: empty and non-sector-multiple write payloads are
+// rejected in-band before reaching the shard layer, and the connection
+// survives.
+func TestWriteValidation(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Empty payload: a raw 8-byte body (lba only, zero data).
+	if _, err := c.do(opWrite, putU64(0)).Wait(); err == nil || !strings.Contains(err.Error(), "sector size") {
+		t.Fatalf("empty write payload: %v", err)
+	}
+	if err := c.Write(0, make([]byte, svc.SectorSize()+1)); err == nil || !strings.Contains(err.Error(), "sector size") {
+		t.Fatalf("ragged write payload: %v", err)
+	}
+	if err := c.Write(0, pattern('v', 1, svc.SectorSize())); err != nil {
+		t.Fatalf("valid write after rejections: %v", err)
+	}
+}
+
+// TestViewCacheServesRepeatedSnapReads: the snap-read hot loop activates
+// once, hits the cache thereafter, and invalidates on delete.
+func TestViewCacheServesRepeatedSnapReads(t *testing.T) {
+	const shards = 2
+	svc, err := shard.NewService(testShardConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss := svc.SectorSize()
+	want := pattern('h', 4, ss)
+	if err := c.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.SnapCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reads = 50
+	for i := 0; i < reads; i++ {
+		got, err := c.SnapRead(id, 0, 4)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("snap-read %d: %v", i, err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewCacheMisses != 1 || st.ViewCacheHits != reads-1 {
+		t.Fatalf("cache hits=%d misses=%d, want %d/1", st.ViewCacheHits, st.ViewCacheMisses, reads-1)
+	}
+	if st.ViewCacheLive != 1 {
+		t.Fatalf("live cached views = %d, want 1", st.ViewCacheLive)
+	}
+	// The real point: one activation per shard total, not one per read.
+	var acts int64
+	for _, p := range st.PerShard {
+		acts += p.SnapshotActivations
+	}
+	if acts != shards {
+		t.Fatalf("SnapshotActivations = %d across %d reads, want %d (cache defeated)", acts, reads, shards)
+	}
+
+	// Delete invalidates: the entry is gone and later reads fail cleanly.
+	if err := c.SnapDelete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SnapRead(id, 0, 4); err == nil {
+		t.Fatal("snap-read of deleted snapshot served from cache")
+	}
+	st, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewCacheInvalidations != 1 || st.ViewCacheLive != 0 {
+		t.Fatalf("after delete: invalidations=%d live=%d, want 1/0", st.ViewCacheInvalidations, st.ViewCacheLive)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewCacheExpiry drives the cache unit directly with a fake clock:
+// an idle view past the TTL is deactivated by sweep; a busy one is not.
+func TestViewCacheExpiry(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Write(0, pattern('t', 1, svc.SectorSize())); err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(1000, 0)
+	vc := newViewCache(svc, time.Second)
+	vc.now = func() time.Time { return now }
+
+	view, release, err := vc.acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, svc.SectorSize())
+	if err := view.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A held entry never expires, no matter how stale.
+	now = now.Add(time.Hour)
+	vc.sweep()
+	if _, _, exp, _, live := vc.counters(); exp != 0 || live != 1 {
+		t.Fatalf("sweep expired a held view: expiries=%d live=%d", exp, live)
+	}
+	release()
+
+	// Released but fresh: release stamped the idle clock at now.
+	vc.sweep()
+	if _, _, exp, _, _ := vc.counters(); exp != 0 {
+		t.Fatal("sweep expired a fresh view")
+	}
+	// Released and stale: swept.
+	now = now.Add(2 * time.Second)
+	vc.sweep()
+	if _, _, exp, _, live := vc.counters(); exp != 1 || live != 0 {
+		t.Fatalf("expiries=%d live=%d, want 1/0", exp, live)
+	}
+
+	// Reacquire after expiry works (a fresh activation).
+	_, release, err = vc.acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	vc.drain()
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewCacheInvalidateWithReaderInside: invalidation while a reader
+// holds the view defers the deactivation to the last release; the reader
+// finishes safely.
+func TestViewCacheInvalidateWithReaderInside(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Write(0, pattern('d', 2, svc.SectorSize())); err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := newViewCache(svc, time.Minute)
+
+	view, release, err := vc.acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.invalidate(id)
+	if err := svc.DeleteSnapshot(id); err != nil {
+		t.Fatal(err)
+	}
+	// The reader is still inside a doomed entry: its activation epoch keeps
+	// the snapshot's blocks live, so the read still returns the frozen data.
+	buf := make([]byte, 2*svc.SectorSize())
+	if err := view.Read(0, buf); err != nil {
+		t.Fatalf("read on doomed view: %v", err)
+	}
+	if !bytes.Equal(buf, pattern('d', 2, svc.SectorSize())) {
+		t.Fatal("doomed view returned wrong data")
+	}
+	release() // last ref: deactivates here
+	if _, _, _, inv, live := vc.counters(); inv != 1 || live != 0 {
+		t.Fatalf("invalidations=%d live=%d, want 1/0", inv, live)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWirePipelinedStorm is the -race leg for the v2 path: several tagged
+// clients with deep pipelines, a write/snap-churn mix, all through the
+// real load generator, then a full invariant sweep.
+func TestWirePipelinedStorm(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	ops := 300
+	if testing.Short() {
+		ops = 60
+	}
+	rep, err := RunLoad(LoadConfig{
+		Addr: addr, Conns: 4, Depth: 8, Ops: ops,
+		WritePct: 30, SnapPct: 10, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("storm: %v (report %+v)", err, rep)
+	}
+	if rep.Proto != 2 {
+		t.Fatalf("storm negotiated proto %d", rep.Proto)
+	}
+	if rep.Ops < int64(4*ops) {
+		t.Fatalf("storm completed %d ops, want >= %d", rep.Ops, 4*ops)
+	}
+	if rep.SnapCreates == 0 || rep.SnapReads == 0 || rep.SnapDeletes == 0 {
+		t.Fatalf("storm mix degenerate: %+v", rep)
+	}
+	st, err := func() (ServerStats, error) {
+		c, err := Dial(addr)
+		if err != nil {
+			return ServerStats{}, err
+		}
+		defer c.Close()
+		return c.Stats()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerShardVirtual) != 4 {
+		t.Fatalf("PerShardVirtual has %d entries, want 4", len(st.PerShardVirtual))
+	}
+	if st.LiveSnapshots != 0 {
+		t.Fatalf("storm leaked %d snapshots", st.LiveSnapshots)
+	}
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireShutdownMidPipeline: a shutdown racing deep pipelines neither
+// hangs nor corrupts — calls after the cut fail cleanly, Serve drains, and
+// the service passes its invariant sweep.
+func TestWireShutdownMidPipeline(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	_, addr, served := startServer(t, svc)
+
+	const clients = 3
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				return // shutdown won the race to the listener
+			}
+			defer c.Close()
+			base := int64(ci * 32)
+			for r := 0; ; r++ {
+				var calls []*Call
+				for k := 0; k < 8; k++ {
+					calls = append(calls, c.GoWrite(base+int64(k), pattern(byte(r), 1, svc.SectorSize())))
+					calls = append(calls, c.GoRead(base+int64(k), 1))
+				}
+				for _, cl := range calls {
+					if _, err := cl.Wait(); err != nil {
+						return // in-band or connection error after shutdown: fine
+					}
+				}
+			}
+		}(ci)
+	}
+	time.Sleep(20 * time.Millisecond) // let the pipelines get going
+	sc, err := Dial(addr)
+	if err == nil {
+		sc.Shutdown()
+		sc.Close()
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	wg.Wait() // every client unblocked: no hang
+	if err := svc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadgenSerialV1Baseline: the loadgen's baseline mode really speaks
+// v1 and still completes a mixed run.
+func TestLoadgenSerialV1Baseline(t *testing.T) {
+	svc, err := shard.NewService(testShardConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, addr, served := startServer(t, svc)
+	defer func() { s.Shutdown(); <-served }()
+
+	rep, err := RunLoad(LoadConfig{
+		Addr: addr, Conns: 2, Depth: 4, Ops: 50,
+		WritePct: 20, SnapPct: 5, V1: true,
+	})
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if rep.Proto != 1 {
+		t.Fatalf("V1 run negotiated proto %d", rep.Proto)
+	}
+	if rep.Ops < 100 {
+		t.Fatalf("v1 run completed %d ops", rep.Ops)
+	}
+}

@@ -317,3 +317,62 @@ awk "BEGIN { exit !($mratio <= 2) }" || {
 	echo "bench.sh: cache2048 latency ratio $mratio above the 2x acceptance ceiling" >&2
 	exit 1
 }
+
+# Wire protocol benchmark: wall-clock ops/s over real loopback TCP —
+# serial v1 (one request per round-trip, the PR 9 protocol) vs the tagged
+# v2 pipeline at depth 16, identical geometry and read mix, plus the
+# snap-read hot loop whose hitrate proves the server-side view cache
+# served it (no per-request activate/deactivate). The -race storm runs
+# first: tagged clients with deep pipelines, snapshot churn, and a
+# shutdown racing in-flight pipelines.
+wout=BENCH_wire.json
+
+echo "== go test -race (pipelined wire storm + shutdown mid-pipeline)"
+go test -race ./internal/srv/ -run 'TestWirePipelinedStorm$|TestWireShutdownMidPipeline$'
+
+echo "== go test -bench (serial v1 vs pipelined v2 wire, wall clock)"
+go test ./internal/srv/ -run '^$' \
+	-bench 'BenchmarkWireSerialV1$|BenchmarkWirePipelined16$|BenchmarkWireSnapRead16$' \
+	-benchtime=20000x | tee "$raw"
+
+awk '
+function metric(unit,   i) {
+	for (i = 1; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return ""
+}
+/^BenchmarkWireSerialV1/    { v1 = metric("ops/s") }
+/^BenchmarkWirePipelined16/ { v2 = metric("ops/s") }
+/^BenchmarkWireSnapRead16/  { sr = metric("ops/s"); hr = metric("hitrate") }
+END {
+	if (v1 == "" || v2 == "" || sr == "" || hr == "") {
+		print "bench.sh: missing wire benchmark output" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"wire-protocol-pipelining\",\n"
+	printf "  \"config\": \"loopback TCP, 2 conns, 1-sector reads, 512B sectors, 4 shards\",\n"
+	printf "  \"serial_v1_ops_s\": %.0f,\n", v1
+	printf "  \"pipelined16_ops_s\": %.0f,\n", v2
+	printf "  \"snapread16_ops_s\": %.0f,\n", sr
+	printf "  \"snapread_view_cache_hitrate\": %.4f,\n", hr
+	printf "  \"pipelined_speedup\": %.2f\n", v2 / v1
+	printf "}\n"
+}' "$raw" > "$wout"
+
+echo "== wrote $wout"
+cat "$wout"
+
+wspeed=$(awk -F'[:,]' '/"pipelined_speedup"/ { print $2 }' "$wout")
+whit=$(awk -F'[:,]' '/"snapread_view_cache_hitrate"/ { print $2 }' "$wout")
+awk "BEGIN { exit !($wspeed >= 3) }" || {
+	echo "bench.sh: pipelined wire speedup $wspeed below the 3x acceptance floor" >&2
+	exit 1
+}
+awk "BEGIN { exit !($whit >= 0.9) }" || {
+	echo "bench.sh: snap-read view-cache hit rate $whit below the 0.9 acceptance floor" >&2
+	exit 1
+}
